@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks of the substrate primitives that
+// dominate search and training cost: matmul, causal convolution, attention,
+// diffusion GCN, a full mixed edge, and one supernet forward/backward.
+#include <benchmark/benchmark.h>
+
+#include "core/micro_dag.h"
+#include "graph/adjacency.h"
+#include "ops/op_registry.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::Rand({n, n}, &rng);
+  const Tensor b = Tensor::Rand({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor a = Tensor::Rand({8, 12, 16, 16}, &rng);
+  const Tensor b = Tensor::Rand({16, 16}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  const Tensor a = Tensor::Rand({64, 128}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a, 1));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+ops::OpContext BenchContext(Rng* rng) {
+  ops::OpContext context;
+  context.channels = 16;
+  context.num_nodes = 12;
+  context.rng = rng;
+  Rng graph_rng(11);
+  context.adjacency = graph::DistanceGaussianAdjacency(
+      graph::RandomPositions(12, &graph_rng), 0.5, 0.1);
+  return context;
+}
+
+void BM_OperatorForward(benchmark::State& state, const std::string& name) {
+  Rng rng(4);
+  ops::OpContext context = BenchContext(&rng);
+  ops::StOperatorPtr op = ops::CreateOp(name, context);
+  op->SetTraining(false);
+  const Tensor x = Tensor::Rand({8, 12, 12, 16}, &rng, -1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Forward(Variable(x, false)));
+  }
+}
+BENCHMARK_CAPTURE(BM_OperatorForward, gdcc, "gdcc");
+BENCHMARK_CAPTURE(BM_OperatorForward, dgcn, "dgcn");
+BENCHMARK_CAPTURE(BM_OperatorForward, inf_t, "inf_t");
+BENCHMARK_CAPTURE(BM_OperatorForward, inf_s, "inf_s");
+BENCHMARK_CAPTURE(BM_OperatorForward, gru, "gru");
+
+void BM_OperatorBackward(benchmark::State& state, const std::string& name) {
+  Rng rng(5);
+  ops::OpContext context = BenchContext(&rng);
+  ops::StOperatorPtr op = ops::CreateOp(name, context);
+  const Tensor x = Tensor::Rand({8, 12, 12, 16}, &rng, -1.0, 1.0);
+  for (auto _ : state) {
+    Variable input(x, true);
+    Variable loss = ag::SumAll(op->Forward(input));
+    loss.Backward();
+    benchmark::DoNotOptimize(input.grad());
+    for (Variable& p : op->Parameters()) p.ClearGrad();
+  }
+}
+BENCHMARK_CAPTURE(BM_OperatorBackward, gdcc, "gdcc");
+BENCHMARK_CAPTURE(BM_OperatorBackward, dgcn, "dgcn");
+BENCHMARK_CAPTURE(BM_OperatorBackward, inf_t, "inf_t");
+
+void BM_MixedEdgeForward(benchmark::State& state) {
+  const int64_t partial = state.range(0);
+  Rng rng(6);
+  ops::OpContext context = BenchContext(&rng);
+  core::MixedEdge edge(core::CompactOperatorSet(), context, partial);
+  edge.SetTraining(false);
+  const Tensor x = Tensor::Rand({8, 12, 12, 16}, &rng, -1.0, 1.0);
+  const Tensor w = Softmax(Tensor::Rand({6}, &rng), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        edge.Forward(Variable(x, false), Variable(w, false)));
+  }
+}
+// Partial channels (PC-DARTS) vs full channels: the 1/4 setting should be
+// markedly cheaper, which is why the paper adopts it (Section 4.1.4).
+BENCHMARK(BM_MixedEdgeForward)->Arg(1)->Arg(4);
+
+void BM_MicroDagCellForward(benchmark::State& state) {
+  Rng rng(7);
+  ops::OpContext context = BenchContext(&rng);
+  core::MicroDagCell cell(5, core::CompactOperatorSet(), context, 4, &rng);
+  cell.SetTraining(false);
+  const Tensor x = Tensor::Rand({8, 12, 12, 16}, &rng, -1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Forward(Variable(x, false), 1.0));
+  }
+}
+BENCHMARK(BM_MicroDagCellForward);
+
+}  // namespace
+}  // namespace autocts
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Reproduces Table 3: "Comparison of GCN and Attention Variants, MAE".
+//
+// The paper's Principle 2 experiment trains otherwise-identical forecasting
+// models that differ in a single S-operator — Diffusion GCN vs Chebyshev
+// GCN vs Informer vs Transformer — on METR-LA and PEMS03, and picks the
+// strongest variant per family. Expected shape: DGCN beats ChebGCN on both
+// datasets; Informer and Transformer are close to each other.
+#include <memory>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+
+namespace autocts {
+namespace {
+
+// embedding -> GDCC -> {S-variant} -> GDCC -> head, so exactly one factor
+// varies across rows.
+class VariantModel : public models::ForecastingModel {
+ public:
+  VariantModel(const std::string& s_op, const models::ModelContext& context)
+      : s_op_name_(s_op),
+        rng_(context.seed),
+        adaptive_(context.adjacency.defined()
+                      ? nullptr
+                      : std::make_shared<graph::AdaptiveAdjacency>(
+                            context.num_nodes, 8, &rng_)),
+        embedding_(context.in_features, context.hidden_dim, &rng_),
+        head_(context.hidden_dim, context.output_length, &rng_) {
+    const ops::OpContext op_context =
+        models::MakeOpContext(context, adaptive_, &rng_);
+    temporal_in_ = ops::CreateOp("gdcc", op_context);
+    spatial_ = ops::CreateOp(s_op, op_context);
+    temporal_out_ = ops::CreateOp("gdcc", op_context);
+    RegisterModule("embedding", &embedding_);
+    RegisterModule("temporal_in", temporal_in_.get());
+    RegisterModule("spatial", spatial_.get());
+    RegisterModule("temporal_out", temporal_out_.get());
+    RegisterModule("head", &head_);
+    if (adaptive_ != nullptr) RegisterModule("adaptive", adaptive_.get());
+  }
+
+  Variable Forward(const Variable& x) override {
+    Variable h = embedding_.Forward(x);
+    h = ag::Relu(temporal_in_->Forward(h));
+    h = ag::Relu(spatial_->Forward(h));
+    h = temporal_out_->Forward(h);
+    return head_.Forward(h, x);
+  }
+
+  std::string name() const override { return "variant-" + s_op_name_; }
+
+ private:
+  std::string s_op_name_;
+  Rng rng_;
+  std::shared_ptr<graph::AdaptiveAdjacency> adaptive_;
+  nn::Linear embedding_;
+  ops::StOperatorPtr temporal_in_;
+  ops::StOperatorPtr spatial_;
+  ops::StOperatorPtr temporal_out_;
+  models::OutputHead head_;
+};
+
+void Run() {
+  bench::PrintTitle(
+      "Table 3: S-operator variant comparison (MAE; lower is better)");
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"DGCN", "dgcn"},
+      {"Cheby GCN", "cheb_gcn"},
+      {"Informer (INF-S)", "inf_s"},
+      {"Transformer", "trans_s"}};
+  std::printf("%s%s%s\n", bench::Cell("variant", 20).c_str(),
+              bench::Cell("METR-LA").c_str(),
+              bench::Cell("PEMS03").c_str());
+  bench::PrintRule();
+  for (const auto& [label, op] : variants) {
+    std::printf("%s", bench::Cell(label, 20).c_str());
+    for (const std::string& key : {"metr-la", "pems03"}) {
+      const bench::DatasetPreset preset = bench::MakePreset(key);
+      const models::PreparedData prepared = bench::Prepare(preset);
+      models::ModelContext context;
+      context.num_nodes = prepared.num_nodes;
+      context.in_features = prepared.in_features;
+      context.input_length = preset.window.input_length;
+      context.output_length = preset.window.output_length;
+      context.hidden_dim = 16;
+      context.adjacency = prepared.adjacency;
+      context.seed = 55;
+      VariantModel model(op, context);
+      const models::EvalResult result = models::TrainAndEvaluate(
+          &model, prepared, bench::BaselineTrainConfig());
+      std::printf("%s", bench::Num(result.average.mae).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper's finding to compare: DGCN < ChebGCN on MAE on both "
+      "datasets;\nInformer ~= Transformer (Informer kept for efficiency).\n");
+}
+
+}  // namespace
+}  // namespace autocts
+
+int main() {
+  autocts::Stopwatch timer;
+  autocts::Run();
+  std::printf("[bench_table03 done in %.1fs]\n", timer.Seconds());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces the hyper-parameter sensitivity study of Tables 17-26: the
+// impact of M (nodes per ST-block: 3/5/7) and B (blocks in the backbone:
+// 2/4/6) on METR-LA-like data.
+//
+// Expected shape: the defaults (M=5, B=4) are at or near the best; both
+// shrinking (less expressive) and growing (overfitting at small data)
+// degrade accuracy mildly.
+#include "bench_common.h"
+#include "common/stopwatch.h"
+
+namespace autocts {
+namespace {
+
+void Run() {
+  const bench::DatasetPreset preset = bench::MakePreset("metr-la");
+  const models::PreparedData prepared = bench::Prepare(preset);
+
+  bench::PrintTitle("Tables 17/18: impact of M and B on " + preset.label);
+  std::printf("%s%s%s%s%s\n", bench::Cell("setting", 14).c_str(),
+              bench::Cell("MAE").c_str(), bench::Cell("RMSE").c_str(),
+              bench::Cell("MAPE").c_str(),
+              bench::Cell("params").c_str());
+  bench::PrintRule();
+
+  auto run_setting = [&](const std::string& label, int64_t m, int64_t b) {
+    core::SearchOptions options = bench::DefaultSearchOptions();
+    options.supernet.micro_nodes = m;
+    options.supernet.macro_blocks = b;
+    const bench::AutoCtsRun run =
+        bench::RunAutoCts(prepared, options, bench::EvalTrainConfig());
+    std::printf("%s%s%s%s%s\n", bench::Cell(label, 14).c_str(),
+                bench::Num(run.eval.average.mae).c_str(),
+                bench::Num(run.eval.average.rmse).c_str(),
+                bench::Pct(run.eval.average.mape).c_str(),
+                bench::Cell(std::to_string(run.eval.parameter_count))
+                    .c_str());
+    std::fflush(stdout);
+  };
+
+  const std::vector<int64_t> m_values =
+      bench::Quick() ? std::vector<int64_t>{3, 5} : std::vector<int64_t>{3, 5, 7};
+  for (int64_t m : m_values) {
+    run_setting("M=" + std::to_string(m) + ",B=4", m, 4);
+  }
+  const std::vector<int64_t> b_values =
+      bench::Quick() ? std::vector<int64_t>{2} : std::vector<int64_t>{2, 6};
+  for (int64_t b : b_values) {
+    run_setting("M=5,B=" + std::to_string(b), 5, b);
+  }
+  std::printf(
+      "\nPaper's findings to compare: best (or near-best) accuracy at the "
+      "default\nM=5/B=4; parameter count grows with both M and B.\n");
+}
+
+}  // namespace
+}  // namespace autocts
+
+int main() {
+  autocts::Stopwatch timer;
+  autocts::Run();
+  std::printf("[bench_table17_26 done in %.1fs]\n", timer.Seconds());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Tables 36-37: the impact of the number of incoming edges kept
+// per node at derivation (2 vs 3) on accuracy and training time per epoch.
+//
+// Expected shape: accuracy is nearly identical, while training the
+// 3-edge model costs measurably more time per epoch — the paper's argument
+// for keeping 2 edges.
+#include "bench_common.h"
+#include "common/stopwatch.h"
+
+namespace autocts {
+namespace {
+
+void RunDataset(const std::string& key, const std::string& tag) {
+  const bench::DatasetPreset preset = bench::MakePreset(key);
+  const models::PreparedData prepared = bench::Prepare(preset);
+  bench::PrintTitle(tag + ": incoming edges per node, " + preset.label);
+  std::printf("%s%s%s%s%s\n", bench::Cell("#edges", 10).c_str(),
+              bench::Cell("MAE").c_str(), bench::Cell("RMSE").c_str(),
+              bench::Cell("MAPE").c_str(),
+              bench::Cell("train s/ep").c_str());
+  bench::PrintRule();
+  for (const int64_t edges : {int64_t{2}, int64_t{3}}) {
+    core::SearchOptions options = bench::DefaultSearchOptions();
+    options.supernet.edges_per_node = edges;
+    const bench::AutoCtsRun run =
+        bench::RunAutoCts(prepared, options, bench::EvalTrainConfig());
+    std::printf("%s%s%s%s%s\n",
+                bench::Cell(std::to_string(edges), 10).c_str(),
+                bench::Num(run.eval.average.mae).c_str(),
+                bench::Num(run.eval.average.rmse).c_str(),
+                bench::Pct(run.eval.average.mape).c_str(),
+                bench::Num(run.eval.train_seconds_per_epoch, 2).c_str());
+    std::fflush(stdout);
+  }
+}
+
+void Run() {
+  RunDataset("metr-la", "Table 36");
+  if (bench::Extended()) RunDataset("pems03", "Table 37");
+  std::printf(
+      "\nPaper's findings to compare: 2 vs 3 edges changes accuracy only "
+      "minimally\nwhile 3 edges clearly increases training time per "
+      "epoch.\n");
+}
+
+}  // namespace
+}  // namespace autocts
+
+int main() {
+  autocts::Stopwatch timer;
+  autocts::Run();
+  std::printf("[bench_table36_37 done in %.1fs]\n", timer.Seconds());
+  return 0;
+}

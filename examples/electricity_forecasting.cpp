@@ -1,0 +1,78 @@
+// Single-step electricity-load forecasting (the Table 8 setting): predict
+// the load `horizon` steps ahead from a long history window, on a dataset
+// with NO predefined adjacency — the models learn the client-to-client
+// correlations via the adaptive adjacency.
+//
+// Compares LSTNet (no explicit inter-series modelling) with MTGNN and an
+// AutoCTS-searched model, reporting RRSE and CORR at horizons 3 and 24.
+//
+// Build & run:  ./build/examples/electricity_forecasting
+#include <cstdio>
+
+#include "core/evaluator.h"
+#include "core/searcher.h"
+#include "data/synthetic/generators.h"
+#include "models/model_zoo.h"
+#include "models/trainer.h"
+
+int main() {
+  using namespace autocts;
+
+  data::ElectricityConfig config;
+  config.num_nodes = 12;
+  config.num_steps = 2016;  // 12 weeks, hourly.
+  config.seed = 13;
+  const data::CtsDataset dataset = data::GenerateElectricity(config);
+  std::printf("dataset: %s (no predefined adjacency: %s)\n",
+              dataset.name.c_str(),
+              dataset.adjacency.defined() ? "false" : "true");
+
+  for (const int64_t horizon : {int64_t{3}, int64_t{24}}) {
+    data::WindowSpec window;
+    window.input_length = 36;
+    window.output_length = 1;
+    window.horizon = horizon;
+    const models::PreparedData prepared =
+        models::PrepareData(dataset, window, 0.6, 0.2);
+
+    std::printf("\n--- horizon %lld ---\n",
+                static_cast<long long>(horizon));
+    models::TrainConfig train_config;
+    train_config.epochs = 3;
+    train_config.batch_size = 32;
+    train_config.max_batches_per_epoch = 10;
+
+    for (const char* name : {"LSTNet", "MTGNN"}) {
+      models::ModelContext context;
+      context.num_nodes = prepared.num_nodes;
+      context.in_features = prepared.in_features;
+      context.input_length = window.input_length;
+      context.output_length = 1;
+      context.hidden_dim = 16;
+      context.seed = 31;
+      models::ForecastingModelPtr model =
+          models::CreateBaseline(name, context);
+      const models::EvalResult result =
+          models::TrainAndEvaluate(model.get(), prepared, train_config);
+      std::printf("%-10s RRSE %.4f  CORR %.4f\n", name, result.rrse,
+                  result.corr);
+    }
+
+    core::SearchOptions options;
+    options.supernet.hidden_dim = 16;
+    options.epochs = 2;
+    options.batch_size = 32;
+    options.max_batches_per_epoch = 4;
+    const core::SearchResult search =
+        core::JointSearcher(options).Search(prepared);
+    const models::EvalResult result = core::EvaluateGenotype(
+        search.genotype, prepared, 16, train_config);
+    std::printf("%-10s RRSE %.4f  CORR %.4f\n", "AutoCTS", result.rrse,
+                result.corr);
+  }
+  std::printf(
+      "\nNote: RRSE < 1 beats the mean predictor; CORR near 1 tracks the\n"
+      "diurnal/weekly pattern. Models that capture inter-series structure\n"
+      "(MTGNN, AutoCTS) should lead LSTNet, as in Table 8 of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace autocts {
+
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    const std::vector<Tensor>& inputs, double epsilon, double tolerance) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  std::vector<Variable> variables;
+  variables.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    variables.emplace_back(input.Clone(), /*requires_grad=*/true);
+  }
+  Variable output = fn(variables);
+  AUTOCTS_CHECK_EQ(output.size(), 1) << "grad check needs a scalar output";
+  output.Backward();
+
+  // Numeric gradients by central differences, compared coordinate-wise.
+  for (size_t input_idx = 0; input_idx < inputs.size(); ++input_idx) {
+    Tensor perturbed = inputs[input_idx].Clone();
+    const int64_t n = perturbed.size();
+    const Tensor* analytic = nullptr;
+    Tensor zero_grad;
+    if (variables[input_idx].has_grad()) {
+      analytic = &variables[input_idx].grad();
+    } else {
+      zero_grad = Tensor::Zeros(perturbed.shape());
+      analytic = &zero_grad;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const double original = perturbed.data()[i];
+
+      auto evaluate = [&](double value) {
+        perturbed.data()[i] = value;
+        std::vector<Variable> args;
+        args.reserve(inputs.size());
+        for (size_t j = 0; j < inputs.size(); ++j) {
+          args.emplace_back(
+              j == input_idx ? perturbed.Clone() : inputs[j].Clone(),
+              /*requires_grad=*/false);
+        }
+        return fn(args).value().item();
+      };
+
+      const double plus = evaluate(original + epsilon);
+      const double minus = evaluate(original - epsilon);
+      perturbed.data()[i] = original;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double got = analytic->data()[i];
+      const double relative =
+          std::abs(got - numeric) / std::max(1.0, std::abs(numeric));
+      result.max_relative_error =
+          std::max(result.max_relative_error, relative);
+      if (relative > tolerance) {
+        result.ok = false;
+        std::ostringstream message;
+        message << "input " << input_idx << " coord " << i << ": analytic "
+                << got << " vs numeric " << numeric << " (rel " << relative
+                << ")";
+        result.message = message.str();
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace autocts

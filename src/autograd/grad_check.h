@@ -1,0 +1,32 @@
+// Finite-difference gradient checking used by the property-based test suite.
+#ifndef AUTOCTS_AUTOGRAD_GRAD_CHECK_H_
+#define AUTOCTS_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace autocts {
+
+struct GradCheckResult {
+  bool ok = true;
+  // Maximum |analytic - numeric| / max(1, |numeric|) over all coordinates.
+  double max_relative_error = 0.0;
+  std::string message;
+};
+
+// Verifies the analytic gradients of `fn` (a scalar-valued function of the
+// given inputs) against central finite differences. Each input tensor is
+// perturbed coordinate-by-coordinate.
+//
+// `fn` must rebuild its graph from the passed Variables on every call.
+GradCheckResult CheckGradients(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    const std::vector<Tensor>& inputs, double epsilon = 1e-5,
+    double tolerance = 1e-6);
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,131 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts {
+
+namespace internal {
+
+void AccumulateGrad(Node* node, const Tensor& g) {
+  AUTOCTS_CHECK(g.shape() == node->value.shape())
+      << "gradient shape " << ShapeToString(g.shape())
+      << " does not match value shape "
+      << ShapeToString(node->value.shape());
+  if (!node->grad.defined()) {
+    node->grad = g.Clone();
+  } else {
+    AddInPlace(&node->grad, g);
+  }
+}
+
+}  // namespace internal
+
+Variable::Variable() = default;
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<internal::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  AUTOCTS_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  AUTOCTS_CHECK(defined());
+  return node_->value;
+}
+
+bool Variable::requires_grad() const {
+  AUTOCTS_CHECK(defined());
+  return node_->requires_grad;
+}
+
+const Tensor& Variable::grad() const {
+  AUTOCTS_CHECK(defined());
+  AUTOCTS_CHECK(node_->grad.defined()) << "no gradient accumulated";
+  return node_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && node_->grad.defined(); }
+
+void Variable::ClearGrad() {
+  AUTOCTS_CHECK(defined());
+  node_->grad = Tensor();
+}
+
+void Variable::AccumulateGrad(const Tensor& g) {
+  AUTOCTS_CHECK(defined());
+  internal::AccumulateGrad(node_.get(), g);
+}
+
+void Variable::Backward() {
+  AUTOCTS_CHECK_EQ(size(), 1) << "Backward() without seed needs a scalar";
+  Backward(Tensor::Ones(shape()));
+}
+
+void Variable::Backward(const Tensor& seed) {
+  AUTOCTS_CHECK(defined());
+  AUTOCTS_CHECK(seed.shape() == shape());
+
+  // Iterative post-order DFS to get a topological order of the reachable
+  // subgraph restricted to nodes that require grad.
+  std::vector<internal::Node*> topo_order;
+  std::unordered_set<internal::Node*> visited;
+  struct Frame {
+    internal::Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  if (node_->requires_grad) stack.push_back({node_.get(), 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_input == 0 && visited.count(frame.node) > 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (frame.next_input < frame.node->inputs.size()) {
+      internal::Node* child = frame.node->inputs[frame.next_input++].get();
+      if (child->requires_grad && visited.count(child) == 0) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      if (visited.insert(frame.node).second) topo_order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  internal::AccumulateGrad(node_.get(), seed);
+  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    internal::Node* node = *it;
+    if (node->backward && node->grad.defined()) node->backward(node);
+  }
+}
+
+Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable MakeNode(Tensor value, std::vector<Variable> inputs,
+                  std::function<void(internal::Node*)> backward) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  bool requires_grad = false;
+  node->inputs.reserve(inputs.size());
+  for (const Variable& input : inputs) {
+    AUTOCTS_CHECK(input.defined());
+    node->inputs.push_back(input.node());
+    requires_grad = requires_grad || input.node()->requires_grad;
+  }
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->backward = std::move(backward);
+  return Variable::FromNode(std::move(node));
+}
+
+}  // namespace autocts

@@ -1,0 +1,92 @@
+// Reverse-mode automatic differentiation.
+//
+// A Variable is a cheap handle to a tape Node holding a value tensor, an
+// optional gradient tensor, and a backward closure that propagates the
+// node's gradient to its inputs. Calling Backward() on a (scalar) Variable
+// topologically sorts the reachable subgraph and runs the closures in
+// reverse order, accumulating gradients into every node with
+// requires_grad set (typically the model parameters).
+#ifndef AUTOCTS_AUTOGRAD_VARIABLE_H_
+#define AUTOCTS_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+namespace internal {
+
+// One tape entry. Exposed only so custom operations (e.g. the causal
+// convolution in nn/) can build their own nodes via MakeNode below.
+struct Node {
+  Tensor value;
+  Tensor grad;  // Undefined until first accumulation.
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  // Propagates this node's grad into inputs' grads. May be empty for leaves.
+  std::function<void(Node*)> backward;
+};
+
+// Adds `g` (same shape as the node value) into `node`'s gradient,
+// initializing it to zeros on first use.
+void AccumulateGrad(Node* node, const Tensor& g);
+
+}  // namespace internal
+
+// Differentiable tensor handle. Copies share the underlying node.
+class Variable {
+ public:
+  // An undefined placeholder.
+  Variable();
+  // Wraps `value` as a leaf. With requires_grad, gradients accumulate here.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  // Mutable access for optimizers; must not be called mid-graph.
+  Tensor& mutable_value();
+  bool requires_grad() const;
+
+  // The accumulated gradient; CHECK-fails if none has been accumulated.
+  const Tensor& grad() const;
+  bool has_grad() const;
+  // Drops the accumulated gradient (optimizer ZeroGrad).
+  void ClearGrad();
+  // Adds `g` into the gradient directly (same shape as the value); used by
+  // algorithms that assemble gradients manually, e.g. the second-order
+  // DARTS update in core/searcher.cc.
+  void AccumulateGrad(const Tensor& g);
+
+  // Runs backpropagation seeding this (single-element) variable with 1.
+  void Backward();
+  // Runs backpropagation with an explicit seed gradient (same shape).
+  void Backward(const Tensor& seed);
+
+  const Shape& shape() const { return value().shape(); }
+  int64_t ndim() const { return value().ndim(); }
+  int64_t dim(int64_t axis) const { return value().dim(axis); }
+  int64_t size() const { return value().size(); }
+
+  // Internal: the underlying tape node.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+
+  // Internal: wraps an existing node.
+  static Variable FromNode(std::shared_ptr<internal::Node> node);
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+// Builds an interior tape node for a custom operation. `backward` receives
+// the node (whose grad is fully accumulated) and must propagate into
+// node->inputs via internal::AccumulateGrad. requires_grad is inferred from
+// the inputs.
+Variable MakeNode(Tensor value, std::vector<Variable> inputs,
+                  std::function<void(internal::Node*)> backward);
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,365 @@
+#include "autograd/variable_ops.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::ag {
+
+namespace {
+
+using internal::AccumulateGrad;
+using internal::Node;
+
+// Accumulates `g` into input slot `slot` of `node`, reducing over any
+// broadcast axes first.
+void AccumulateReduced(Node* node, size_t slot, const Tensor& g) {
+  Node* input = node->inputs[slot].get();
+  if (!input->requires_grad) return;
+  AccumulateGrad(input, ReduceTo(g, input->value.shape()));
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeNode(autocts::Add(a.value(), b.value()), {a, b}, [](Node* node) {
+    AccumulateReduced(node, 0, node->grad);
+    AccumulateReduced(node, 1, node->grad);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeNode(autocts::Sub(a.value(), b.value()), {a, b}, [](Node* node) {
+    AccumulateReduced(node, 0, node->grad);
+    AccumulateReduced(node, 1, autocts::Neg(node->grad));
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor va = a.value();
+  Tensor vb = b.value();
+  return MakeNode(autocts::Mul(va, vb), {a, b}, [va, vb](Node* node) {
+    AccumulateReduced(node, 0, autocts::Mul(node->grad, vb));
+    AccumulateReduced(node, 1, autocts::Mul(node->grad, va));
+  });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  Tensor va = a.value();
+  Tensor vb = b.value();
+  return MakeNode(autocts::Div(va, vb), {a, b}, [va, vb](Node* node) {
+    AccumulateReduced(node, 0, autocts::Div(node->grad, vb));
+    const Tensor db = autocts::Neg(autocts::Div(
+        autocts::Mul(node->grad, va), autocts::Mul(vb, vb)));
+    AccumulateReduced(node, 1, db);
+  });
+}
+
+Variable AddScalar(const Variable& a, double value) {
+  return MakeNode(autocts::AddScalar(a.value(), value), {a}, [](Node* node) {
+    AccumulateReduced(node, 0, node->grad);
+  });
+}
+
+Variable MulScalar(const Variable& a, double value) {
+  return MakeNode(autocts::MulScalar(a.value(), value), {a},
+                  [value](Node* node) {
+                    AccumulateReduced(node, 0,
+                                      autocts::MulScalar(node->grad, value));
+                  });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0); }
+
+Variable Exp(const Variable& a) {
+  Tensor y = autocts::Exp(a.value());
+  return MakeNode(y, {a}, [y](Node* node) {
+    AccumulateReduced(node, 0, autocts::Mul(node->grad, y));
+  });
+}
+
+Variable Log(const Variable& a) {
+  Tensor va = a.value();
+  return MakeNode(autocts::Log(va), {a}, [va](Node* node) {
+    AccumulateReduced(node, 0, autocts::Div(node->grad, va));
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor y = autocts::Sqrt(a.value());
+  return MakeNode(y, {a}, [y](Node* node) {
+    const Tensor dx = autocts::Div(autocts::MulScalar(node->grad, 0.5), y);
+    AccumulateReduced(node, 0, dx);
+  });
+}
+
+Variable Abs(const Variable& a) {
+  Tensor va = a.value();
+  return MakeNode(autocts::Abs(va), {a}, [va](Node* node) {
+    const Tensor sign = autocts::Apply(
+        va, [](double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
+    AccumulateReduced(node, 0, autocts::Mul(node->grad, sign));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor y = autocts::Tanh(a.value());
+  return MakeNode(y, {a}, [y](Node* node) {
+    const Tensor one_minus_y2 =
+        autocts::Apply(y, [](double v) { return 1.0 - v * v; });
+    AccumulateReduced(node, 0, autocts::Mul(node->grad, one_minus_y2));
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor y = autocts::Sigmoid(a.value());
+  return MakeNode(y, {a}, [y](Node* node) {
+    const Tensor dy = autocts::Apply(y, [](double v) { return v * (1.0 - v); });
+    AccumulateReduced(node, 0, autocts::Mul(node->grad, dy));
+  });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor va = a.value();
+  return MakeNode(autocts::Relu(va), {a}, [va](Node* node) {
+    const Tensor mask =
+        autocts::Apply(va, [](double x) { return x > 0.0 ? 1.0 : 0.0; });
+    AccumulateReduced(node, 0, autocts::Mul(node->grad, mask));
+  });
+}
+
+Variable PowScalar(const Variable& a, double exponent) {
+  Tensor va = a.value();
+  return MakeNode(autocts::PowScalar(va, exponent), {a},
+                  [va, exponent](Node* node) {
+                    const Tensor dx = autocts::MulScalar(
+                        autocts::PowScalar(va, exponent - 1.0), exponent);
+                    AccumulateReduced(node, 0, autocts::Mul(node->grad, dx));
+                  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor va = a.value();
+  Tensor vb = b.value();
+  return MakeNode(autocts::MatMul(va, vb), {a, b}, [va, vb](Node* node) {
+    const Tensor bt = vb.Transpose(-2, -1);
+    const Tensor at = va.Transpose(-2, -1);
+    AccumulateReduced(node, 0, autocts::MatMul(node->grad, bt));
+    AccumulateReduced(node, 1, autocts::MatMul(at, node->grad));
+  });
+}
+
+Variable Sum(const Variable& a, int64_t axis, bool keepdim) {
+  const Shape in_shape = a.shape();
+  const int64_t rank = a.ndim();
+  const int64_t norm_axis = axis < 0 ? axis + rank : axis;
+  return MakeNode(autocts::Sum(a.value(), axis, keepdim), {a},
+                  [in_shape, norm_axis, keepdim](Node* node) {
+                    Tensor g = node->grad;
+                    if (!keepdim) {
+                      Shape keep = in_shape;
+                      keep[norm_axis] = 1;
+                      g = g.Reshape(keep);
+                    }
+                    AccumulateReduced(node, 0, BroadcastTo(g, in_shape));
+                  });
+}
+
+Variable Mean(const Variable& a, int64_t axis, bool keepdim) {
+  const int64_t extent = a.dim(axis);
+  return MulScalar(Sum(a, axis, keepdim), 1.0 / static_cast<double>(extent));
+}
+
+Variable SumAll(const Variable& a) {
+  const Shape in_shape = a.shape();
+  return MakeNode(Tensor::Scalar(autocts::SumAll(a.value())), {a},
+                  [in_shape](Node* node) {
+                    AccumulateReduced(
+                        node, 0, Tensor::Full(in_shape, node->grad.item()));
+                  });
+}
+
+Variable MeanAll(const Variable& a) {
+  return MulScalar(SumAll(a), 1.0 / static_cast<double>(a.size()));
+}
+
+Variable Softmax(const Variable& a, int64_t axis) {
+  return SoftmaxWithTemperature(a, axis, 1.0);
+}
+
+Variable SoftmaxWithTemperature(const Variable& a, int64_t axis, double tau) {
+  AUTOCTS_CHECK_GT(tau, 0.0);
+  const Tensor scaled = autocts::MulScalar(a.value(), 1.0 / tau);
+  Tensor y = autocts::Softmax(scaled, axis);
+  const int64_t norm_axis = axis < 0 ? axis + a.ndim() : axis;
+  return MakeNode(y, {a}, [y, norm_axis, tau](Node* node) {
+    // dx = (1/tau) * y * (g - sum(g * y, axis))
+    const Tensor gy = autocts::Mul(node->grad, y);
+    const Tensor total = autocts::Sum(gy, norm_axis, /*keepdim=*/true);
+    const Tensor dx = autocts::MulScalar(
+        autocts::Mul(y, autocts::Sub(node->grad, total)), 1.0 / tau);
+    AccumulateReduced(node, 0, dx);
+  });
+}
+
+Variable Reshape(const Variable& a, Shape new_shape) {
+  const Shape in_shape = a.shape();
+  return MakeNode(a.value().Reshape(std::move(new_shape)), {a},
+                  [in_shape](Node* node) {
+                    AccumulateReduced(node, 0, node->grad.Reshape(in_shape));
+                  });
+}
+
+Variable Permute(const Variable& a, const std::vector<int64_t>& perm) {
+  std::vector<int64_t> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = i;
+  return MakeNode(a.value().Permute(perm), {a}, [inverse](Node* node) {
+    AccumulateReduced(node, 0, node->grad.Permute(inverse));
+  });
+}
+
+Variable Transpose(const Variable& a, int64_t axis_a, int64_t axis_b) {
+  if (axis_a < 0) axis_a += a.ndim();
+  if (axis_b < 0) axis_b += a.ndim();
+  std::vector<int64_t> perm(a.ndim());
+  for (int64_t i = 0; i < a.ndim(); ++i) perm[i] = i;
+  std::swap(perm[axis_a], perm[axis_b]);
+  return Permute(a, perm);
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  AUTOCTS_CHECK(!parts.empty());
+  const int64_t norm_axis = axis < 0 ? axis + parts[0].ndim() : axis;
+  std::vector<Tensor> values;
+  std::vector<int64_t> extents;
+  values.reserve(parts.size());
+  for (const Variable& part : parts) {
+    values.push_back(part.value());
+    extents.push_back(part.dim(norm_axis));
+  }
+  return MakeNode(autocts::Concat(values, norm_axis), parts,
+                  [norm_axis, extents](Node* node) {
+                    int64_t offset = 0;
+                    for (size_t i = 0; i < extents.size(); ++i) {
+                      const Tensor piece = autocts::Slice(
+                          node->grad, norm_axis, offset, extents[i]);
+                      AccumulateReduced(node, i, piece);
+                      offset += extents[i];
+                    }
+                  });
+}
+
+Variable Slice(const Variable& a, int64_t axis, int64_t start,
+               int64_t length) {
+  const int64_t norm_axis = axis < 0 ? axis + a.ndim() : axis;
+  const int64_t extent = a.dim(norm_axis);
+  return MakeNode(
+      autocts::Slice(a.value(), norm_axis, start, length), {a},
+      [norm_axis, start, length, extent](Node* node) {
+        AccumulateReduced(node, 0,
+                          autocts::Pad(node->grad, norm_axis, start,
+                                       extent - start - length));
+      });
+}
+
+Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
+  const int64_t norm_axis = axis < 0 ? axis + a.ndim() : axis;
+  const int64_t extent = a.dim(norm_axis);
+  return MakeNode(autocts::Pad(a.value(), norm_axis, before, after), {a},
+                  [norm_axis, before, extent](Node* node) {
+                    AccumulateReduced(
+                        node, 0,
+                        autocts::Slice(node->grad, norm_axis, before, extent));
+                  });
+}
+
+Variable IndexSelect(const Variable& a, int64_t axis,
+                     const std::vector<int64_t>& indices) {
+  const int64_t norm_axis = axis < 0 ? axis + a.ndim() : axis;
+  const Shape in_shape = a.shape();
+  const int64_t mid = in_shape[norm_axis];
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t i = 0; i < norm_axis; ++i) outer *= in_shape[i];
+  for (int64_t i = norm_axis + 1; i < static_cast<int64_t>(in_shape.size());
+       ++i) {
+    inner *= in_shape[i];
+  }
+  Shape out_shape = in_shape;
+  out_shape[norm_axis] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+  const double* src = a.value().data();
+  double* dst = out.data();
+  const int64_t k = static_cast<int64_t>(indices.size());
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < k; ++j) {
+      const int64_t idx = indices[j];
+      AUTOCTS_CHECK_GE(idx, 0);
+      AUTOCTS_CHECK_LT(idx, mid);
+      std::copy(src + (o * mid + idx) * inner,
+                src + (o * mid + idx + 1) * inner,
+                dst + (o * k + j) * inner);
+    }
+  }
+  return MakeNode(out, {a},
+                  [in_shape, indices, outer, mid, inner, k](Node* node) {
+                    Tensor grad_in(in_shape);
+                    double* gdst = grad_in.data();
+                    const double* gsrc = node->grad.data();
+                    for (int64_t o = 0; o < outer; ++o) {
+                      for (int64_t j = 0; j < k; ++j) {
+                        const int64_t idx = indices[j];
+                        const double* row = gsrc + (o * k + j) * inner;
+                        double* target = gdst + (o * mid + idx) * inner;
+                        for (int64_t i = 0; i < inner; ++i) target[i] += row[i];
+                      }
+                    }
+                    AccumulateReduced(node, 0, grad_in);
+                  });
+}
+
+Variable Constant(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+Variable Detach(const Variable& a) {
+  return Variable(a.value(), /*requires_grad=*/false);
+}
+
+Variable L1Loss(const Variable& prediction, const Variable& target) {
+  AUTOCTS_CHECK(prediction.shape() == target.shape());
+  return MeanAll(Abs(Sub(prediction, target)));
+}
+
+Variable MseLoss(const Variable& prediction, const Variable& target) {
+  AUTOCTS_CHECK(prediction.shape() == target.shape());
+  const Variable diff = Sub(prediction, target);
+  return MeanAll(Mul(diff, diff));
+}
+
+Variable HuberLoss(const Variable& prediction, const Variable& target,
+                   double delta) {
+  AUTOCTS_CHECK(prediction.shape() == target.shape());
+  const Tensor diff = autocts::Sub(prediction.value(), target.value());
+  // Elementwise derivative of the Huber loss, applied via a custom node to
+  // avoid branching graph construction.
+  Tensor loss = autocts::Apply(diff, [delta](double d) {
+    const double a = std::abs(d);
+    return a <= delta ? 0.5 * d * d : delta * (a - 0.5 * delta);
+  });
+  const double scale = 1.0 / static_cast<double>(diff.size());
+  Tensor value = Tensor::Scalar(autocts::SumAll(loss) * scale);
+  return MakeNode(
+      value, {prediction, target},
+      [diff, delta, scale](internal::Node* node) {
+        const double g = node->grad.item() * scale;
+        const Tensor dpred = autocts::Apply(diff, [delta, g](double d) {
+          const double clipped = std::max(-delta, std::min(delta, d));
+          return g * clipped;
+        });
+        AccumulateReduced(node, 0, dpred);
+        AccumulateReduced(node, 1, autocts::Neg(dpred));
+      });
+}
+
+}  // namespace autocts::ag

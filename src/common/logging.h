@@ -1,0 +1,52 @@
+// Lightweight leveled logging to stderr.
+//
+// Usage:
+//   AUTOCTS_LOG(INFO) << "epoch " << epoch << " loss " << loss;
+//
+// The minimum level is controlled at runtime with SetMinLogLevel, or by the
+// environment variable AUTOCTS_LOG_LEVEL (0=INFO, 1=WARNING, 2=ERROR).
+#ifndef AUTOCTS_COMMON_LOGGING_H_
+#define AUTOCTS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace autocts {
+
+enum class LogLevel { kInfo = 0, kWarning = 1, kError = 2 };
+
+// Sets the global minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal {
+
+// Buffers one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace autocts
+
+#define AUTOCTS_LOG_INFO \
+  ::autocts::internal::LogMessage(::autocts::LogLevel::kInfo, __FILE__, __LINE__)
+#define AUTOCTS_LOG_WARNING                                            \
+  ::autocts::internal::LogMessage(::autocts::LogLevel::kWarning, __FILE__, \
+                                  __LINE__)
+#define AUTOCTS_LOG_ERROR \
+  ::autocts::internal::LogMessage(::autocts::LogLevel::kError, __FILE__, __LINE__)
+#define AUTOCTS_LOG(severity) AUTOCTS_LOG_##severity
+
+#endif  // AUTOCTS_COMMON_LOGGING_H_

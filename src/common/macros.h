@@ -1,0 +1,56 @@
+// Assertion macros for invariant checking. The library does not use C++
+// exceptions (Google style); violated invariants abort with a message.
+#ifndef AUTOCTS_COMMON_MACROS_H_
+#define AUTOCTS_COMMON_MACROS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace autocts::internal {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used as the right-hand side of the CHECK* macros below so that callers
+// can stream extra context: CHECK(ok) << "while doing X";
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace autocts::internal
+
+#define AUTOCTS_CHECK(condition)                                       \
+  if (condition) {                                                     \
+  } else /* NOLINT */                                                  \
+    ::autocts::internal::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define AUTOCTS_CHECK_OP(lhs, rhs, op)                                    \
+  if ((lhs)op(rhs)) {                                                     \
+  } else /* NOLINT */                                                     \
+    ::autocts::internal::CheckFailure(__FILE__, __LINE__,                 \
+                                      #lhs " " #op " " #rhs)              \
+        << "(" << (lhs) << " vs " << (rhs) << ") "
+
+#define AUTOCTS_CHECK_EQ(lhs, rhs) AUTOCTS_CHECK_OP(lhs, rhs, ==)
+#define AUTOCTS_CHECK_NE(lhs, rhs) AUTOCTS_CHECK_OP(lhs, rhs, !=)
+#define AUTOCTS_CHECK_LT(lhs, rhs) AUTOCTS_CHECK_OP(lhs, rhs, <)
+#define AUTOCTS_CHECK_LE(lhs, rhs) AUTOCTS_CHECK_OP(lhs, rhs, <=)
+#define AUTOCTS_CHECK_GT(lhs, rhs) AUTOCTS_CHECK_OP(lhs, rhs, >)
+#define AUTOCTS_CHECK_GE(lhs, rhs) AUTOCTS_CHECK_OP(lhs, rhs, >=)
+
+#endif  // AUTOCTS_COMMON_MACROS_H_

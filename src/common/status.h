@@ -1,0 +1,88 @@
+// Minimal Status / StatusOr error-reporting types (RocksDB / Abseil style).
+// Used for recoverable errors (I/O, parsing); programming errors use the
+// AUTOCTS_CHECK macros instead.
+#ifndef AUTOCTS_COMMON_STATUS_H_
+#define AUTOCTS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace autocts {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kInternal = 4,
+};
+
+// Value-semantic result of an operation that can fail.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable representation, e.g. "InvalidArgument: bad shape".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit from error status.
+      : status_(std::move(status)) {
+    AUTOCTS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value)  // NOLINT: implicit from value.
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const& {
+    AUTOCTS_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    AUTOCTS_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    AUTOCTS_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_COMMON_STATUS_H_

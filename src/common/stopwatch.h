@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for timing experiments and benches.
+#ifndef AUTOCTS_COMMON_STOPWATCH_H_
+#define AUTOCTS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace autocts {
+
+// Measures elapsed wall-clock time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time in seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_COMMON_STOPWATCH_H_

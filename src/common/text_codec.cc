@@ -1,0 +1,120 @@
+#include "common/text_codec.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace autocts {
+
+void TextWriter::Add(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, value);
+}
+
+void TextWriter::AddInt(const std::string& key, int64_t value) {
+  Add(key, std::to_string(value));
+}
+
+void TextWriter::AddDouble(const std::string& key, double value) {
+  std::ostringstream stream;
+  stream.precision(17);
+  stream << value;
+  Add(key, stream.str());
+}
+
+std::string TextWriter::ToString() const {
+  std::ostringstream stream;
+  for (const auto& [key, value] : entries_) {
+    stream << key << " = " << value << "\n";
+  }
+  return stream.str();
+}
+
+StatusOr<TextReader> TextReader::Parse(const std::string& text) {
+  TextReader reader;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     " has no '=': " + stripped);
+    }
+    std::string key = StripWhitespace(stripped.substr(0, eq));
+    std::string value = StripWhitespace(stripped.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     " has empty key");
+    }
+    reader.entries_.emplace_back(std::move(key), std::move(value));
+  }
+  return reader;
+}
+
+StatusOr<std::string> TextReader::Get(const std::string& key) const {
+  for (const auto& [entry_key, value] : entries_) {
+    if (entry_key == key) return value;
+  }
+  return Status::NotFound("key not found: " + key);
+}
+
+StatusOr<int64_t> TextReader::GetInt(const std::string& key) const {
+  StatusOr<std::string> value = Get(key);
+  if (!value.ok()) return value.status();
+  char* end = nullptr;
+  const int64_t parsed = std::strtoll(value.value().c_str(), &end, 10);
+  if (end == value.value().c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: " + value.value());
+  }
+  return parsed;
+}
+
+StatusOr<double> TextReader::GetDouble(const std::string& key) const {
+  StatusOr<std::string> value = Get(key);
+  if (!value.ok()) return value.status();
+  char* end = nullptr;
+  const double parsed = std::strtod(value.value().c_str(), &end);
+  if (end == value.value().c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a double: " + value.value());
+  }
+  return parsed;
+}
+
+std::vector<std::string> TextReader::GetAll(const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [entry_key, value] : entries_) {
+    if (entry_key == key) values.push_back(value);
+  }
+  return values;
+}
+
+std::vector<std::string> SplitString(const std::string& text, char delimiter) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (char c : text) {
+    if (c == delimiter) {
+      pieces.push_back(StripWhitespace(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  pieces.push_back(StripWhitespace(current));
+  return pieces;
+}
+
+std::string StripWhitespace(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace autocts

@@ -1,0 +1,58 @@
+// A tiny line-oriented key/value text format used to (de)serialize small
+// structured records such as genotypes, without a third-party dependency.
+//
+// Format: one "key = value" pair per line; values are free-form strings
+// (no embedded newlines). Keys may repeat; lookup helpers return either the
+// single value or all values in file order. Lines starting with '#' are
+// comments.
+#ifndef AUTOCTS_COMMON_TEXT_CODEC_H_
+#define AUTOCTS_COMMON_TEXT_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autocts {
+
+// Serializes key/value pairs to the text format.
+class TextWriter {
+ public:
+  void Add(const std::string& key, const std::string& value);
+  void AddInt(const std::string& key, int64_t value);
+  void AddDouble(const std::string& key, double value);
+  // Returns the accumulated document.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// Parses the text format produced by TextWriter.
+class TextReader {
+ public:
+  // Parses `text`; returns InvalidArgument on a malformed line.
+  static StatusOr<TextReader> Parse(const std::string& text);
+
+  // Returns the value of the first entry with `key`, or NotFound.
+  StatusOr<std::string> Get(const std::string& key) const;
+  StatusOr<int64_t> GetInt(const std::string& key) const;
+  StatusOr<double> GetDouble(const std::string& key) const;
+  // All values recorded under `key`, in file order.
+  std::vector<std::string> GetAll(const std::string& key) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// Splits `text` on `delimiter`, trimming surrounding whitespace per piece.
+std::vector<std::string> SplitString(const std::string& text, char delimiter);
+
+// Removes leading and trailing whitespace.
+std::string StripWhitespace(const std::string& text);
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_COMMON_TEXT_CODEC_H_

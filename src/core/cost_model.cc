@@ -1,0 +1,66 @@
+#include "core/cost_model.h"
+
+#include "ops/op_registry.h"
+
+namespace autocts::core {
+namespace {
+
+// Relative per-application forward cost of each built-in operator,
+// normalized to GDCC = 1. Derived from the dominant term of each
+// operator's arithmetic on a [B, T, N, D] input:
+//   conv ~ K*D^2, gdcc ~ 2*K*D^2, rnn ~ T-sequential 4*D^2 (and
+//   unparallelizable, so weighted up), attention ~ L*D + 4*D^2 projections,
+//   dgcn ~ 2*(K+1)*D^2 + propagation, cheb ~ K*D^2 + propagation.
+struct CostEntry {
+  const char* name;
+  double cost;
+};
+
+constexpr CostEntry kCosts[] = {
+    {"zero", 0.0},     {"identity", 0.0}, {"conv1d", 0.5},
+    {"gdcc", 1.0},     {"lstm", 2.5},     {"gru", 2.0},
+    {"trans_t", 1.6},  {"inf_t", 1.2},    {"cheb_gcn", 0.9},
+    {"dgcn", 1.4},     {"trans_s", 1.5},  {"inf_s", 1.1},
+};
+
+}  // namespace
+
+double OperatorCost(const std::string& op_name, double default_cost) {
+  for (const CostEntry& entry : kCosts) {
+    if (op_name == entry.name) return entry.cost;
+  }
+  AUTOCTS_CHECK(ops::OpRegistry::Global().Contains(op_name))
+      << "unknown operator: " << op_name;
+  return default_cost;
+}
+
+double GenotypeCost(const Genotype& genotype) {
+  double total = 0.0;
+  for (const BlockGenotype& block : genotype.blocks) {
+    for (const EdgeGene& edge : block.edges) {
+      total += OperatorCost(edge.op);
+    }
+  }
+  return total;
+}
+
+Variable ExpectedSupernetCost(const Supernet& supernet, double tau) {
+  const OperatorSet& op_set = supernet.config().op_set;
+  Tensor costs({op_set.size(), 1});
+  for (int64_t o = 0; o < op_set.size(); ++o) {
+    costs.data()[o] = OperatorCost(op_set.op_names[o]);
+  }
+  const Variable cost_column = ag::Constant(costs);
+
+  Variable total;
+  for (int64_t c = 0; c < supernet.num_cells(); ++c) {
+    // softmax(alpha / tau) [pairs, |O|] x costs [|O|, 1] -> [pairs, 1].
+    const Variable weights = ag::SoftmaxWithTemperature(
+        supernet.cell(c).alpha_parameter(), /*axis=*/1, tau);
+    const Variable cell_cost = ag::SumAll(ag::MatMul(weights, cost_column));
+    total = total.defined() ? ag::Add(total, cell_cost) : cell_cost;
+  }
+  return total;
+}
+
+}  // namespace autocts::core

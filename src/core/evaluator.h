@@ -1,0 +1,35 @@
+// Architecture evaluation stage (Section 3.4): the derived architecture is
+// retrained from scratch on the full training+validation data and reported
+// on the test set.
+#ifndef AUTOCTS_CORE_EVALUATOR_H_
+#define AUTOCTS_CORE_EVALUATOR_H_
+
+#include <memory>
+
+#include "core/derived_model.h"
+#include "models/trainer.h"
+
+namespace autocts::core {
+
+// Builds a fresh DerivedModel for `genotype` sized to `data`.
+std::unique_ptr<DerivedModel> BuildDerivedModel(
+    const Genotype& genotype, const models::PreparedData& data,
+    int64_t hidden_dim, uint64_t seed);
+
+// Trains the derived model from scratch and evaluates on the test split.
+models::EvalResult EvaluateGenotype(const Genotype& genotype,
+                                    const models::PreparedData& data,
+                                    int64_t hidden_dim,
+                                    const models::TrainConfig& config);
+
+// Result of the full search + evaluate pipeline (used by the benches).
+struct AutoCtsResult {
+  Genotype genotype;
+  models::EvalResult eval;
+  double search_seconds = 0.0;
+  double estimated_memory_mb = 0.0;
+};
+
+}  // namespace autocts::core
+
+#endif  // AUTOCTS_CORE_EVALUATOR_H_

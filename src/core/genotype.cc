@@ -1,0 +1,117 @@
+#include "core/genotype.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/text_codec.h"
+
+namespace autocts::core {
+
+std::string Genotype::ToText() const {
+  TextWriter writer;
+  writer.AddInt("nodes_per_block", nodes_per_block);
+  writer.AddInt("num_blocks", num_blocks());
+  for (int64_t b = 0; b < num_blocks(); ++b) {
+    writer.AddInt("block_input", block_inputs[b]);
+    for (const EdgeGene& edge : blocks[b].edges) {
+      std::ostringstream value;
+      value << b << " " << edge.from << " " << edge.to << " " << edge.op;
+      writer.Add("edge", value.str());
+    }
+  }
+  return writer.ToString();
+}
+
+StatusOr<Genotype> Genotype::FromText(const std::string& text) {
+  StatusOr<TextReader> reader = TextReader::Parse(text);
+  if (!reader.ok()) return reader.status();
+  Genotype genotype;
+  StatusOr<int64_t> nodes = reader.value().GetInt("nodes_per_block");
+  if (!nodes.ok()) return nodes.status();
+  genotype.nodes_per_block = nodes.value();
+  StatusOr<int64_t> num_blocks = reader.value().GetInt("num_blocks");
+  if (!num_blocks.ok()) return num_blocks.status();
+  genotype.blocks.resize(num_blocks.value());
+  for (const std::string& input : reader.value().GetAll("block_input")) {
+    genotype.block_inputs.push_back(std::strtoll(input.c_str(), nullptr, 10));
+  }
+  if (static_cast<int64_t>(genotype.block_inputs.size()) !=
+      num_blocks.value()) {
+    return Status::InvalidArgument("block_input count != num_blocks");
+  }
+  for (const std::string& edge_text : reader.value().GetAll("edge")) {
+    std::istringstream stream(edge_text);
+    int64_t block = 0;
+    EdgeGene edge;
+    if (!(stream >> block >> edge.from >> edge.to >> edge.op)) {
+      return Status::InvalidArgument("malformed edge: " + edge_text);
+    }
+    if (block < 0 || block >= num_blocks.value()) {
+      return Status::InvalidArgument("edge block out of range: " + edge_text);
+    }
+    genotype.blocks[block].edges.push_back(edge);
+  }
+  Status valid = genotype.Validate();
+  if (!valid.ok()) return valid;
+  return genotype;
+}
+
+std::string Genotype::ToPrettyString() const {
+  std::ostringstream out;
+  out << "ST-backbone with " << num_blocks() << " blocks (M="
+      << nodes_per_block << "):\n";
+  for (int64_t b = 0; b < num_blocks(); ++b) {
+    out << "  block " << b + 1 << " <- "
+        << (block_inputs[b] == 0 ? std::string("embedding")
+                                 : "block " + std::to_string(block_inputs[b]))
+        << "\n";
+    for (const EdgeGene& edge : blocks[b].edges) {
+      out << "    h" << edge.from << " -[" << edge.op << "]-> h" << edge.to
+          << "\n";
+    }
+  }
+  out << "  operator histogram:";
+  for (const auto& [op, count] : OperatorHistogram()) {
+    out << " " << op << "=" << count;
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::vector<std::pair<std::string, int64_t>> Genotype::OperatorHistogram()
+    const {
+  std::map<std::string, int64_t> counts;
+  for (const BlockGenotype& block : blocks) {
+    for (const EdgeGene& edge : block.edges) ++counts[edge.op];
+  }
+  return {counts.begin(), counts.end()};
+}
+
+Status Genotype::Validate() const {
+  if (nodes_per_block < 2) {
+    return Status::InvalidArgument("nodes_per_block must be >= 2");
+  }
+  if (blocks.size() != block_inputs.size()) {
+    return Status::InvalidArgument("blocks/block_inputs size mismatch");
+  }
+  for (int64_t b = 0; b < num_blocks(); ++b) {
+    if (block_inputs[b] < 0 || block_inputs[b] > b) {
+      return Status::InvalidArgument(
+          "block " + std::to_string(b) + " input must reference the "
+          "embedding (0) or an earlier block");
+    }
+    for (const EdgeGene& edge : blocks[b].edges) {
+      if (edge.from < 0 || edge.to >= nodes_per_block ||
+          edge.from >= edge.to) {
+        return Status::InvalidArgument("edge violates DAG order");
+      }
+      if (edge.op.empty()) {
+        return Status::InvalidArgument("edge with empty operator");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace autocts::core

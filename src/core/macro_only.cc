@@ -1,0 +1,258 @@
+#include "core/macro_only.h"
+
+#include "common/stopwatch.h"
+#include "optim/adam.h"
+
+namespace autocts::core {
+namespace {
+
+// Supernet over human-designed blocks: per slot a softmax mixture over the
+// four block kinds, gamma-weighted macro inputs, merged outputs.
+class MacroOnlySupernet : public models::ForecastingModel {
+ public:
+  MacroOnlySupernet(int64_t num_blocks, const models::ModelContext& context)
+      : num_blocks_(num_blocks),
+        rng_(context.seed),
+        adaptive_(context.adjacency.defined()
+                      ? nullptr
+                      : std::make_shared<graph::AdaptiveAdjacency>(
+                            context.num_nodes, 8, &rng_)),
+        embedding_(context.in_features, context.hidden_dim, &rng_),
+        head_(context.hidden_dim, context.output_length, &rng_) {
+    const ops::OpContext op_context =
+        models::MakeOpContext(context, adaptive_, &rng_);
+    const std::vector<std::string> kinds = models::HumanDesignedBlockKinds();
+    for (int64_t b = 0; b < num_blocks_; ++b) {
+      std::vector<std::unique_ptr<models::StBlock>> candidates;
+      for (const std::string& kind : kinds) {
+        candidates.push_back(models::CreateStBlock(kind, op_context));
+        RegisterModule("slot" + std::to_string(b) + "_" + kind,
+                       candidates.back().get());
+      }
+      slots_.push_back(std::move(candidates));
+      kind_logits_.emplace_back(
+          Tensor::Randn({static_cast<int64_t>(kinds.size())}, &rng_, 0.0,
+                        1e-3),
+          /*requires_grad=*/true);
+      gammas_.emplace_back(Tensor::Randn({b + 1}, &rng_, 0.0, 1e-3),
+                           /*requires_grad=*/true);
+    }
+    RegisterModule("embedding", &embedding_);
+    RegisterModule("head", &head_);
+    if (adaptive_ != nullptr) RegisterModule("adaptive", adaptive_.get());
+  }
+
+  Variable Forward(const Variable& x) override {
+    const Variable embedded = embedding_.Forward(x);
+    std::vector<Variable> outputs;
+    outputs.push_back(embedded);
+    Variable merged;
+    for (int64_t b = 0; b < num_blocks_; ++b) {
+      const Variable gamma_weights = ag::Softmax(gammas_[b], 0);
+      Variable block_input;
+      for (int64_t i = 0; i <= b; ++i) {
+        const Variable term =
+            ag::Mul(outputs[i], ag::Slice(gamma_weights, 0, i, 1));
+        block_input = i == 0 ? term : ag::Add(block_input, term);
+      }
+      const Variable kind_weights = ag::Softmax(kind_logits_[b], 0);
+      Variable block_output;
+      for (size_t k = 0; k < slots_[b].size(); ++k) {
+        const Variable term = ag::Mul(slots_[b][k]->Forward(block_input),
+                                      ag::Slice(kind_weights, 0, k, 1));
+        block_output = k == 0 ? term : ag::Add(block_output, term);
+      }
+      outputs.push_back(block_output);
+      merged = b == 0 ? block_output : ag::Add(merged, block_output);
+    }
+    return head_.Forward(merged, x);
+  }
+
+  std::string name() const override { return "MacroOnly-Supernet"; }
+
+  std::vector<Variable> ArchParameters() const {
+    std::vector<Variable> parameters = kind_logits_;
+    parameters.insert(parameters.end(), gammas_.begin(), gammas_.end());
+    return parameters;
+  }
+
+  MacroOnlyGenotype Derive() const {
+    MacroOnlyGenotype genotype;
+    const std::vector<std::string> kinds = models::HumanDesignedBlockKinds();
+    for (int64_t b = 0; b < num_blocks_; ++b) {
+      const Tensor logits = kind_logits_[b].value();
+      int64_t best = 0;
+      for (int64_t k = 1; k < logits.size(); ++k) {
+        if (logits.data()[k] > logits.data()[best]) best = k;
+      }
+      genotype.block_kinds.push_back(kinds[best]);
+      const Tensor gamma = gammas_[b].value();
+      int64_t best_input = 0;
+      for (int64_t i = 1; i <= b; ++i) {
+        if (gamma.data()[i] > gamma.data()[best_input]) best_input = i;
+      }
+      genotype.block_inputs.push_back(best_input);
+    }
+    return genotype;
+  }
+
+ private:
+  int64_t num_blocks_;
+  Rng rng_;
+  std::shared_ptr<graph::AdaptiveAdjacency> adaptive_;
+  nn::Linear embedding_;
+  std::vector<std::vector<std::unique_ptr<models::StBlock>>> slots_;
+  std::vector<Variable> kind_logits_;
+  std::vector<Variable> gammas_;
+  models::OutputHead head_;
+};
+
+// Discrete macro-only model for evaluation.
+class MacroOnlyModel : public models::ForecastingModel {
+ public:
+  MacroOnlyModel(const MacroOnlyGenotype& genotype,
+                 const models::ModelContext& context)
+      : genotype_(genotype),
+        rng_(context.seed),
+        adaptive_(context.adjacency.defined()
+                      ? nullptr
+                      : std::make_shared<graph::AdaptiveAdjacency>(
+                            context.num_nodes, 8, &rng_)),
+        embedding_(context.in_features, context.hidden_dim, &rng_),
+        head_(context.hidden_dim, context.output_length, &rng_) {
+    const ops::OpContext op_context =
+        models::MakeOpContext(context, adaptive_, &rng_);
+    for (size_t b = 0; b < genotype_.block_kinds.size(); ++b) {
+      blocks_.push_back(
+          models::CreateStBlock(genotype_.block_kinds[b], op_context));
+      RegisterModule("block" + std::to_string(b), blocks_.back().get());
+    }
+    RegisterModule("embedding", &embedding_);
+    RegisterModule("head", &head_);
+    if (adaptive_ != nullptr) RegisterModule("adaptive", adaptive_.get());
+  }
+
+  Variable Forward(const Variable& x) override {
+    const Variable embedded = embedding_.Forward(x);
+    std::vector<Variable> outputs;
+    outputs.push_back(embedded);
+    Variable merged;
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      const Variable block_output =
+          blocks_[b]->Forward(outputs[genotype_.block_inputs[b]]);
+      outputs.push_back(block_output);
+      merged = b == 0 ? block_output : ag::Add(merged, block_output);
+    }
+    return head_.Forward(merged, x);
+  }
+
+  std::string name() const override { return "MacroOnly"; }
+
+ private:
+  MacroOnlyGenotype genotype_;
+  Rng rng_;
+  std::shared_ptr<graph::AdaptiveAdjacency> adaptive_;
+  nn::Linear embedding_;
+  std::vector<std::unique_ptr<models::StBlock>> blocks_;
+  models::OutputHead head_;
+};
+
+}  // namespace
+
+MacroOnlyResult SearchMacroOnly(const models::PreparedData& data,
+                                const SearchOptions& options) {
+  Stopwatch timer;
+  Rng rng(options.seed);
+
+  models::ModelContext context;
+  context.num_nodes = data.num_nodes;
+  context.in_features = data.in_features;
+  context.input_length = data.window.input_length;
+  context.output_length = data.window.output_length;
+  context.hidden_dim = options.supernet.hidden_dim;
+  context.adjacency = data.adjacency;
+  context.seed = rng.Next();
+  MacroOnlySupernet supernet(options.supernet.macro_blocks, context);
+
+  optim::Adam weight_optimizer(supernet.Parameters(),
+                               {.learning_rate = options.w_learning_rate,
+                                .weight_decay = options.w_weight_decay});
+  optim::Adam theta_optimizer(supernet.ArchParameters(),
+                              {.learning_rate = options.theta_learning_rate,
+                               .beta1 = options.theta_beta1,
+                               .beta2 = options.theta_beta2,
+                               .weight_decay = options.theta_weight_decay});
+
+  const int64_t total = data.train().NumSamples();
+  std::vector<int64_t> order(total);
+  for (int64_t i = 0; i < total; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::vector<int64_t> pseudo_train(order.begin(), order.begin() + total / 2);
+  std::vector<int64_t> pseudo_val(order.begin() + total / 2, order.end());
+
+  MacroOnlyResult result;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&pseudo_train);
+    rng.Shuffle(&pseudo_val);
+    double val_loss_sum = 0.0;
+    int64_t steps = 0;
+    const int64_t max_steps =
+        options.max_batches_per_epoch > 0
+            ? options.max_batches_per_epoch
+            : (total / 2 + options.batch_size - 1) / options.batch_size;
+    for (int64_t step = 0; step < max_steps; ++step) {
+      auto take_batch = [&](const std::vector<int64_t>& pool) {
+        std::vector<int64_t> batch;
+        for (int64_t k = 0; k < options.batch_size; ++k) {
+          batch.push_back(pool[(step * options.batch_size + k) %
+                               static_cast<int64_t>(pool.size())]);
+        }
+        return batch;
+      };
+      {
+        Tensor x, y;
+        data.train().GetBatch(take_batch(pseudo_val), &x, &y);
+        Variable loss = ag::L1Loss(supernet.Forward(ag::Constant(x)),
+                                         ag::Constant(y));
+        theta_optimizer.ZeroGrad();
+        weight_optimizer.ZeroGrad();
+        loss.Backward();
+        theta_optimizer.Step();
+        val_loss_sum += loss.value().item();
+      }
+      {
+        Tensor x, y;
+        data.train().GetBatch(take_batch(pseudo_train), &x, &y);
+        Variable loss = ag::L1Loss(supernet.Forward(ag::Constant(x)),
+                                         ag::Constant(y));
+        weight_optimizer.ZeroGrad();
+        theta_optimizer.ZeroGrad();
+        loss.Backward();
+        optim::ClipGradNorm(supernet.Parameters(), options.clip_norm);
+        weight_optimizer.Step();
+      }
+      ++steps;
+    }
+    result.final_validation_loss =
+        steps > 0 ? val_loss_sum / static_cast<double>(steps) : 0.0;
+  }
+  result.genotype = supernet.Derive();
+  result.search_seconds = timer.Seconds();
+  return result;
+}
+
+std::unique_ptr<models::ForecastingModel> BuildMacroOnlyModel(
+    const MacroOnlyGenotype& genotype, const models::PreparedData& data,
+    int64_t hidden_dim, uint64_t seed) {
+  models::ModelContext context;
+  context.num_nodes = data.num_nodes;
+  context.in_features = data.in_features;
+  context.input_length = data.window.input_length;
+  context.output_length = data.window.output_length;
+  context.hidden_dim = hidden_dim;
+  context.adjacency = data.adjacency;
+  context.seed = seed;
+  return std::make_unique<MacroOnlyModel>(genotype, context);
+}
+
+}  // namespace autocts::core

@@ -1,0 +1,41 @@
+// The "macro only" ablation variant (Section 4.2.3): the atomic search
+// units are four existing human-designed ST-blocks (from STGCN, DCRNN,
+// Graph WaveNet, and MTGNN) and only the backbone topology plus the block
+// kind per slot are searched.
+#ifndef AUTOCTS_CORE_MACRO_ONLY_H_
+#define AUTOCTS_CORE_MACRO_ONLY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/searcher.h"
+#include "models/st_blocks.h"
+
+namespace autocts::core {
+
+struct MacroOnlyGenotype {
+  std::vector<std::string> block_kinds;  // one of HumanDesignedBlockKinds()
+  std::vector<int64_t> block_inputs;     // same convention as Genotype
+};
+
+struct MacroOnlyResult {
+  MacroOnlyGenotype genotype;
+  double search_seconds = 0.0;
+  double final_validation_loss = 0.0;
+};
+
+// Differentiable search over {block kind} x {topology}: each slot holds a
+// softmax mixture of the four human-designed blocks; gamma parameterizes
+// the information flows exactly as in the full macro space.
+MacroOnlyResult SearchMacroOnly(const models::PreparedData& data,
+                                const SearchOptions& options);
+
+// Instantiates the discrete macro-only model for evaluation.
+std::unique_ptr<models::ForecastingModel> BuildMacroOnlyModel(
+    const MacroOnlyGenotype& genotype, const models::PreparedData& data,
+    int64_t hidden_dim, uint64_t seed);
+
+}  // namespace autocts::core
+
+#endif  // AUTOCTS_CORE_MACRO_ONLY_H_

@@ -1,0 +1,278 @@
+#include "core/searcher.h"
+
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "optim/adam.h"
+#include "optim/lr_schedule.h"
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+namespace autocts::core {
+
+SearchOptions AutoStgLiteOptions() {
+  SearchOptions options;
+  options.supernet.op_set = AutoStgOperatorSet();
+  options.use_macro = false;  // AutoSTG stacks homogeneous ST-blocks.
+  return options;
+}
+
+JointSearcher::JointSearcher(SearchOptions options)
+    : options_(std::move(options)) {}
+
+namespace {
+
+// Gradient tensors of `parameters` (zeros where no grad was accumulated).
+std::vector<Tensor> CollectGrads(const std::vector<Variable>& parameters) {
+  std::vector<Tensor> grads;
+  grads.reserve(parameters.size());
+  for (const Variable& parameter : parameters) {
+    grads.push_back(parameter.has_grad() ? parameter.grad().Clone()
+                                         : Tensor::Zeros(parameter.shape()));
+  }
+  return grads;
+}
+
+void ZeroAll(std::vector<Variable>* parameters) {
+  for (Variable& parameter : *parameters) parameter.ClearGrad();
+}
+
+// parameters += scale * deltas.
+void AxpyInPlace(std::vector<Variable>* parameters,
+                 const std::vector<Tensor>& deltas, double scale) {
+  for (size_t i = 0; i < parameters->size(); ++i) {
+    autocts::AddInPlace(&(*parameters)[i].mutable_value(),
+               autocts::MulScalar(deltas[i], scale));
+  }
+}
+
+}  // namespace
+
+double JointSearcher::UnrolledThetaStep(
+    Supernet* supernet, optim::Adam* theta_optimizer,
+    optim::Adam* weight_optimizer,
+    const std::function<Variable()>& train_loss_fn,
+    const std::function<Variable()>& val_loss_fn) const {
+  std::vector<Variable> weights = supernet->Parameters();
+  std::vector<Variable> thetas = supernet->ArchParameters();
+  const double xi = options_.w_learning_rate;
+
+  // 1. grad_w L_train at (w, Theta).
+  ZeroAll(&weights);
+  ZeroAll(&thetas);
+  train_loss_fn().Backward();
+  const std::vector<Tensor> grad_w_train = CollectGrads(weights);
+
+  // 2. Virtual step: w' = w - xi * grad_w L_train.
+  AxpyInPlace(&weights, grad_w_train, -xi);
+
+  // 3. At w': grad_Theta L_val (leading term) and v = grad_w' L_val.
+  ZeroAll(&weights);
+  ZeroAll(&thetas);
+  Variable val_loss = val_loss_fn();
+  val_loss.Backward();
+  const double val_loss_value = val_loss.value().item();
+  const std::vector<Tensor> leading_term = CollectGrads(thetas);
+  const std::vector<Tensor> v = CollectGrads(weights);
+
+  // Undo the virtual step: back to w.
+  AxpyInPlace(&weights, grad_w_train, xi);
+
+  // 4. Hessian-vector product by central finite differences:
+  //    grad2_{Theta,w} L_train . v
+  //      ~ [grad_Theta L_train(w + eps v) - grad_Theta L_train(w - eps v)]
+  //        / (2 eps)
+  double v_norm_sq = 0.0;
+  for (const Tensor& g : v) v_norm_sq += autocts::Norm(g) * autocts::Norm(g);
+  const double v_norm = std::sqrt(v_norm_sq);
+  const double eps = options_.unrolled_epsilon / std::max(v_norm, 1e-12);
+
+  AxpyInPlace(&weights, v, eps);
+  ZeroAll(&weights);
+  ZeroAll(&thetas);
+  train_loss_fn().Backward();
+  const std::vector<Tensor> grad_theta_plus = CollectGrads(thetas);
+
+  AxpyInPlace(&weights, v, -2.0 * eps);
+  ZeroAll(&weights);
+  ZeroAll(&thetas);
+  train_loss_fn().Backward();
+  const std::vector<Tensor> grad_theta_minus = CollectGrads(thetas);
+
+  AxpyInPlace(&weights, v, eps);  // Restore w exactly.
+
+  // 5. Assemble grad_Theta = leading - xi * (g+ - g-) / (2 eps) and step.
+  ZeroAll(&weights);
+  ZeroAll(&thetas);
+  for (size_t i = 0; i < thetas.size(); ++i) {
+    Tensor correction = autocts::Sub(grad_theta_plus[i], grad_theta_minus[i]);
+    autocts::ScaleInPlace(&correction, -xi / (2.0 * eps));
+    Tensor total = leading_term[i].Clone();
+    autocts::AddInPlace(&total, correction);
+    thetas[i].AccumulateGrad(total);
+  }
+  optim::ClipGradNorm(thetas, options_.clip_norm);
+  theta_optimizer->Step();
+  ZeroAll(&thetas);
+  (void)weight_optimizer;
+  return val_loss_value;
+}
+
+SearchResult JointSearcher::Search(const models::PreparedData& data) {
+  Stopwatch timer;
+  Rng rng(options_.seed);
+
+  // Build the supernet; the "w/o macro search" variant searches a single
+  // block.
+  SupernetConfig supernet_config = options_.supernet;
+  const int64_t eval_blocks = supernet_config.macro_blocks;
+  if (!options_.use_macro) supernet_config.macro_blocks = 1;
+
+  models::ModelContext model_context;
+  model_context.num_nodes = data.num_nodes;
+  model_context.in_features = data.in_features;
+  model_context.input_length = data.window.input_length;
+  model_context.output_length = data.window.output_length;
+  model_context.hidden_dim = supernet_config.hidden_dim;
+  model_context.adjacency = data.adjacency;
+  model_context.seed = rng.Next();
+  Supernet supernet(supernet_config, model_context);
+
+  optim::Adam weight_optimizer(supernet.Parameters(),
+                               {.learning_rate = options_.w_learning_rate,
+                                .weight_decay = options_.w_weight_decay});
+  optim::Adam theta_optimizer(supernet.ArchParameters(),
+                              {.learning_rate = options_.theta_learning_rate,
+                               .beta1 = options_.theta_beta1,
+                               .beta2 = options_.theta_beta2,
+                               .weight_decay = options_.theta_weight_decay});
+  const optim::ExponentialSchedule tau_schedule(
+      options_.tau_init, options_.tau_decay, options_.tau_min);
+
+  // Divide the training windows evenly into pseudo-train / pseudo-val.
+  const int64_t total = data.train().NumSamples();
+  AUTOCTS_CHECK_GT(total, 1) << "not enough training windows to search";
+  std::vector<int64_t> order(total);
+  for (int64_t i = 0; i < total; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::vector<int64_t> pseudo_train(order.begin(), order.begin() + total / 2);
+  std::vector<int64_t> pseudo_val(order.begin() + total / 2, order.end());
+
+  SearchResult result;
+  result.supernet_parameters = supernet.NumParameters();
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    supernet.SetTemperature(
+        options_.use_temperature ? tau_schedule.At(epoch) : 1.0);
+    rng.Shuffle(&pseudo_train);
+    rng.Shuffle(&pseudo_val);
+    double val_loss_sum = 0.0;
+    int64_t steps = 0;
+    const int64_t max_steps =
+        options_.max_batches_per_epoch > 0
+            ? options_.max_batches_per_epoch
+            : (total / 2 + options_.batch_size - 1) / options_.batch_size;
+    for (int64_t step = 0; step < max_steps; ++step) {
+      auto take_batch = [&](const std::vector<int64_t>& pool) {
+        std::vector<int64_t> batch;
+        batch.reserve(options_.batch_size);
+        for (int64_t k = 0; k < options_.batch_size; ++k) {
+          batch.push_back(pool[(step * options_.batch_size + k) %
+                               static_cast<int64_t>(pool.size())]);
+        }
+        return batch;
+      };
+
+      // Computes the (possibly cost-regularized) loss on a batch.
+      auto batch_loss = [&](const std::vector<int64_t>& batch,
+                            bool with_cost) {
+        Tensor x, y;
+        data.train().GetBatch(batch, &x, &y);
+        Variable loss = ag::L1Loss(supernet.Forward(ag::Constant(x)),
+                                   ag::Constant(y));
+        if (with_cost && options_.cost_weight > 0.0) {
+          // Efficiency-aware criterion (Section 6 future work).
+          loss = ag::Add(loss, ag::MulScalar(
+                                   ExpectedSupernetCost(
+                                       supernet, supernet.temperature()),
+                                   options_.cost_weight));
+        }
+        return loss;
+      };
+
+      // Line 3-4 of Algorithm 1: update Theta on a pseudo-validation batch.
+      const std::vector<int64_t> val_batch = take_batch(pseudo_val);
+      const std::vector<int64_t> train_batch = take_batch(pseudo_train);
+      if (options_.bilevel_order <= 1) {
+        // First-order approximation: w is treated as constant.
+        Variable loss = batch_loss(val_batch, /*with_cost=*/true);
+        theta_optimizer.ZeroGrad();
+        weight_optimizer.ZeroGrad();
+        loss.Backward();
+        optim::ClipGradNorm(supernet.ArchParameters(), options_.clip_norm);
+        theta_optimizer.Step();
+        val_loss_sum += loss.value().item();
+      } else {
+        val_loss_sum += UnrolledThetaStep(
+            &supernet, &theta_optimizer, &weight_optimizer,
+            [&] { return batch_loss(train_batch, /*with_cost=*/false); },
+            [&] { return batch_loss(val_batch, /*with_cost=*/true); });
+      }
+
+      // Line 5-6: update w on a pseudo-training batch.
+      {
+        Tensor x, y;
+        data.train().GetBatch(take_batch(pseudo_train), &x, &y);
+        Variable loss = ag::L1Loss(supernet.Forward(ag::Constant(x)),
+                                         ag::Constant(y));
+        weight_optimizer.ZeroGrad();
+        theta_optimizer.ZeroGrad();
+        loss.Backward();
+        optim::ClipGradNorm(supernet.Parameters(), options_.clip_norm);
+        weight_optimizer.Step();
+      }
+      ++steps;
+    }
+    result.final_validation_loss =
+        steps > 0 ? val_loss_sum / static_cast<double>(steps) : 0.0;
+    if (options_.verbose) {
+      AUTOCTS_LOG(INFO) << "search epoch " << epoch + 1 << "/"
+                        << options_.epochs << " tau "
+                        << supernet.temperature() << " val loss "
+                        << result.final_validation_loss;
+    }
+  }
+
+  result.genotype = supernet.Derive();
+  if (!options_.use_macro) {
+    // Replicate the single searched block into a homogeneous sequential
+    // stack (the paper's "w/o macro search" evaluation protocol).
+    Genotype stacked;
+    stacked.nodes_per_block = result.genotype.nodes_per_block;
+    for (int64_t b = 0; b < eval_blocks; ++b) {
+      stacked.blocks.push_back(result.genotype.blocks[0]);
+      stacked.block_inputs.push_back(b);  // Sequential chain.
+    }
+    result.genotype = stacked;
+  }
+
+  // Rough peak memory: parameters + Adam moments (x3) + one batch of mixed
+  // activations across all cells/edges/ops.
+  const double param_bytes =
+      static_cast<double>(result.supernet_parameters) * 8.0 * 3.0;
+  const double act_elems =
+      static_cast<double>(options_.batch_size) * data.window.input_length *
+      data.num_nodes * supernet_config.hidden_dim *
+      supernet_config.op_set.size() * NumPairs(supernet_config.micro_nodes) *
+      supernet_config.macro_blocks /
+      std::max<int64_t>(1, supernet_config.partial_denominator);
+  result.estimated_memory_mb = (param_bytes + act_elems * 8.0) / (1024.0 * 1024.0);
+  result.search_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace autocts::core

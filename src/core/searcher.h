@@ -1,0 +1,109 @@
+// The joint search strategy (Section 3.4, Algorithm 1): first-order
+// bi-level optimization alternating architecture-parameter (Theta) updates
+// on pseudo-validation batches with weight (w) updates on pseudo-training
+// batches, under exponential temperature annealing.
+#ifndef AUTOCTS_CORE_SEARCHER_H_
+#define AUTOCTS_CORE_SEARCHER_H_
+
+#include <functional>
+
+#include "core/supernet.h"
+#include "models/trainer.h"
+#include "optim/adam.h"
+
+namespace autocts::core {
+
+struct SearchOptions {
+  SupernetConfig supernet;
+
+  int64_t epochs = 4;
+  int64_t batch_size = 16;
+  // Cap on pseudo-train batches per epoch (0 = all); bounds bench runtime.
+  int64_t max_batches_per_epoch = 0;
+
+  // Optimizer settings from Section 4.1.4.
+  double theta_learning_rate = 3e-4;
+  double theta_beta1 = 0.5;
+  double theta_beta2 = 0.999;
+  double theta_weight_decay = 1e-3;
+  double w_learning_rate = 1e-3;
+  double w_weight_decay = 1e-4;
+  double clip_norm = 5.0;
+
+  // Temperature annealing (Section 3.2.2): 5.0 * 0.9^epoch, floored at
+  // 0.001. The "w/o temperature" ablation fixes tau = 1.
+  bool use_temperature = true;
+  double tau_init = 5.0;
+  double tau_decay = 0.9;
+  double tau_min = 0.001;
+
+  // "w/o macro search" ablation: search a single ST-block (B = 1) and
+  // replicate it into a sequential stack of `supernet.macro_blocks` at
+  // derivation.
+  bool use_macro = true;
+
+  // Efficiency-aware search (the paper's Section 6 future-work direction):
+  // adds cost_weight * E[operator cost] (see core/cost_model.h) to the
+  // architecture loss, steering the search toward cheaper operators.
+  // 0 disables (the paper's default behaviour).
+  double cost_weight = 0.0;
+
+  // Bi-level optimization order. 1 = the paper's first-order approximation
+  // (Section 3.4: "We employ first-order approximation to speed-up the
+  // architecture search"). 2 = the full unrolled DARTS gradient
+  //   grad_Theta L_val(w - xi grad_w L_train, Theta)
+  // with the Hessian-vector product approximated by central finite
+  // differences of grad_Theta L_train at w +- eps*v (Liu et al., 2019).
+  // Roughly 3-4x the cost per Theta step.
+  int64_t bilevel_order = 1;
+  // Perturbation scale for the finite-difference Hessian-vector product:
+  // eps = unrolled_epsilon / ||grad_w' L_val||.
+  double unrolled_epsilon = 0.01;
+
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+// Preset matching the AutoSTG baseline: {1D conv, DGCN} operator set,
+// micro-only search, homogeneous stacking.
+SearchOptions AutoStgLiteOptions();
+
+struct SearchResult {
+  Genotype genotype;
+  double search_seconds = 0.0;
+  // Rough peak-memory estimate: parameters + optimizer state + one batch of
+  // supernet activations, in MB (Table 7 reports search memory).
+  double estimated_memory_mb = 0.0;
+  int64_t supernet_parameters = 0;
+  double final_validation_loss = 0.0;
+};
+
+class JointSearcher {
+ public:
+  explicit JointSearcher(SearchOptions options);
+
+  // Runs Algorithm 1 on `data` (its training split is divided evenly into
+  // pseudo-train and pseudo-validation, as in Section 3.4) and returns the
+  // derived architecture.
+  SearchResult Search(const models::PreparedData& data);
+
+  const SearchOptions& options() const { return options_; }
+
+ private:
+  // One unrolled (second-order) Theta update: virtual SGD step on w, grad
+  // of the validation loss at the unrolled weights, finite-difference
+  // Hessian-vector correction, Adam step on Theta. Weights are restored to
+  // their pre-call values. Returns the validation loss at the unrolled
+  // weights.
+  double UnrolledThetaStep(
+      Supernet* supernet, optim::Adam* theta_optimizer,
+      optim::Adam* weight_optimizer,
+      const std::function<Variable()>& train_loss_fn,
+      const std::function<Variable()>& val_loss_fn) const;
+
+  SearchOptions options_;
+};
+
+}  // namespace autocts::core
+
+#endif  // AUTOCTS_CORE_SEARCHER_H_

@@ -1,0 +1,132 @@
+#include "core/supernet.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::core {
+
+Supernet::Supernet(const SupernetConfig& config,
+                   const models::ModelContext& model_context)
+    : config_(config),
+      rng_(model_context.seed),
+      adaptive_(model_context.adjacency.defined()
+                    ? nullptr
+                    : std::make_shared<graph::AdaptiveAdjacency>(
+                          model_context.num_nodes, /*embedding_dim=*/8,
+                          &rng_)),
+      embedding_(model_context.in_features, config.hidden_dim, &rng_),
+      head_(config.hidden_dim, model_context.output_length, &rng_) {
+  AUTOCTS_CHECK_GE(config_.macro_blocks, 1);
+  models::ModelContext context = model_context;
+  context.hidden_dim = config_.hidden_dim;
+  const ops::OpContext op_context =
+      models::MakeOpContext(context, adaptive_, &rng_);
+  for (int64_t b = 0; b < config_.macro_blocks; ++b) {
+    cells_.push_back(std::make_unique<MicroDagCell>(
+        config_.micro_nodes, config_.op_set, op_context,
+        config_.partial_denominator, &rng_));
+    RegisterModule("cell" + std::to_string(b), cells_.back().get());
+    gammas_.emplace_back(Tensor::Randn({b + 1}, &rng_, 0.0, 1e-3),
+                         /*requires_grad=*/true);
+  }
+  RegisterModule("embedding", &embedding_);
+  RegisterModule("head", &head_);
+  if (adaptive_ != nullptr) RegisterModule("adaptive", adaptive_.get());
+}
+
+Variable Supernet::Forward(const Variable& x) {
+  const Variable embedded = embedding_.Forward(x);
+  // outputs[0] = embedding; outputs[1 + b] = block b's output.
+  std::vector<Variable> outputs;
+  outputs.push_back(embedded);
+  Variable merged;
+  for (int64_t b = 0; b < config_.macro_blocks; ++b) {
+    // Eq. 18: softmax(gamma)-weighted sum over all predecessors.
+    const Variable weights = ag::Softmax(gammas_[b], /*axis=*/0);
+    Variable block_input;
+    for (int64_t i = 0; i <= b; ++i) {
+      const Variable weight = ag::Slice(weights, 0, i, 1);
+      const Variable term = ag::Mul(outputs[i], weight);
+      block_input = i == 0 ? term : ag::Add(block_input, term);
+    }
+    const Variable block_output = cells_[b]->Forward(block_input, tau_);
+    outputs.push_back(block_output);
+    // Hard-coded connection from every ST-block to the output layer.
+    merged = b == 0 ? block_output : ag::Add(merged, block_output);
+  }
+  return head_.Forward(merged, x);
+}
+
+std::vector<Variable> Supernet::ArchParameters() const {
+  std::vector<Variable> parameters;
+  for (const auto& cell : cells_) {
+    for (const Variable& p : cell->ArchParameters()) parameters.push_back(p);
+  }
+  for (const Variable& gamma : gammas_) parameters.push_back(gamma);
+  return parameters;
+}
+
+Genotype Supernet::Derive() const {
+  Genotype genotype;
+  genotype.nodes_per_block = config_.micro_nodes;
+  const int64_t num_ops = config_.op_set.size();
+
+  for (int64_t b = 0; b < config_.macro_blocks; ++b) {
+    const MicroDagCell& cell = *cells_[b];
+    BlockGenotype block;
+    for (int64_t j = 1; j < config_.micro_nodes; ++j) {
+      const Tensor beta = cell.BetaWeights(j);  // [j]
+      // Eq. 7 weights for every (incoming edge i, operator o), with Zero
+      // excluded so derived blocks always compute something.
+      auto best_op_for = [&](int64_t i, double* weight) {
+        const Tensor alpha = cell.AlphaWeights(PairIndex(i, j));
+        int64_t best = -1;
+        double best_weight = -1.0;
+        for (int64_t o = 0; o < num_ops; ++o) {
+          if (config_.op_set.op_names[o] == "zero") continue;
+          const double w = beta.data()[i] * alpha.data()[o];
+          if (w > best_weight) {
+            best_weight = w;
+            best = o;
+          }
+        }
+        *weight = best_weight;
+        return best;
+      };
+
+      // Rule 1: always keep the edge from the immediate predecessor.
+      double weight = 0.0;
+      const int64_t op_prev = best_op_for(j - 1, &weight);
+      block.edges.push_back({j - 1, j, config_.op_set.op_names[op_prev]});
+
+      // Rule 2: keep the strongest (edges_per_node - 1) other edges.
+      std::vector<std::pair<double, std::pair<int64_t, int64_t>>> candidates;
+      for (int64_t i = 0; i < j - 1; ++i) {
+        double w = 0.0;
+        const int64_t op = best_op_for(i, &w);
+        candidates.push_back({w, {i, op}});
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const int64_t extra = std::min<int64_t>(
+          config_.edges_per_node - 1, static_cast<int64_t>(candidates.size()));
+      for (int64_t e = 0; e < extra; ++e) {
+        const auto& [w, edge] = candidates[e];
+        block.edges.push_back(
+            {edge.first, j, config_.op_set.op_names[edge.second]});
+      }
+    }
+    genotype.blocks.push_back(std::move(block));
+
+    // Macro: keep the predecessor with the largest gamma.
+    const Tensor gamma = gammas_[b].value();
+    int64_t best_input = 0;
+    for (int64_t i = 1; i <= b; ++i) {
+      if (gamma.data()[i] > gamma.data()[best_input]) best_input = i;
+    }
+    genotype.block_inputs.push_back(best_input);
+  }
+  AUTOCTS_CHECK(genotype.Validate().ok());
+  return genotype;
+}
+
+}  // namespace autocts::core

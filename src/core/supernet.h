@@ -1,0 +1,73 @@
+// The joint search space (Sections 3.2 + 3.3): embedding layer, B
+// micro-DAG cells with per-cell architecture parameters (heterogeneous
+// ST-blocks), macro connection parameters gamma (Eq. 18), hard-coded
+// merged connections from every block to the output layer, and the output
+// head. Deriving the final architecture (Eq. 7 + macro argmax) yields a
+// Genotype.
+#ifndef AUTOCTS_CORE_SUPERNET_H_
+#define AUTOCTS_CORE_SUPERNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/genotype.h"
+#include "core/micro_dag.h"
+#include "models/forecasting_model.h"
+
+namespace autocts::core {
+
+struct SupernetConfig {
+  int64_t micro_nodes = 5;      // M (Table 17-26 vary 3/5/7)
+  int64_t macro_blocks = 4;     // B (2/4/6)
+  OperatorSet op_set;           // defaults to CompactOperatorSet()
+  int64_t hidden_dim = 16;
+  // PC-DARTS partial channels: 4 selects 1/4 of features (Section 4.1.4);
+  // 1 disables.
+  int64_t partial_denominator = 4;
+  // Edges kept per node at derivation (Tables 36-37 vary 2/3).
+  int64_t edges_per_node = 2;
+
+  SupernetConfig() : op_set(CompactOperatorSet()) {}
+};
+
+class Supernet : public models::ForecastingModel {
+ public:
+  Supernet(const SupernetConfig& config,
+           const models::ModelContext& model_context);
+
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "AutoCTS-Supernet"; }
+
+  // Temperature for the alpha softmax (annealed by the searcher).
+  void SetTemperature(double tau) { tau_ = tau; }
+  double temperature() const { return tau_; }
+
+  // All architecture parameters Theta = ({alpha_i, beta_i}, gamma).
+  std::vector<Variable> ArchParameters() const;
+
+  // Derives the discrete architecture: per node keep the edge from its
+  // immediate predecessor plus the strongest other edge by Eq. 7 (Zero
+  // excluded); per block keep the incoming macro edge with the largest
+  // gamma.
+  Genotype Derive() const;
+
+  const SupernetConfig& config() const { return config_; }
+
+  // Read access to the searched cells (cost model, diagnostics).
+  int64_t num_cells() const { return static_cast<int64_t>(cells_.size()); }
+  const MicroDagCell& cell(int64_t index) const { return *cells_.at(index); }
+
+ private:
+  SupernetConfig config_;
+  Rng rng_;
+  std::shared_ptr<graph::AdaptiveAdjacency> adaptive_;
+  nn::Linear embedding_;
+  std::vector<std::unique_ptr<MicroDagCell>> cells_;
+  std::vector<Variable> gammas_;  // gammas_[j] has shape [j+1] (preds of b_j)
+  models::OutputHead head_;
+  double tau_ = 1.0;
+};
+
+}  // namespace autocts::core
+
+#endif  // AUTOCTS_CORE_SUPERNET_H_

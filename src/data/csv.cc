@@ -1,0 +1,59 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/text_codec.h"
+
+namespace autocts::data {
+
+Status SaveMatrixCsv(const std::string& path, const Tensor& matrix) {
+  if (matrix.ndim() != 2) {
+    return Status::InvalidArgument("SaveMatrixCsv expects a 2-D tensor");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out.precision(12);
+  const int64_t rows = matrix.dim(0);
+  const int64_t cols = matrix.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c > 0) out << ",";
+      out << matrix.data()[r * cols + c];
+    }
+    out << "\n";
+  }
+  return out ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+StatusOr<Tensor> LoadMatrixCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::vector<double> values;
+  int64_t cols = -1;
+  int64_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (StripWhitespace(line).empty()) continue;
+    const std::vector<std::string> cells = SplitString(line, ',');
+    if (cols == -1) {
+      cols = static_cast<int64_t>(cells.size());
+    } else if (cols != static_cast<int64_t>(cells.size())) {
+      return Status::InvalidArgument("ragged CSV at row " +
+                                     std::to_string(rows));
+    }
+    for (const std::string& cell : cells) {
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::InvalidArgument("not a number: " + cell);
+      }
+      values.push_back(value);
+    }
+    ++rows;
+  }
+  if (rows == 0) return Status::InvalidArgument("empty CSV: " + path);
+  return Tensor::FromVector({rows, cols}, std::move(values));
+}
+
+}  // namespace autocts::data

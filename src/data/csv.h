@@ -1,0 +1,22 @@
+// Minimal CSV persistence for matrices (exports of predictions, loading of
+// user-provided datasets).
+#ifndef AUTOCTS_DATA_CSV_H_
+#define AUTOCTS_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace autocts::data {
+
+// Writes a [rows, cols] tensor as comma-separated values.
+Status SaveMatrixCsv(const std::string& path, const Tensor& matrix);
+
+// Reads a CSV of doubles into a [rows, cols] tensor; all rows must have the
+// same number of columns.
+StatusOr<Tensor> LoadMatrixCsv(const std::string& path);
+
+}  // namespace autocts::data
+
+#endif  // AUTOCTS_DATA_CSV_H_

@@ -1,0 +1,28 @@
+#include "data/cts_dataset.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::data {
+
+DataSplit ChronologicalSplit(const Tensor& values, double train_fraction,
+                             double validation_fraction) {
+  AUTOCTS_CHECK_EQ(values.ndim(), 3);
+  AUTOCTS_CHECK_GT(train_fraction, 0.0);
+  AUTOCTS_CHECK_GE(validation_fraction, 0.0);
+  AUTOCTS_CHECK_LE(train_fraction + validation_fraction, 1.0);
+  const int64_t steps = values.dim(0);
+  const int64_t train_steps =
+      static_cast<int64_t>(static_cast<double>(steps) * train_fraction);
+  const int64_t validation_steps = static_cast<int64_t>(
+      static_cast<double>(steps) * validation_fraction);
+  const int64_t test_steps = steps - train_steps - validation_steps;
+  AUTOCTS_CHECK_GT(train_steps, 0);
+  AUTOCTS_CHECK_GE(test_steps, 0);
+  DataSplit split;
+  split.train = Slice(values, 0, 0, train_steps);
+  split.validation = Slice(values, 0, train_steps, validation_steps);
+  split.test = Slice(values, 0, train_steps + validation_steps, test_steps);
+  return split;
+}
+
+}  // namespace autocts::data

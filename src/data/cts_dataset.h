@@ -1,0 +1,43 @@
+// Correlated time series container and chronological splitting.
+//
+// A CTS dataset is X in R^{T x N x F} (Section 2 of the paper: N series,
+// T timestamps, F features) plus an optional predefined adjacency matrix.
+#ifndef AUTOCTS_DATA_CTS_DATASET_H_
+#define AUTOCTS_DATA_CTS_DATASET_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace autocts::data {
+
+struct CtsDataset {
+  std::string name;
+  Tensor values;     // [T, N, F]
+  Tensor adjacency;  // [N, N]; undefined when the graph must be learned
+  // Index of the feature to forecast (the rest are covariates such as
+  // time-of-day).
+  int64_t target_feature = 0;
+  // Timestamps per day (5-min traffic: 288; hourly electricity: 24, ...).
+  int64_t steps_per_day = 288;
+
+  int64_t num_steps() const { return values.dim(0); }
+  int64_t num_nodes() const { return values.dim(1); }
+  int64_t num_features() const { return values.dim(2); }
+};
+
+// Time-ordered train/validation/test pieces of the value tensor.
+struct DataSplit {
+  Tensor train;
+  Tensor validation;
+  Tensor test;
+};
+
+// Splits [T, N, F] chronologically using fractions that must sum to <= 1
+// (e.g. 0.7/0.1/0.2 for the 7:1:2 ratio of METR-LA, 0.6/0.2/0.2 for PEMS).
+DataSplit ChronologicalSplit(const Tensor& values, double train_fraction,
+                             double validation_fraction);
+
+}  // namespace autocts::data
+
+#endif  // AUTOCTS_DATA_CTS_DATASET_H_

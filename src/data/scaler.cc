@@ -1,0 +1,72 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+namespace autocts::data {
+
+void StandardScaler::Fit(const Tensor& values, bool mask_null,
+                         double null_value) {
+  AUTOCTS_CHECK_EQ(values.ndim(), 3);
+  const int64_t features = values.dim(2);
+  means_.assign(features, 0.0);
+  stddevs_.assign(features, 1.0);
+  const int64_t rows = values.dim(0) * values.dim(1);
+  for (int64_t f = 0; f < features; ++f) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    int64_t count = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+      const double v = values.data()[r * features + f];
+      if (mask_null && std::abs(v - null_value) < 1e-9) continue;
+      sum += v;
+      sum_sq += v * v;
+      ++count;
+    }
+    if (count == 0) continue;
+    const double mean = sum / static_cast<double>(count);
+    const double variance =
+        std::max(0.0, sum_sq / static_cast<double>(count) - mean * mean);
+    means_[f] = mean;
+    stddevs_[f] = std::max(1e-8, std::sqrt(variance));
+  }
+  fitted_ = true;
+}
+
+Tensor StandardScaler::Transform(const Tensor& values) const {
+  AUTOCTS_CHECK(fitted_);
+  const int64_t features = values.dim(-1);
+  AUTOCTS_CHECK_EQ(features, static_cast<int64_t>(means_.size()));
+  Tensor result = values.Clone();
+  const int64_t rows = result.size() / features;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t f = 0; f < features; ++f) {
+      double& v = result.data()[r * features + f];
+      v = (v - means_[f]) / stddevs_[f];
+    }
+  }
+  return result;
+}
+
+Tensor StandardScaler::InverseTransformFeature(const Tensor& values,
+                                               int64_t feature) const {
+  AUTOCTS_CHECK(fitted_);
+  AUTOCTS_CHECK_GE(feature, 0);
+  AUTOCTS_CHECK_LT(feature, static_cast<int64_t>(means_.size()));
+  Tensor result = values.Clone();
+  for (int64_t i = 0; i < result.size(); ++i) {
+    result.data()[i] = result.data()[i] * stddevs_[feature] + means_[feature];
+  }
+  return result;
+}
+
+double StandardScaler::mean(int64_t feature) const {
+  AUTOCTS_CHECK(fitted_);
+  return means_.at(feature);
+}
+
+double StandardScaler::stddev(int64_t feature) const {
+  AUTOCTS_CHECK(fitted_);
+  return stddevs_.at(feature);
+}
+
+}  // namespace autocts::data

@@ -1,0 +1,40 @@
+// Z-score normalization fitted on training data, as used by all the traffic
+// forecasting literature the paper builds on. Supports masking a null value
+// (0.0 readings from failed sensors) when fitting statistics.
+#ifndef AUTOCTS_DATA_SCALER_H_
+#define AUTOCTS_DATA_SCALER_H_
+
+#include "tensor/tensor.h"
+
+namespace autocts::data {
+
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  // Computes per-feature mean/stddev over [T, N, F] training data. When
+  // `mask_null` is true, entries equal to `null_value` (within 1e-9) are
+  // excluded from the statistics.
+  void Fit(const Tensor& values, bool mask_null = false,
+           double null_value = 0.0);
+
+  // (x - mean) / std per feature; input [T, N, F] or [B, T, N, F].
+  Tensor Transform(const Tensor& values) const;
+
+  // Inverse transform of the target feature only; input of any shape whose
+  // values are normalized target readings.
+  Tensor InverseTransformFeature(const Tensor& values,
+                                 int64_t feature) const;
+
+  double mean(int64_t feature) const;
+  double stddev(int64_t feature) const;
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace autocts::data
+
+#endif  // AUTOCTS_DATA_SCALER_H_

@@ -1,0 +1,68 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "data/synthetic/generators.h"
+
+namespace autocts::data {
+
+CtsDataset GenerateElectricity(const ElectricityConfig& config) {
+  Rng rng(config.seed);
+  const int64_t n = config.num_nodes;
+  const int64_t t_total = config.num_steps;
+  const int64_t steps_per_week = 7 * config.steps_per_day;
+
+  // Clients mix residential (evening peak) and commercial (business-hours
+  // peak) usage profiles and share a latent temperature-like driver.
+  std::vector<double> base_load(n);
+  std::vector<double> residential_share(n);
+  std::vector<double> temperature_sensitivity(n);
+  for (int64_t i = 0; i < n; ++i) {
+    base_load[i] = rng.Uniform(50.0, 300.0);
+    residential_share[i] = rng.Uniform(0.0, 1.0);
+    temperature_sensitivity[i] = rng.Uniform(0.0, 0.4);
+  }
+  double temperature = 0.0;
+
+  CtsDataset dataset;
+  dataset.name = config.name;
+  dataset.target_feature = 0;
+  dataset.steps_per_day = config.steps_per_day;
+  // No predefined adjacency, as with the real Electricity dataset.
+  dataset.values = Tensor({t_total, n, 1});
+  double* out = dataset.values.data();
+
+  auto bump = [](double x, double center, double width) {
+    const double d = (x - center) / width;
+    return std::exp(-0.5 * d * d);
+  };
+
+  for (int64_t t = 0; t < t_total; ++t) {
+    const double day_fraction =
+        static_cast<double>(t % config.steps_per_day) /
+        static_cast<double>(config.steps_per_day);
+    const int64_t day_of_week = (t % steps_per_week) / config.steps_per_day;
+    const bool weekend = day_of_week >= 5;
+    const double residential_profile =
+        0.5 + 0.3 * bump(day_fraction, 7.5 / 24.0, 0.08) +
+        0.9 * bump(day_fraction, 19.5 / 24.0, 0.10);
+    const double commercial_profile =
+        0.3 + (weekend ? 0.15 : 1.0) * bump(day_fraction, 13.0 / 24.0, 0.18);
+    temperature = 0.98 * temperature + rng.Normal(0.0, 0.1);
+
+    for (int64_t i = 0; i < n; ++i) {
+      const double profile =
+          residential_share[i] * residential_profile +
+          (1.0 - residential_share[i]) * commercial_profile;
+      double load = base_load[i] * profile *
+                    (1.0 + temperature_sensitivity[i] * temperature);
+      // Occasional consumption spikes (machinery, EV charging, ...).
+      if (rng.Bernoulli(0.005)) load *= rng.Uniform(1.5, 2.5);
+      load = std::max(0.0, load + rng.Normal(0.0, base_load[i] * 0.02));
+      out[t * n + i] = load;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace autocts::data

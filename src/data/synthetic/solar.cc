@@ -1,0 +1,64 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "data/synthetic/generators.h"
+
+namespace autocts::data {
+
+CtsDataset GenerateSolar(const SolarConfig& config) {
+  Rng rng(config.seed);
+  const int64_t n = config.num_nodes;
+  const int64_t t_total = config.num_steps;
+
+  // Plants share regional cloud cover through two latent weather factors.
+  std::vector<double> capacity(n);
+  std::vector<double> factor_loading_a(n);
+  std::vector<double> factor_loading_b(n);
+  for (int64_t i = 0; i < n; ++i) {
+    capacity[i] = rng.Uniform(20.0, 80.0);
+    factor_loading_a[i] = rng.Uniform(0.0, 1.0);
+    factor_loading_b[i] = 1.0 - factor_loading_a[i];
+  }
+  double cloud_a = 0.0;
+  double cloud_b = 0.0;
+
+  CtsDataset dataset;
+  dataset.name = config.name;
+  dataset.target_feature = 0;
+  dataset.steps_per_day = config.steps_per_day;
+  // No predefined adjacency: models must learn the correlations, exactly as
+  // for the real Solar-Energy dataset (Section 4.1.1).
+  dataset.values = Tensor({t_total, n, 1});
+  double* out = dataset.values.data();
+
+  const double sunrise = 6.0 / 24.0;
+  const double sunset = 19.0 / 24.0;
+  for (int64_t t = 0; t < t_total; ++t) {
+    const double day_fraction =
+        static_cast<double>(t % config.steps_per_day) /
+        static_cast<double>(config.steps_per_day);
+    // Daylight envelope: half-sine between sunrise and sunset, 0 at night.
+    double envelope = 0.0;
+    if (day_fraction > sunrise && day_fraction < sunset) {
+      envelope =
+          std::sin(M_PI * (day_fraction - sunrise) / (sunset - sunrise));
+    }
+    // AR(1) regional cloud processes.
+    cloud_a = 0.97 * cloud_a + rng.Normal(0.0, 0.08);
+    cloud_b = 0.97 * cloud_b + rng.Normal(0.0, 0.08);
+    for (int64_t i = 0; i < n; ++i) {
+      const double cloud = factor_loading_a[i] * cloud_a +
+                           factor_loading_b[i] * cloud_b;
+      // Clouds multiply production by a factor in (0, 1].
+      const double clearness = 1.0 / (1.0 + std::exp(4.0 * cloud));
+      double production = capacity[i] * envelope * (0.25 + 0.75 * clearness);
+      production = std::max(0.0, production + rng.Normal(0.0, 0.4));
+      if (envelope == 0.0) production = 0.0;  // Strictly zero at night.
+      out[t * n + i] = production;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace autocts::data

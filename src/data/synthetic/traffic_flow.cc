@@ -1,0 +1,82 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "data/synthetic/generators.h"
+#include "graph/adjacency.h"
+
+namespace autocts::data {
+namespace {
+
+// Bimodal daily flow profile in [0, 1].
+double FlowProfile(double day_fraction) {
+  auto bump = [](double x, double center, double width) {
+    const double d = (x - center) / width;
+    return std::exp(-0.5 * d * d);
+  };
+  return 0.15 + 0.85 * bump(day_fraction, 8.5 / 24.0, 0.08) +
+         0.75 * bump(day_fraction, 17.0 / 24.0, 0.09);
+}
+
+}  // namespace
+
+CtsDataset GenerateTrafficFlow(const TrafficFlowConfig& config) {
+  Rng rng(config.seed);
+  const int64_t n = config.num_nodes;
+  const int64_t t_total = config.num_steps;
+  const int64_t steps_per_week = 7 * config.steps_per_day;
+
+  const Tensor positions = graph::RandomPositions(n, &rng);
+  const Tensor adjacency =
+      graph::DistanceGaussianAdjacency(positions, /*sigma=*/0.4,
+                                       /*threshold=*/0.3);
+  const Tensor walk = graph::RowNormalize(graph::AddSelfLoops(adjacency));
+
+  std::vector<double> capacity(n);
+  for (int64_t i = 0; i < n; ++i) {
+    capacity[i] = config.peak_flow * rng.Uniform(0.5, 1.0);
+  }
+
+  // Spatially correlated demand fluctuation (AR(1) over the graph).
+  std::vector<double> demand(n, 0.0);
+  std::vector<double> demand_next(n, 0.0);
+
+  CtsDataset dataset;
+  dataset.name = config.name;
+  dataset.adjacency = adjacency;
+  dataset.target_feature = 0;
+  dataset.steps_per_day = config.steps_per_day;
+  dataset.values = Tensor({t_total, n, 1});
+  double* out = dataset.values.data();
+
+  for (int64_t t = 0; t < t_total; ++t) {
+    const double day_fraction =
+        static_cast<double>(t % config.steps_per_day) /
+        static_cast<double>(config.steps_per_day);
+    const int64_t day_of_week = (t % steps_per_week) / config.steps_per_day;
+    const bool weekend = day_of_week >= 5;
+    const double profile = FlowProfile(day_fraction) *
+                           (weekend ? config.weekend_factor : 1.0);
+
+    const double* w = walk.data();
+    for (int64_t i = 0; i < n; ++i) {
+      double diffused = 0.0;
+      for (int64_t j = 0; j < n; ++j) diffused += w[i * n + j] * demand[j];
+      demand_next[i] = 0.9 * diffused + rng.Normal(0.0, 0.03);
+    }
+    std::swap(demand, demand_next);
+
+    for (int64_t i = 0; i < n; ++i) {
+      const double mean_flow =
+          capacity[i] * std::max(0.0, profile * (1.0 + demand[i]));
+      // Count noise grows with sqrt(flow) (Poisson-like).
+      const double flow =
+          std::max(0.0, mean_flow + rng.Normal(0.0, std::sqrt(
+                                                        mean_flow + 1.0)));
+      out[t * n + i] = flow;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace autocts::data

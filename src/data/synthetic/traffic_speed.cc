@@ -1,0 +1,86 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "data/synthetic/generators.h"
+#include "graph/adjacency.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts::data {
+namespace {
+
+// Double-peaked (morning/evening rush hour) diurnal congestion profile in
+// [0, 1] as a function of time-of-day fraction.
+double RushHourProfile(double day_fraction) {
+  auto bump = [](double x, double center, double width) {
+    const double d = (x - center) / width;
+    return std::exp(-0.5 * d * d);
+  };
+  return 0.9 * bump(day_fraction, 8.0 / 24.0, 0.06) +
+         1.0 * bump(day_fraction, 17.5 / 24.0, 0.07);
+}
+
+}  // namespace
+
+CtsDataset GenerateTrafficSpeed(const TrafficSpeedConfig& config) {
+  Rng rng(config.seed);
+  const int64_t n = config.num_nodes;
+  const int64_t t_total = config.num_steps;
+
+  const Tensor positions = graph::RandomPositions(n, &rng);
+  const Tensor adjacency =
+      graph::DistanceGaussianAdjacency(positions, /*sigma=*/0.4,
+                                       /*threshold=*/0.3);
+  const Tensor walk = graph::RowNormalize(graph::AddSelfLoops(adjacency));
+
+  std::vector<double> base_speed(n);
+  std::vector<double> congestion_depth(n);
+  for (int64_t i = 0; i < n; ++i) {
+    base_speed[i] = rng.Uniform(config.base_speed_low, config.base_speed_high);
+    congestion_depth[i] = rng.Uniform(12.0, 28.0);
+  }
+
+  // Congestion events diffuse over the sensor graph and decay in time:
+  //   e_t = 0.92 * (W e_{t-1}) + new events.
+  std::vector<double> event(n, 0.0);
+  std::vector<double> event_next(n, 0.0);
+
+  CtsDataset dataset;
+  dataset.name = config.name;
+  dataset.adjacency = adjacency;
+  dataset.target_feature = 0;
+  dataset.steps_per_day = config.steps_per_day;
+  dataset.values = Tensor({t_total, n, 2});
+  double* out = dataset.values.data();
+
+  for (int64_t t = 0; t < t_total; ++t) {
+    const double day_fraction =
+        static_cast<double>(t % config.steps_per_day) /
+        static_cast<double>(config.steps_per_day);
+    const double rush = RushHourProfile(day_fraction);
+
+    // Diffuse yesterday's events over the graph, then decay.
+    const double* w = walk.data();
+    for (int64_t i = 0; i < n; ++i) {
+      double diffused = 0.0;
+      for (int64_t j = 0; j < n; ++j) diffused += w[i * n + j] * event[j];
+      event_next[i] = 0.92 * diffused;
+      if (rng.Bernoulli(config.event_rate)) {
+        event_next[i] += rng.Uniform(10.0, 25.0);
+      }
+    }
+    std::swap(event, event_next);
+
+    for (int64_t i = 0; i < n; ++i) {
+      double speed = base_speed[i] - congestion_depth[i] * rush - event[i] +
+                     rng.Normal(0.0, 1.5);
+      speed = std::max(0.0, speed);
+      if (rng.Bernoulli(config.missing_rate)) speed = 0.0;  // Sensor failure.
+      out[(t * n + i) * 2] = speed;
+      out[(t * n + i) * 2 + 1] = day_fraction;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace autocts::data

@@ -1,0 +1,72 @@
+#include "data/window_dataset.h"
+
+#include <algorithm>
+
+namespace autocts::data {
+
+WindowDataset::WindowDataset(Tensor values, WindowSpec spec)
+    : values_(std::move(values)), spec_(spec) {
+  AUTOCTS_CHECK_EQ(values_.ndim(), 3);
+  AUTOCTS_CHECK_GE(spec_.input_length, 1);
+  AUTOCTS_CHECK_GE(spec_.output_length, 1);
+  if (spec_.horizon > 0) {
+    AUTOCTS_CHECK_EQ(spec_.output_length, 1)
+        << "single-step mode predicts exactly one step";
+  }
+  const int64_t steps = values_.dim(0);
+  const int64_t tail = spec_.horizon > 0 ? spec_.horizon : spec_.output_length;
+  num_samples_ = std::max<int64_t>(0, steps - spec_.input_length - tail + 1);
+}
+
+void WindowDataset::GetBatch(const std::vector<int64_t>& indices, Tensor* x,
+                             Tensor* y) const {
+  AUTOCTS_CHECK(!indices.empty());
+  const int64_t batch = static_cast<int64_t>(indices.size());
+  const int64_t nodes = values_.dim(1);
+  const int64_t features = values_.dim(2);
+  const int64_t p = spec_.input_length;
+  const int64_t q = spec_.output_length;
+  *x = Tensor({batch, p, nodes, features});
+  *y = Tensor({batch, q, nodes, 1});
+  const double* src = values_.data();
+  double* px = x->data();
+  double* py = y->data();
+  const int64_t frame = nodes * features;
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t start = indices[b];
+    AUTOCTS_CHECK_GE(start, 0);
+    AUTOCTS_CHECK_LT(start, num_samples_);
+    std::copy(src + start * frame, src + (start + p) * frame,
+              px + b * p * frame);
+    for (int64_t step = 0; step < q; ++step) {
+      const int64_t target_t = spec_.horizon > 0
+                                   ? start + p + spec_.horizon - 1
+                                   : start + p + step;
+      for (int64_t n = 0; n < nodes; ++n) {
+        py[(b * q + step) * nodes + n] =
+            src[target_t * frame + n * features + spec_.target_feature];
+      }
+    }
+  }
+}
+
+std::vector<int64_t> WindowDataset::AllIndices() const {
+  std::vector<int64_t> indices(num_samples_);
+  for (int64_t i = 0; i < num_samples_; ++i) indices[i] = i;
+  return indices;
+}
+
+std::vector<std::vector<int64_t>> WindowDataset::EpochBatches(
+    int64_t batch_size, Rng* rng) const {
+  AUTOCTS_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> order = AllIndices();
+  if (rng != nullptr) rng->Shuffle(&order);
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < num_samples_; start += batch_size) {
+    const int64_t end = std::min(num_samples_, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace autocts::data

@@ -1,0 +1,51 @@
+// Sliding-window sample extraction for multi-step and single-step
+// forecasting (Section 2, Eqs. 1-2 of the paper).
+#ifndef AUTOCTS_DATA_WINDOW_DATASET_H_
+#define AUTOCTS_DATA_WINDOW_DATASET_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace autocts::data {
+
+struct WindowSpec {
+  int64_t input_length = 12;   // P
+  int64_t output_length = 12;  // Q for multi-step; must be 1 if horizon > 0
+  // Single-step mode (Eq. 1): when > 0, the target is only the horizon-th
+  // future step (3 or 24 in Table 8) instead of steps 1..Q.
+  int64_t horizon = 0;
+  int64_t target_feature = 0;
+};
+
+// Indexes windows over a [T, N, F] value tensor. Inputs keep all F
+// features; targets are the target feature only.
+class WindowDataset {
+ public:
+  WindowDataset(Tensor values, WindowSpec spec);
+
+  int64_t NumSamples() const { return num_samples_; }
+  const WindowSpec& spec() const { return spec_; }
+
+  // Gathers the windows at `indices` into
+  //   x: [B, P, N, F] and y: [B, Q, N, 1] (Q = 1 in single-step mode).
+  void GetBatch(const std::vector<int64_t>& indices, Tensor* x,
+                Tensor* y) const;
+
+  // Convenience: all sample indices in order.
+  std::vector<int64_t> AllIndices() const;
+
+  // Consecutive batches covering a shuffled epoch.
+  std::vector<std::vector<int64_t>> EpochBatches(int64_t batch_size,
+                                                 Rng* rng) const;
+
+ private:
+  Tensor values_;  // [T, N, F]
+  WindowSpec spec_;
+  int64_t num_samples_ = 0;
+};
+
+}  // namespace autocts::data
+
+#endif  // AUTOCTS_DATA_WINDOW_DATASET_H_

@@ -1,0 +1,132 @@
+#include "graph/adjacency.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::graph {
+
+Tensor DistanceGaussianAdjacency(const Tensor& positions, double sigma,
+                                 double threshold) {
+  AUTOCTS_CHECK_EQ(positions.ndim(), 2);
+  AUTOCTS_CHECK_EQ(positions.dim(1), 2);
+  AUTOCTS_CHECK_GT(sigma, 0.0);
+  const int64_t n = positions.dim(0);
+  Tensor adjacency({n, n});
+  const double* p = positions.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dx = p[i * 2] - p[j * 2];
+      const double dy = p[i * 2 + 1] - p[j * 2 + 1];
+      const double weight = std::exp(-(dx * dx + dy * dy) / (sigma * sigma));
+      if (weight >= threshold) adjacency.data()[i * n + j] = weight;
+    }
+  }
+  return adjacency;
+}
+
+Tensor RandomPositions(int64_t num_nodes, Rng* rng) {
+  return Tensor::Rand({num_nodes, 2}, rng, 0.0, 1.0);
+}
+
+Tensor AddSelfLoops(const Tensor& adjacency) {
+  AUTOCTS_CHECK_EQ(adjacency.ndim(), 2);
+  const int64_t n = adjacency.dim(0);
+  AUTOCTS_CHECK_EQ(adjacency.dim(1), n);
+  Tensor result = adjacency.Clone();
+  for (int64_t i = 0; i < n; ++i) result.data()[i * n + i] += 1.0;
+  return result;
+}
+
+Tensor RowNormalize(const Tensor& adjacency) {
+  const int64_t n = adjacency.dim(0);
+  Tensor result = adjacency.Clone();
+  for (int64_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (int64_t j = 0; j < n; ++j) degree += result.data()[i * n + j];
+    if (degree <= 0.0) continue;
+    for (int64_t j = 0; j < n; ++j) result.data()[i * n + j] /= degree;
+  }
+  return result;
+}
+
+Tensor SymNormalize(const Tensor& adjacency) {
+  const int64_t n = adjacency.dim(0);
+  std::vector<double> inv_sqrt_degree(n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (int64_t j = 0; j < n; ++j) degree += adjacency.data()[i * n + j];
+    inv_sqrt_degree[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
+  }
+  Tensor result({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      result.data()[i * n + j] = inv_sqrt_degree[i] *
+                                 adjacency.data()[i * n + j] *
+                                 inv_sqrt_degree[j];
+    }
+  }
+  return result;
+}
+
+double LargestEigenvalue(const Tensor& matrix, int64_t iterations) {
+  const int64_t n = matrix.dim(0);
+  Tensor vector = Tensor::Full({n, 1}, 1.0 / std::sqrt(static_cast<double>(n)));
+  double eigenvalue = 0.0;
+  for (int64_t it = 0; it < iterations; ++it) {
+    Tensor next = MatMul(matrix, vector);
+    const double norm = Norm(next);
+    if (norm < 1e-12) return 0.0;
+    ScaleInPlace(&next, 1.0 / norm);
+    eigenvalue = norm;
+    vector = next;
+  }
+  return eigenvalue;
+}
+
+Tensor ScaledLaplacian(const Tensor& adjacency) {
+  const int64_t n = adjacency.dim(0);
+  const Tensor normalized = SymNormalize(adjacency);
+  Tensor laplacian = Sub(Tensor::Eye(n), normalized);
+  double lambda_max = LargestEigenvalue(laplacian);
+  if (lambda_max < 1e-6) lambda_max = 2.0;
+  Tensor scaled = MulScalar(laplacian, 2.0 / lambda_max);
+  return Sub(scaled, Tensor::Eye(n));
+}
+
+std::vector<Tensor> ChebyshevPolynomials(const Tensor& scaled_laplacian,
+                                         int64_t order) {
+  AUTOCTS_CHECK_GE(order, 1);
+  const int64_t n = scaled_laplacian.dim(0);
+  std::vector<Tensor> polynomials;
+  polynomials.push_back(Tensor::Eye(n));
+  if (order == 1) return polynomials;
+  polynomials.push_back(scaled_laplacian.Clone());
+  for (int64_t k = 2; k < order; ++k) {
+    Tensor next = MulScalar(MatMul(scaled_laplacian, polynomials[k - 1]), 2.0);
+    next = Sub(next, polynomials[k - 2]);
+    polynomials.push_back(next);
+  }
+  return polynomials;
+}
+
+DiffusionTransitions BuildDiffusionTransitions(const Tensor& adjacency,
+                                               int64_t max_step) {
+  AUTOCTS_CHECK_GE(max_step, 1);
+  const int64_t n = adjacency.dim(0);
+  DiffusionTransitions transitions;
+  const Tensor forward = RowNormalize(adjacency);
+  const Tensor backward = RowNormalize(adjacency.Transpose(0, 1));
+  transitions.forward.push_back(Tensor::Eye(n));
+  transitions.backward.push_back(Tensor::Eye(n));
+  for (int64_t k = 1; k <= max_step; ++k) {
+    transitions.forward.push_back(
+        MatMul(transitions.forward.back(), forward));
+    transitions.backward.push_back(
+        MatMul(transitions.backward.back(), backward));
+  }
+  return transitions;
+}
+
+}  // namespace autocts::graph

@@ -1,0 +1,60 @@
+// Graph construction and normalization utilities for the spatial operators.
+//
+// The paper's datasets define the sensor graph from road-network distances
+// via a thresholded Gaussian kernel (Section 4.1.1); this module provides
+// that construction plus the matrix transforms required by the S-operators
+// of Table 1: Chebyshev polynomial stacks for ChebGCN (Eq. 14) and
+// forward/backward diffusion transition powers for Diffusion GCN (Eq. 15).
+#ifndef AUTOCTS_GRAPH_ADJACENCY_H_
+#define AUTOCTS_GRAPH_ADJACENCY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace autocts::graph {
+
+// Weighted adjacency from 2-D sensor positions [N, 2] using the thresholded
+// Gaussian kernel: A_ij = exp(-d_ij^2 / sigma^2) if above `threshold`,
+// else 0. The diagonal is zero.
+Tensor DistanceGaussianAdjacency(const Tensor& positions, double sigma,
+                                 double threshold);
+
+// Random sensor positions in the unit square (dataset generators).
+Tensor RandomPositions(int64_t num_nodes, Rng* rng);
+
+// A + I.
+Tensor AddSelfLoops(const Tensor& adjacency);
+
+// Row-stochastic normalization D^{-1} A (rows with zero degree are left 0).
+Tensor RowNormalize(const Tensor& adjacency);
+
+// Symmetric normalization D^{-1/2} A D^{-1/2}.
+Tensor SymNormalize(const Tensor& adjacency);
+
+// Largest eigenvalue estimate of a symmetric matrix via power iteration.
+double LargestEigenvalue(const Tensor& matrix, int64_t iterations = 64);
+
+// Scaled Laplacian 2 L / lambda_max - I with L = I - D^{-1/2} A D^{-1/2},
+// as required by the Chebyshev GCN.
+Tensor ScaledLaplacian(const Tensor& adjacency);
+
+// Chebyshev polynomial stack [T_0(L~), ..., T_{K-1}(L~)], with
+// T_0 = I, T_1 = L~, T_k = 2 L~ T_{k-1} - T_{k-2}.
+std::vector<Tensor> ChebyshevPolynomials(const Tensor& scaled_laplacian,
+                                         int64_t order);
+
+// Diffusion transition powers for Eq. 15: for k = 0..max_step returns
+// pair (P_f^k, P_b^k) with P_f = D_O^{-1} A (forward random walk) and
+// P_b = D_I^{-1} A^T (backward random walk). k = 0 is the identity.
+struct DiffusionTransitions {
+  std::vector<Tensor> forward;   // size max_step + 1
+  std::vector<Tensor> backward;  // size max_step + 1
+};
+DiffusionTransitions BuildDiffusionTransitions(const Tensor& adjacency,
+                                               int64_t max_step);
+
+}  // namespace autocts::graph
+
+#endif  // AUTOCTS_GRAPH_ADJACENCY_H_

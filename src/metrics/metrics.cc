@@ -1,0 +1,102 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::metrics {
+
+PointMetrics ComputeMetrics(const Tensor& prediction, const Tensor& truth,
+                            bool masked, double null_value) {
+  AUTOCTS_CHECK(prediction.shape() == truth.shape())
+      << ShapeToString(prediction.shape()) << " vs "
+      << ShapeToString(truth.shape());
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double ape_sum = 0.0;
+  int64_t count = 0;
+  int64_t ape_count = 0;
+  const double* p = prediction.data();
+  const double* y = truth.data();
+  for (int64_t i = 0; i < prediction.size(); ++i) {
+    if (masked && std::abs(y[i] - null_value) < 1e-6) continue;
+    const double error = p[i] - y[i];
+    abs_sum += std::abs(error);
+    sq_sum += error * error;
+    if (std::abs(y[i]) > 1e-6) {
+      ape_sum += std::abs(error / y[i]);
+      ++ape_count;
+    }
+    ++count;
+  }
+  PointMetrics result;
+  if (count > 0) {
+    result.mae = abs_sum / static_cast<double>(count);
+    result.rmse = std::sqrt(sq_sum / static_cast<double>(count));
+  }
+  if (ape_count > 0) result.mape = ape_sum / static_cast<double>(ape_count);
+  return result;
+}
+
+PointMetrics ComputeHorizonMetrics(const Tensor& prediction,
+                                   const Tensor& truth, int64_t horizon_index,
+                                   bool masked, double null_value) {
+  AUTOCTS_CHECK_GE(prediction.ndim(), 2);
+  const Tensor p = Slice(prediction, /*axis=*/1, horizon_index, 1);
+  const Tensor y = Slice(truth, /*axis=*/1, horizon_index, 1);
+  return ComputeMetrics(p, y, masked, null_value);
+}
+
+double Rrse(const Tensor& prediction, const Tensor& truth) {
+  AUTOCTS_CHECK(prediction.shape() == truth.shape());
+  const double mean = MeanAll(truth);
+  double numerator = 0.0;
+  double denominator = 0.0;
+  const double* p = prediction.data();
+  const double* y = truth.data();
+  for (int64_t i = 0; i < prediction.size(); ++i) {
+    numerator += (p[i] - y[i]) * (p[i] - y[i]);
+    denominator += (y[i] - mean) * (y[i] - mean);
+  }
+  if (denominator < 1e-12) return 0.0;
+  return std::sqrt(numerator / denominator);
+}
+
+double Corr(const Tensor& prediction, const Tensor& truth) {
+  AUTOCTS_CHECK(prediction.shape() == truth.shape());
+  AUTOCTS_CHECK_GE(prediction.ndim(), 2);
+  // View as [samples, series]: the product of all leading axes are samples;
+  // the trailing axes after the sample axis collapse into series columns.
+  const int64_t series = prediction.size() / prediction.dim(0);
+  const int64_t samples = prediction.dim(0);
+  const Tensor p = prediction.Reshape({samples, series});
+  const Tensor y = truth.Reshape({samples, series});
+  double total = 0.0;
+  int64_t used = 0;
+  for (int64_t s = 0; s < series; ++s) {
+    double mean_p = 0.0;
+    double mean_y = 0.0;
+    for (int64_t i = 0; i < samples; ++i) {
+      mean_p += p.data()[i * series + s];
+      mean_y += y.data()[i * series + s];
+    }
+    mean_p /= static_cast<double>(samples);
+    mean_y /= static_cast<double>(samples);
+    double cov = 0.0;
+    double var_p = 0.0;
+    double var_y = 0.0;
+    for (int64_t i = 0; i < samples; ++i) {
+      const double dp = p.data()[i * series + s] - mean_p;
+      const double dy = y.data()[i * series + s] - mean_y;
+      cov += dp * dy;
+      var_p += dp * dp;
+      var_y += dy * dy;
+    }
+    if (var_p < 1e-12 || var_y < 1e-12) continue;
+    total += cov / std::sqrt(var_p * var_y);
+    ++used;
+  }
+  return used > 0 ? total / static_cast<double>(used) : 0.0;
+}
+
+}  // namespace autocts::metrics

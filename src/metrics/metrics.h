@@ -1,0 +1,43 @@
+// Forecast accuracy metrics (Section 4.1.2 of the paper):
+//   multi-step: MAE, RMSE, MAPE (masked at zero readings, as in the traffic
+//   forecasting literature the paper follows);
+//   single-step: RRSE (root relative squared error) and CORR (empirical
+//   correlation coefficient), as defined by LSTNet.
+#ifndef AUTOCTS_METRICS_METRICS_H_
+#define AUTOCTS_METRICS_METRICS_H_
+
+#include "tensor/tensor.h"
+
+namespace autocts::metrics {
+
+struct PointMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;  // Fraction (0.069 == 6.9%).
+};
+
+// Computes MAE/RMSE/MAPE between equally shaped tensors, ignoring entries
+// whose TRUE value equals `null_value` (within 1e-6) when `masked` is set.
+PointMetrics ComputeMetrics(const Tensor& prediction, const Tensor& truth,
+                            bool masked = true, double null_value = 0.0);
+
+// Same, restricted to one horizon step: slices axis 1 of [B, Q, N, 1]
+// tensors at `horizon_index` (0-based). Used for the 15/30/60-min columns
+// of Tables 5, 9, 10, 17-20, 35, 36.
+PointMetrics ComputeHorizonMetrics(const Tensor& prediction,
+                                   const Tensor& truth, int64_t horizon_index,
+                                   bool masked = true,
+                                   double null_value = 0.0);
+
+// Root relative squared error over all elements:
+//   sqrt(sum (p - y)^2) / sqrt(sum (y - mean(y))^2).
+double Rrse(const Tensor& prediction, const Tensor& truth);
+
+// Empirical correlation coefficient: the mean over series (the last
+// meaningful axis is flattened so inputs are viewed as [samples, series])
+// of the Pearson correlation between predicted and true trajectories.
+double Corr(const Tensor& prediction, const Tensor& truth);
+
+}  // namespace autocts::metrics
+
+#endif  // AUTOCTS_METRICS_METRICS_H_

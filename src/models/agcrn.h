@@ -1,0 +1,31 @@
+// AGCRN baseline (Bai et al., NeurIPS 2020): a GRU whose gates are adaptive
+// graph convolutions over a learned (node-embedding) adjacency. AGCRN never
+// uses a predefined graph — the learned graph is its hallmark.
+#ifndef AUTOCTS_MODELS_AGCRN_H_
+#define AUTOCTS_MODELS_AGCRN_H_
+
+#include "models/forecasting_model.h"
+#include "ops/gcn_ops.h"
+
+namespace autocts::models {
+
+class Agcrn : public ForecastingModel {
+ public:
+  explicit Agcrn(const ModelContext& context);
+
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "AGCRN"; }
+
+ private:
+  int64_t hidden_dim_;
+  Rng rng_;
+  std::shared_ptr<graph::AdaptiveAdjacency> adaptive_;
+  nn::Linear embedding_;
+  ops::GraphDiffusionConv zr_gates_;   // [x, h] -> 2D, over the learned graph
+  ops::GraphDiffusionConv candidate_;  // [x, r*h] -> D
+  OutputHead head_;
+};
+
+}  // namespace autocts::models
+
+#endif  // AUTOCTS_MODELS_AGCRN_H_

@@ -1,0 +1,58 @@
+#include "models/forecasting_model.h"
+
+namespace autocts::models {
+
+ops::OpContext MakeOpContext(
+    const ModelContext& model_context,
+    std::shared_ptr<graph::AdaptiveAdjacency> adaptive, Rng* rng,
+    int64_t dilation) {
+  ops::OpContext context;
+  context.channels = model_context.hidden_dim;
+  context.num_nodes = model_context.num_nodes;
+  context.dilation = dilation;
+  context.adjacency = model_context.adjacency;
+  if (!context.adjacency.defined()) context.adaptive = std::move(adaptive);
+  context.rng = rng;
+  return context;
+}
+
+OutputHead::OutputHead(int64_t hidden_dim, int64_t output_length, Rng* rng)
+    : output_length_(output_length),
+      fc1_(hidden_dim, 2 * hidden_dim, rng),
+      fc2_(2 * hidden_dim, output_length, rng) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+  highway_gate_ = RegisterParameter("highway_gate", Tensor::Ones({1}));
+  // Zero-initialize the last layer: the untrained model then predicts pure
+  // persistence (the highway), and training only adds useful deviation.
+  // Without this, the randomly initialized deviation of deep backbones
+  // (e.g. a 4-block derived AutoCTS model) swamps the highway early on.
+  for (Variable& parameter : fc2_.Parameters()) {
+    parameter.mutable_value().Fill(0.0);
+  }
+}
+
+Variable OutputHead::Forward(const Variable& backbone_out,
+                             const Variable& input,
+                             int64_t target_feature) const {
+  AUTOCTS_CHECK_EQ(backbone_out.ndim(), 4);
+  AUTOCTS_CHECK_EQ(input.ndim(), 4);
+  const int64_t batch = backbone_out.dim(0);
+  const int64_t steps = backbone_out.dim(1);
+  const int64_t nodes = backbone_out.dim(2);
+  const int64_t dim = backbone_out.dim(3);
+  // Keep only the most recent timestep's representation.
+  const Variable last = ag::Reshape(
+      ag::Slice(backbone_out, /*axis=*/1, steps - 1, 1), {batch, nodes, dim});
+  const Variable hidden = ag::Relu(fc1_.Forward(last));
+  const Variable out = fc2_.Forward(hidden);  // [B, N, Q]
+  const Variable deviation = ag::Reshape(
+      ag::Transpose(out, 1, 2), {batch, output_length_, nodes, 1});
+  // Persistence highway: the last observed target value, gated.
+  const Variable last_observed = ag::Slice(
+      ag::Slice(input, /*axis=*/1, input.dim(1) - 1, 1), /*axis=*/3,
+      target_feature, 1);  // [B, 1, N, 1] — broadcasts over Q.
+  return ag::Add(deviation, ag::Mul(last_observed, highway_gate_));
+}
+
+}  // namespace autocts::models

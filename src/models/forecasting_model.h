@@ -1,0 +1,73 @@
+// Base class and shared building blocks for CTS forecasting models: the
+// embedding layer -> (ST-)backbone -> output layer structure of Figure 1(a)
+// and Figure 2 of the paper.
+#ifndef AUTOCTS_MODELS_FORECASTING_MODEL_H_
+#define AUTOCTS_MODELS_FORECASTING_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/linear.h"
+#include "ops/st_operator.h"
+
+namespace autocts::models {
+
+// Construction parameters shared by every model.
+struct ModelContext {
+  int64_t num_nodes = 0;
+  int64_t in_features = 1;
+  int64_t input_length = 12;   // P
+  int64_t output_length = 12;  // Q
+  int64_t hidden_dim = 16;
+  Tensor adjacency;  // predefined graph; may be undefined
+  uint64_t seed = 42;
+};
+
+// Interface: x [B, P, N, F] (normalized) -> forecast [B, Q, N, 1]
+// (normalized target feature).
+class ForecastingModel : public nn::Module {
+ public:
+  virtual Variable Forward(const Variable& x) = 0;
+  virtual std::string name() const = 0;
+};
+
+using ForecastingModelPtr = std::unique_ptr<ForecastingModel>;
+
+// Builds an operator context for a model: prefers the predefined adjacency;
+// otherwise operators fall back to the given shared adaptive adjacency
+// (which the model must register exactly once).
+ops::OpContext MakeOpContext(
+    const ModelContext& model_context,
+    std::shared_ptr<graph::AdaptiveAdjacency> adaptive, Rng* rng,
+    int64_t dilation = 1);
+
+// Output layer shared by the backbone-style models: takes the
+// representation at the last input timestep [B, N, D] through a two-layer
+// MLP to produce Q values per node, shaped [B, Q, N, 1], plus an
+// autoregressive highway from the last observed (normalized) target value.
+//
+// The highway mirrors LSTNet's AR component and the residual/skip stacks
+// of Graph WaveNet / MTGNN: the network learns the *deviation* from
+// persistence, which is what makes the direct multi-step models
+// competitive with DCRNN's autoregressive decoder at small training
+// budgets.
+class OutputHead : public nn::Module {
+ public:
+  OutputHead(int64_t hidden_dim, int64_t output_length, Rng* rng);
+
+  // backbone_out: [B, T, N, D]; input: the model input [B, P, N, F] whose
+  // `target_feature` channel provides the persistence highway.
+  // Returns [B, Q, N, 1].
+  Variable Forward(const Variable& backbone_out, const Variable& input,
+                   int64_t target_feature = 0) const;
+
+ private:
+  int64_t output_length_;
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+  Variable highway_gate_;  // [1]: learnable weight of the persistence term
+};
+
+}  // namespace autocts::models
+
+#endif  // AUTOCTS_MODELS_FORECASTING_MODEL_H_

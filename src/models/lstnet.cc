@@ -1,0 +1,62 @@
+#include "models/lstnet.h"
+
+namespace autocts::models {
+
+LstNet::LstNet(const ModelContext& context, int64_t skip, int64_t ar_window)
+    : output_length_(context.output_length),
+      skip_(skip),
+      ar_window_(std::min(ar_window, context.input_length)),
+      rng_(context.seed),
+      conv_(context.in_features, context.hidden_dim, /*kernel_size=*/3,
+            /*dilation=*/1, /*causal=*/true, &rng_),
+      gru_(context.hidden_dim, context.hidden_dim, &rng_),
+      skip_gru_(context.hidden_dim, context.hidden_dim, &rng_),
+      combine_(2 * context.hidden_dim, context.output_length, &rng_),
+      autoregressive_(ar_window_, context.output_length, &rng_) {
+  AUTOCTS_CHECK_GE(skip_, 1);
+  RegisterModule("conv", &conv_);
+  RegisterModule("gru", &gru_);
+  RegisterModule("skip_gru", &skip_gru_);
+  RegisterModule("combine", &combine_);
+  RegisterModule("autoregressive", &autoregressive_);
+}
+
+Variable LstNet::Forward(const Variable& x) {
+  AUTOCTS_CHECK_EQ(x.ndim(), 4);
+  const int64_t batch = x.dim(0);
+  const int64_t steps = x.dim(1);
+  const int64_t nodes = x.dim(2);
+  const int64_t hidden = gru_.hidden_dim();
+
+  const Variable features = ag::Relu(conv_.Forward(x));  // [B, P, N, D]
+
+  auto step_input = [&](int64_t t) {
+    return ag::Reshape(ag::Slice(features, 1, t, 1), {batch, nodes, hidden});
+  };
+
+  // Long-term GRU over every step.
+  Variable h = ag::Constant(Tensor::Zeros({batch, nodes, hidden}));
+  for (int64_t t = 0; t < steps; ++t) h = gru_.Forward(step_input(t), h);
+
+  // Skip-GRU over a strided subsequence ending at the last step.
+  Variable h_skip = ag::Constant(Tensor::Zeros({batch, nodes, hidden}));
+  for (int64_t t = (steps - 1) % skip_; t < steps; t += skip_) {
+    h_skip = skip_gru_.Forward(step_input(t), h_skip);
+  }
+
+  const Variable neural =
+      combine_.Forward(ag::Concat({h, h_skip}, /*axis=*/-1));  // [B, N, Q]
+
+  // Autoregressive highway on the raw target feature.
+  const Variable recent = ag::Slice(
+      ag::Slice(x, 1, steps - ar_window_, ar_window_), /*axis=*/3, 0, 1);
+  const Variable ar_input = ag::Reshape(
+      ag::Permute(recent, {0, 2, 1, 3}), {batch, nodes, ar_window_});
+  const Variable linear = autoregressive_.Forward(ar_input);  // [B, N, Q]
+
+  const Variable out = ag::Add(neural, linear);
+  return ag::Reshape(ag::Transpose(out, 1, 2),
+                     {batch, output_length_, nodes, 1});
+}
+
+}  // namespace autocts::models

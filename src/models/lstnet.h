@@ -1,0 +1,37 @@
+// LSTNet baseline (Lai et al., SIGIR 2018): 1-D convolution for short-term
+// patterns, GRU for long-term patterns, a skip-GRU over strided steps for
+// periodic patterns, and an autoregressive linear highway. LSTNet does not
+// model inter-series (spatial) correlations explicitly — the property the
+// paper uses to explain why MTGNN/AutoCTS beat it in Table 8.
+#ifndef AUTOCTS_MODELS_LSTNET_H_
+#define AUTOCTS_MODELS_LSTNET_H_
+
+#include "models/forecasting_model.h"
+#include "nn/conv.h"
+#include "ops/rnn_ops.h"
+
+namespace autocts::models {
+
+class LstNet : public ForecastingModel {
+ public:
+  explicit LstNet(const ModelContext& context, int64_t skip = 4,
+                  int64_t ar_window = 4);
+
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "LSTNet"; }
+
+ private:
+  int64_t output_length_;
+  int64_t skip_;
+  int64_t ar_window_;
+  Rng rng_;
+  nn::TemporalConv1d conv_;   // F -> D over time, per series
+  ops::GruCell gru_;          // D -> D over time
+  ops::GruCell skip_gru_;     // D -> D over strided time
+  nn::Linear combine_;        // [gru, skip_gru] -> Q
+  nn::Linear autoregressive_;  // last ar_window target values -> Q
+};
+
+}  // namespace autocts::models
+
+#endif  // AUTOCTS_MODELS_LSTNET_H_

@@ -1,0 +1,34 @@
+#include "models/model_zoo.h"
+
+#include "models/agcrn.h"
+#include "models/dcrnn.h"
+#include "models/graph_wavenet.h"
+#include "models/lstnet.h"
+#include "models/mtgnn.h"
+#include "models/stgcn.h"
+#include "models/tpa_lstm.h"
+
+namespace autocts::models {
+
+ForecastingModelPtr CreateBaseline(const std::string& name,
+                                   const ModelContext& context) {
+  if (name == "DCRNN") return std::make_unique<Dcrnn>(context);
+  if (name == "STGCN") return std::make_unique<Stgcn>(context);
+  if (name == "GraphWaveNet") return std::make_unique<GraphWaveNet>(context);
+  if (name == "AGCRN") return std::make_unique<Agcrn>(context);
+  if (name == "LSTNet") return std::make_unique<LstNet>(context);
+  if (name == "TPA-LSTM") return std::make_unique<TpaLstm>(context);
+  if (name == "MTGNN") return std::make_unique<Mtgnn>(context);
+  AUTOCTS_CHECK(false) << "unknown baseline: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> MultiStepBaselineNames() {
+  return {"DCRNN", "STGCN", "GraphWaveNet", "AGCRN", "MTGNN"};
+}
+
+std::vector<std::string> SingleStepBaselineNames() {
+  return {"LSTNet", "TPA-LSTM", "MTGNN"};
+}
+
+}  // namespace autocts::models

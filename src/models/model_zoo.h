@@ -1,0 +1,26 @@
+// Name-keyed factory over all baseline models, used by tests, benches, and
+// examples.
+#ifndef AUTOCTS_MODELS_MODEL_ZOO_H_
+#define AUTOCTS_MODELS_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "models/forecasting_model.h"
+
+namespace autocts::models {
+
+// Builds a baseline by name; known names: "DCRNN", "STGCN",
+// "GraphWaveNet", "AGCRN", "LSTNet", "TPA-LSTM", "MTGNN".
+ForecastingModelPtr CreateBaseline(const std::string& name,
+                                   const ModelContext& context);
+
+// The multi-step baselines of Tables 5-6 (excluding the NAS methods).
+std::vector<std::string> MultiStepBaselineNames();
+
+// The single-step baselines of Table 8.
+std::vector<std::string> SingleStepBaselineNames();
+
+}  // namespace autocts::models
+
+#endif  // AUTOCTS_MODELS_MODEL_ZOO_H_

@@ -1,0 +1,35 @@
+#include "models/stgcn.h"
+
+namespace autocts::models {
+namespace {
+
+std::shared_ptr<graph::AdaptiveAdjacency> MaybeAdaptive(
+    const ModelContext& context, Rng* rng) {
+  if (context.adjacency.defined()) return nullptr;
+  return std::make_shared<graph::AdaptiveAdjacency>(context.num_nodes,
+                                                    /*embedding_dim=*/8, rng);
+}
+
+}  // namespace
+
+Stgcn::Stgcn(const ModelContext& context)
+    : rng_(context.seed),
+      adaptive_(MaybeAdaptive(context, &rng_)),
+      embedding_(context.in_features, context.hidden_dim, &rng_),
+      block1_(MakeOpContext(context, adaptive_, &rng_)),
+      block2_(MakeOpContext(context, adaptive_, &rng_)),
+      head_(context.hidden_dim, context.output_length, &rng_) {
+  RegisterModule("embedding", &embedding_);
+  RegisterModule("block1", &block1_);
+  RegisterModule("block2", &block2_);
+  RegisterModule("head", &head_);
+  if (adaptive_ != nullptr) RegisterModule("adaptive", adaptive_.get());
+}
+
+Variable Stgcn::Forward(const Variable& x) {
+  const Variable embedded = embedding_.Forward(x);
+  const Variable features = block2_.Forward(block1_.Forward(embedded));
+  return head_.Forward(features, x);
+}
+
+}  // namespace autocts::models

@@ -1,0 +1,60 @@
+#include "models/tpa_lstm.h"
+
+namespace autocts::models {
+
+TpaLstm::TpaLstm(const ModelContext& context)
+    : output_length_(context.output_length),
+      rng_(context.seed),
+      embedding_(context.in_features, context.hidden_dim, &rng_),
+      lstm_(context.hidden_dim, context.hidden_dim, &rng_),
+      pattern_conv_(context.hidden_dim, context.hidden_dim, /*kernel_size=*/3,
+                    /*dilation=*/1, /*causal=*/true, &rng_),
+      score_proj_(context.hidden_dim, context.hidden_dim, &rng_),
+      output_(2 * context.hidden_dim, context.output_length, &rng_) {
+  RegisterModule("embedding", &embedding_);
+  RegisterModule("lstm", &lstm_);
+  RegisterModule("pattern_conv", &pattern_conv_);
+  RegisterModule("score_proj", &score_proj_);
+  RegisterModule("output", &output_);
+}
+
+Variable TpaLstm::Forward(const Variable& x) {
+  AUTOCTS_CHECK_EQ(x.ndim(), 4);
+  const int64_t batch = x.dim(0);
+  const int64_t steps = x.dim(1);
+  const int64_t nodes = x.dim(2);
+  const int64_t hidden = lstm_.hidden_dim();
+
+  const Variable embedded = embedding_.Forward(x);
+  ops::LstmCell::State state;
+  state.h = ag::Constant(Tensor::Zeros({batch, nodes, hidden}));
+  state.c = ag::Constant(Tensor::Zeros({batch, nodes, hidden}));
+  std::vector<Variable> hidden_sequence;
+  hidden_sequence.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    const Variable x_t = ag::Reshape(ag::Slice(embedded, 1, t, 1),
+                                     {batch, nodes, hidden});
+    state = lstm_.Forward(x_t, state);
+    hidden_sequence.push_back(
+        ag::Reshape(state.h, {batch, 1, nodes, hidden}));
+  }
+  const Variable history = ag::Concat(hidden_sequence, /*axis=*/1);
+
+  // Temporal pattern attention: score each (filtered) historical hidden
+  // state against the final hidden state with a sigmoid.
+  const Variable patterns = pattern_conv_.Forward(history);  // [B, T, N, D]
+  const Variable projected = score_proj_.Forward(patterns);
+  const Variable query =
+      ag::Reshape(state.h, {batch, 1, nodes, hidden});  // [B, 1, N, D]
+  const Variable scores = ag::Sigmoid(
+      ag::Sum(ag::Mul(projected, query), /*axis=*/-1, /*keepdim=*/true));
+  const Variable context_vec = ag::Sum(ag::Mul(scores, patterns),
+                                       /*axis=*/1, /*keepdim=*/false);
+
+  const Variable out = output_.Forward(
+      ag::Concat({state.h, context_vec}, /*axis=*/-1));  // [B, N, Q]
+  return ag::Reshape(ag::Transpose(out, 1, 2),
+                     {batch, output_length_, nodes, 1});
+}
+
+}  // namespace autocts::models

@@ -1,0 +1,33 @@
+// TPA-LSTM baseline (Shih et al., Machine Learning 2019): an LSTM over time
+// followed by Temporal Pattern Attention — attention weights are computed
+// between the final hidden state and (convolution-filtered) historical
+// hidden states, with a sigmoid scoring function.
+#ifndef AUTOCTS_MODELS_TPA_LSTM_H_
+#define AUTOCTS_MODELS_TPA_LSTM_H_
+
+#include "models/forecasting_model.h"
+#include "nn/conv.h"
+#include "ops/rnn_ops.h"
+
+namespace autocts::models {
+
+class TpaLstm : public ForecastingModel {
+ public:
+  explicit TpaLstm(const ModelContext& context);
+
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "TPA-LSTM"; }
+
+ private:
+  int64_t output_length_;
+  Rng rng_;
+  nn::Linear embedding_;
+  ops::LstmCell lstm_;
+  nn::TemporalConv1d pattern_conv_;  // temporal filters over hidden states
+  nn::Linear score_proj_;            // pattern features -> hidden (for scoring)
+  nn::Linear output_;                // [h_T, context] -> Q
+};
+
+}  // namespace autocts::models
+
+#endif  // AUTOCTS_MODELS_TPA_LSTM_H_

@@ -1,0 +1,177 @@
+#include "models/trainer.h"
+
+#include <limits>
+#include <memory>
+
+#include "autograd/variable_ops.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "nn/state_dict.h"
+#include "optim/adam.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts::models {
+
+PreparedData PrepareData(const data::CtsDataset& dataset,
+                         const data::WindowSpec& window,
+                         double train_fraction, double validation_fraction) {
+  PreparedData prepared;
+  prepared.window = window;
+  prepared.num_nodes = dataset.num_nodes();
+  prepared.in_features = dataset.num_features();
+  prepared.target_feature = window.target_feature;
+  prepared.adjacency = dataset.adjacency;
+
+  const data::DataSplit raw = data::ChronologicalSplit(
+      dataset.values, train_fraction, validation_fraction);
+  prepared.scaler.Fit(raw.train, /*mask_null=*/true);
+  prepared.splits.emplace_back(prepared.scaler.Transform(raw.train), window);
+  prepared.splits.emplace_back(prepared.scaler.Transform(raw.validation),
+                               window);
+  prepared.splits.emplace_back(prepared.scaler.Transform(raw.test), window);
+  return prepared;
+}
+
+EvalResult TrainAndEvaluate(ForecastingModel* model, const PreparedData& data,
+                            const TrainConfig& config) {
+  AUTOCTS_CHECK(model != nullptr);
+  EvalResult result;
+  result.parameter_count = model->NumParameters();
+
+  optim::Adam optimizer(model->Parameters(),
+                        {.learning_rate = config.learning_rate,
+                         .weight_decay = config.weight_decay});
+  Rng rng(config.seed);
+
+  model->SetTraining(true);
+  double total_train_seconds = 0.0;
+  double best_validation_loss = std::numeric_limits<double>::infinity();
+  int64_t epochs_without_improvement = 0;
+  std::unique_ptr<nn::ParameterSnapshot> best_weights;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Stopwatch epoch_timer;
+    double epoch_loss = 0.0;
+    int64_t batches_done = 0;
+    for (const std::vector<int64_t>& batch :
+         data.train().EpochBatches(config.batch_size, &rng)) {
+      if (config.max_batches_per_epoch > 0 &&
+          batches_done >= config.max_batches_per_epoch) {
+        break;
+      }
+      Tensor x, y;
+      data.train().GetBatch(batch, &x, &y);
+      const Variable prediction = model->Forward(ag::Constant(x));
+      Variable loss = ag::L1Loss(prediction, ag::Constant(y));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(model->Parameters(), config.clip_norm);
+      optimizer.Step();
+      epoch_loss += loss.value().item();
+      ++batches_done;
+    }
+    total_train_seconds += epoch_timer.Seconds();
+    result.final_train_loss =
+        batches_done > 0 ? epoch_loss / static_cast<double>(batches_done)
+                         : 0.0;
+    ++result.epochs_run;
+    if (config.verbose) {
+      AUTOCTS_LOG(INFO) << model->name() << " epoch " << epoch + 1 << "/"
+                        << config.epochs << " loss "
+                        << result.final_train_loss;
+    }
+    if (config.early_stop_patience > 0) {
+      const double validation_loss = EvaluateLoss(
+          model, data, data.validation(), config.batch_size);
+      if (validation_loss < best_validation_loss - 1e-9) {
+        best_validation_loss = validation_loss;
+        epochs_without_improvement = 0;
+        if (config.restore_best_weights) {
+          best_weights = std::make_unique<nn::ParameterSnapshot>(*model);
+        }
+      } else if (++epochs_without_improvement >=
+                 config.early_stop_patience) {
+        if (config.verbose) {
+          AUTOCTS_LOG(INFO) << model->name() << " early stop after epoch "
+                            << epoch + 1;
+        }
+        break;
+      }
+      model->SetTraining(true);
+    }
+  }
+  result.train_seconds_per_epoch =
+      result.epochs_run > 0 ? total_train_seconds / result.epochs_run : 0.0;
+  if (best_weights != nullptr) best_weights->Restore(model);
+
+  // Test evaluation with denormalized masked metrics.
+  model->SetTraining(false);
+  Tensor predictions, truths;
+  Stopwatch inference_timer;
+  Predict(model, data, data.test(), config.batch_size, &predictions, &truths);
+  const int64_t windows = predictions.dim(0);
+  result.inference_ms_per_window =
+      windows > 0 ? inference_timer.Millis() / static_cast<double>(windows)
+                  : 0.0;
+
+  result.average = metrics::ComputeMetrics(predictions, truths);
+  const int64_t horizons = predictions.dim(1);
+  result.per_horizon.reserve(horizons);
+  for (int64_t h = 0; h < horizons; ++h) {
+    result.per_horizon.push_back(
+        metrics::ComputeHorizonMetrics(predictions, truths, h));
+  }
+  result.rrse = metrics::Rrse(predictions, truths);
+  result.corr = metrics::Corr(predictions, truths);
+  model->SetTraining(true);
+  return result;
+}
+
+void Predict(ForecastingModel* model, const PreparedData& data,
+             const data::WindowDataset& windows, int64_t batch_size,
+             Tensor* predictions, Tensor* truths) {
+  const bool was_training = model->training();
+  model->SetTraining(false);
+  std::vector<Tensor> prediction_parts;
+  std::vector<Tensor> truth_parts;
+  const std::vector<int64_t> all = windows.AllIndices();
+  for (int64_t start = 0; start < static_cast<int64_t>(all.size());
+       start += batch_size) {
+    const int64_t end = std::min<int64_t>(all.size(), start + batch_size);
+    const std::vector<int64_t> batch(all.begin() + start, all.begin() + end);
+    Tensor x, y;
+    windows.GetBatch(batch, &x, &y);
+    const Variable prediction = model->Forward(ag::Constant(x));
+    prediction_parts.push_back(prediction.value());
+    truth_parts.push_back(y);
+  }
+  AUTOCTS_CHECK(!prediction_parts.empty());
+  *predictions = data.scaler.InverseTransformFeature(
+      Concat(prediction_parts, 0), data.target_feature);
+  *truths = data.scaler.InverseTransformFeature(Concat(truth_parts, 0),
+                                                data.target_feature);
+  model->SetTraining(was_training);
+}
+
+double EvaluateLoss(ForecastingModel* model, const PreparedData& data,
+                    const data::WindowDataset& windows, int64_t batch_size) {
+  (void)data;
+  const bool was_training = model->training();
+  model->SetTraining(false);
+  double total = 0.0;
+  int64_t batches = 0;
+  const std::vector<int64_t> all = windows.AllIndices();
+  for (int64_t start = 0; start < static_cast<int64_t>(all.size());
+       start += batch_size) {
+    const int64_t end = std::min<int64_t>(all.size(), start + batch_size);
+    const std::vector<int64_t> batch(all.begin() + start, all.begin() + end);
+    Tensor x, y;
+    windows.GetBatch(batch, &x, &y);
+    const Variable prediction = model->Forward(ag::Constant(x));
+    total += ag::L1Loss(prediction, ag::Constant(y)).value().item();
+    ++batches;
+  }
+  model->SetTraining(was_training);
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+}  // namespace autocts::models

@@ -1,0 +1,89 @@
+// Shared training / evaluation harness used by all baselines, the AutoCTS
+// architecture evaluation stage, and every bench binary.
+#ifndef AUTOCTS_MODELS_TRAINER_H_
+#define AUTOCTS_MODELS_TRAINER_H_
+
+#include <vector>
+
+#include "data/cts_dataset.h"
+#include "data/scaler.h"
+#include "data/window_dataset.h"
+#include "metrics/metrics.h"
+#include "models/forecasting_model.h"
+
+namespace autocts::models {
+
+// Normalized train/val/test window datasets plus everything needed to
+// denormalize predictions.
+struct PreparedData {
+  data::StandardScaler scaler;
+  std::vector<data::WindowDataset> splits;  // train, validation, test
+  data::WindowSpec window;
+  int64_t num_nodes = 0;
+  int64_t in_features = 0;
+  int64_t target_feature = 0;
+  Tensor adjacency;  // undefined when the graph must be learned
+
+  const data::WindowDataset& train() const { return splits[0]; }
+  const data::WindowDataset& validation() const { return splits[1]; }
+  const data::WindowDataset& test() const { return splits[2]; }
+};
+
+// Normalizes a dataset (z-score fitted on the training portion, masking
+// zero readings) and slices it into window datasets. Fractions follow
+// Table 4 (0.7/0.1 for METR-LA style, 0.6/0.2 for the others).
+PreparedData PrepareData(const data::CtsDataset& dataset,
+                         const data::WindowSpec& window,
+                         double train_fraction, double validation_fraction);
+
+struct TrainConfig {
+  int64_t epochs = 8;
+  int64_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-4;
+  double clip_norm = 5.0;
+  uint64_t seed = 7;
+  bool verbose = false;
+  // Cap on batches per epoch (0 = no cap); used to keep bench runtimes
+  // bounded at the paper's relative scales.
+  int64_t max_batches_per_epoch = 0;
+  // Early stopping: stop when the validation L1 loss has not improved for
+  // this many consecutive epochs (0 disables). The standard protocol of
+  // the baselines' reference implementations.
+  int64_t early_stop_patience = 0;
+  // With early stopping enabled, evaluate the best-validation weights
+  // instead of the last ones.
+  bool restore_best_weights = true;
+};
+
+// Everything the evaluation tables report.
+struct EvalResult {
+  metrics::PointMetrics average;  // all horizons (Tables 6, 11-16)
+  std::vector<metrics::PointMetrics> per_horizon;  // indexed by step
+  double rrse = 0.0;   // single-step (Tables 8, 15, 16)
+  double corr = 0.0;
+  double train_seconds_per_epoch = 0.0;   // Tables 27-34
+  double inference_ms_per_window = 0.0;   // Tables 27-34
+  int64_t parameter_count = 0;            // Tables 27-34
+  double final_train_loss = 0.0;
+  int64_t epochs_run = 0;  // < config.epochs when early stopping triggered
+};
+
+// Trains with Adam + L1 loss on normalized targets, then evaluates on the
+// test split with denormalized masked metrics.
+EvalResult TrainAndEvaluate(ForecastingModel* model, const PreparedData& data,
+                            const TrainConfig& config);
+
+// Runs the model over a whole window dataset; returns denormalized
+// predictions and truths, each [num_windows, Q, N, 1].
+void Predict(ForecastingModel* model, const PreparedData& data,
+             const data::WindowDataset& windows, int64_t batch_size,
+             Tensor* predictions, Tensor* truths);
+
+// Validation loss (L1, normalized) — used by the searcher and early probes.
+double EvaluateLoss(ForecastingModel* model, const PreparedData& data,
+                    const data::WindowDataset& windows, int64_t batch_size);
+
+}  // namespace autocts::models
+
+#endif  // AUTOCTS_MODELS_TRAINER_H_

@@ -1,0 +1,46 @@
+#include "nn/batch_norm.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::nn {
+
+BatchNorm::BatchNorm(int64_t num_channels, double momentum, double epsilon)
+    : num_channels_(num_channels), momentum_(momentum), epsilon_(epsilon) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({num_channels}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({num_channels}));
+  running_mean_ = Tensor::Zeros({num_channels});
+  running_var_ = Tensor::Ones({num_channels});
+}
+
+Variable BatchNorm::Forward(const Variable& x) {
+  AUTOCTS_CHECK_GE(x.ndim(), 2);
+  AUTOCTS_CHECK_EQ(x.dim(-1), num_channels_);
+  const int64_t rows = x.size() / num_channels_;
+  const Variable flat = ag::Reshape(x, {rows, num_channels_});
+
+  Variable normalized;
+  if (training()) {
+    const Variable mean = ag::Mean(flat, /*axis=*/0, /*keepdim=*/true);
+    const Variable centered = ag::Sub(flat, mean);
+    const Variable variance =
+        ag::Mean(ag::Mul(centered, centered), /*axis=*/0, /*keepdim=*/true);
+    normalized = ag::Div(
+        centered, ag::Sqrt(ag::AddScalar(variance, epsilon_)));
+    // Update running statistics with detached batch statistics.
+    const Tensor batch_mean = mean.value().Reshape({num_channels_});
+    const Tensor batch_var = variance.value().Reshape({num_channels_});
+    ScaleInPlace(&running_mean_, 1.0 - momentum_);
+    AddInPlace(&running_mean_, MulScalar(batch_mean, momentum_));
+    ScaleInPlace(&running_var_, 1.0 - momentum_);
+    AddInPlace(&running_var_, MulScalar(batch_var, momentum_));
+  } else {
+    const Variable mean = ag::Constant(running_mean_.Clone());
+    const Variable variance = ag::Constant(running_var_.Clone());
+    normalized = ag::Div(ag::Sub(flat, mean),
+                         ag::Sqrt(ag::AddScalar(variance, epsilon_)));
+  }
+  const Variable scaled = ag::Add(ag::Mul(normalized, gamma_), beta_);
+  return ag::Reshape(scaled, x.shape());
+}
+
+}  // namespace autocts::nn

@@ -1,0 +1,38 @@
+// Batch normalization over the last (channel) dimension.
+//
+// AutoCTS applies the DARTS "ReLU - operator - BN" pattern to all
+// parametric operators (Section 4.1.4); this module normalizes each channel
+// over every other axis of a [B, T, N, D] tensor.
+#ifndef AUTOCTS_NN_BATCH_NORM_H_
+#define AUTOCTS_NN_BATCH_NORM_H_
+
+#include "autograd/variable_ops.h"
+#include "nn/module.h"
+
+namespace autocts::nn {
+
+class BatchNorm : public Module {
+ public:
+  explicit BatchNorm(int64_t num_channels, double momentum = 0.1,
+                     double epsilon = 1e-5);
+
+  // Input [..., num_channels]. In training mode uses batch statistics and
+  // updates running estimates; in eval mode uses the running estimates.
+  Variable Forward(const Variable& x);
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int64_t num_channels_;
+  double momentum_;
+  double epsilon_;
+  Variable gamma_;  // [C] scale
+  Variable beta_;   // [C] shift
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+}  // namespace autocts::nn
+
+#endif  // AUTOCTS_NN_BATCH_NORM_H_

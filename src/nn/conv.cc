@@ -1,0 +1,47 @@
+#include "nn/conv.h"
+
+namespace autocts::nn {
+
+TemporalConv1d::TemporalConv1d(int64_t in_channels, int64_t out_channels,
+                               int64_t kernel_size, int64_t dilation,
+                               bool causal, Rng* rng, bool with_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      dilation_(dilation),
+      causal_(causal) {
+  AUTOCTS_CHECK_GE(kernel_size, 1);
+  AUTOCTS_CHECK_GE(dilation, 1);
+  weight_ = RegisterParameter(
+      "weight",
+      XavierUniform({kernel_size, in_channels, out_channels},
+                    kernel_size * in_channels, out_channels, rng));
+  if (with_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_channels}));
+  }
+}
+
+Variable TemporalConv1d::Forward(const Variable& x) const {
+  AUTOCTS_CHECK_EQ(x.ndim(), 4);
+  AUTOCTS_CHECK_EQ(x.dim(3), in_channels_);
+  const int64_t receptive = (kernel_size_ - 1) * dilation_;
+  // Left-pad for causal mode so output time t only depends on inputs <= t.
+  Variable padded = causal_ ? ag::Pad(x, /*axis=*/1, receptive, 0) : x;
+  const int64_t out_t = padded.dim(1) - receptive;
+  AUTOCTS_CHECK_GT(out_t, 0) << "input too short for kernel";
+
+  // out[:, t] = sum_k x_padded[:, t + k*dilation] @ W[k]
+  Variable result;
+  for (int64_t k = 0; k < kernel_size_; ++k) {
+    const Variable window =
+        ag::Slice(padded, /*axis=*/1, k * dilation_, out_t);
+    const Variable kernel = ag::Reshape(
+        ag::Slice(weight_, /*axis=*/0, k, 1), {in_channels_, out_channels_});
+    const Variable term = ag::MatMul(window, kernel);
+    result = k == 0 ? term : ag::Add(result, term);
+  }
+  if (bias_.defined()) result = ag::Add(result, bias_);
+  return result;
+}
+
+}  // namespace autocts::nn

@@ -1,0 +1,44 @@
+// Temporal (1-D) convolution over the time axis of [B, T, N, D] inputs.
+//
+// This is the convolution shape used by all T-operators in the AutoCTS
+// search space (Table 1 of the paper): weights are shared across the N time
+// series, and the kernel slides along T with optional dilation.
+#ifndef AUTOCTS_NN_CONV_H_
+#define AUTOCTS_NN_CONV_H_
+
+#include "autograd/variable_ops.h"
+#include "nn/module.h"
+
+namespace autocts::nn {
+
+// 1-D convolution along axis 1 (time) of a [B, T, N, D_in] input.
+//
+// With `causal` the input is left-padded with (kernel_size-1)*dilation zeros
+// so the output has the same T and position t only sees inputs <= t;
+// otherwise "valid" convolution shrinks T to T - (kernel_size-1)*dilation.
+class TemporalConv1d : public Module {
+ public:
+  TemporalConv1d(int64_t in_channels, int64_t out_channels,
+                 int64_t kernel_size, int64_t dilation, bool causal, Rng* rng,
+                 bool with_bias = true);
+
+  // [B, T, N, in] -> [B, T', N, out].
+  Variable Forward(const Variable& x) const;
+
+  int64_t kernel_size() const { return kernel_size_; }
+  int64_t dilation() const { return dilation_; }
+  bool causal() const { return causal_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_size_;
+  int64_t dilation_;
+  bool causal_;
+  Variable weight_;  // [kernel_size, in_channels, out_channels]
+  Variable bias_;    // [out_channels] or undefined
+};
+
+}  // namespace autocts::nn
+
+#endif  // AUTOCTS_NN_CONV_H_

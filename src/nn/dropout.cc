@@ -1,0 +1,21 @@
+#include "nn/dropout.h"
+
+namespace autocts::nn {
+
+Dropout::Dropout(double rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  AUTOCTS_CHECK_GE(rate, 0.0);
+  AUTOCTS_CHECK_LT(rate, 1.0);
+}
+
+Variable Dropout::Forward(const Variable& x) {
+  if (!training() || rate_ == 0.0) return x;
+  Tensor mask(x.shape());
+  const double keep = 1.0 - rate_;
+  const double scale = 1.0 / keep;
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng_.Bernoulli(keep) ? scale : 0.0;
+  }
+  return ag::Mul(x, ag::Constant(mask));
+}
+
+}  // namespace autocts::nn

@@ -1,0 +1,27 @@
+// Inverted dropout.
+#ifndef AUTOCTS_NN_DROPOUT_H_
+#define AUTOCTS_NN_DROPOUT_H_
+
+#include "autograd/variable_ops.h"
+#include "nn/module.h"
+
+namespace autocts::nn {
+
+// Zeroes each element with probability `rate` during training and scales
+// the survivors by 1/(1-rate); identity in eval mode.
+class Dropout : public Module {
+ public:
+  Dropout(double rate, uint64_t seed);
+
+  Variable Forward(const Variable& x);
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+}  // namespace autocts::nn
+
+#endif  // AUTOCTS_NN_DROPOUT_H_

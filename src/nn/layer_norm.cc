@@ -1,0 +1,22 @@
+#include "nn/layer_norm.h"
+
+namespace autocts::nn {
+
+LayerNorm::LayerNorm(int64_t num_features, double epsilon)
+    : num_features_(num_features), epsilon_(epsilon) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({num_features}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({num_features}));
+}
+
+Variable LayerNorm::Forward(const Variable& x) const {
+  AUTOCTS_CHECK_EQ(x.dim(-1), num_features_);
+  const Variable mean = ag::Mean(x, /*axis=*/-1, /*keepdim=*/true);
+  const Variable centered = ag::Sub(x, mean);
+  const Variable variance =
+      ag::Mean(ag::Mul(centered, centered), /*axis=*/-1, /*keepdim=*/true);
+  const Variable normalized =
+      ag::Div(centered, ag::Sqrt(ag::AddScalar(variance, epsilon_)));
+  return ag::Add(ag::Mul(normalized, gamma_), beta_);
+}
+
+}  // namespace autocts::nn

@@ -1,0 +1,28 @@
+// Layer normalization over the last (feature) dimension.
+#ifndef AUTOCTS_NN_LAYER_NORM_H_
+#define AUTOCTS_NN_LAYER_NORM_H_
+
+#include "autograd/variable_ops.h"
+#include "nn/module.h"
+
+namespace autocts::nn {
+
+// Normalizes each position's feature vector to zero mean / unit variance,
+// then applies a learned per-feature affine transform.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t num_features, double epsilon = 1e-5);
+
+  // Input [..., num_features].
+  Variable Forward(const Variable& x) const;
+
+ private:
+  int64_t num_features_;
+  double epsilon_;
+  Variable gamma_;
+  Variable beta_;
+};
+
+}  // namespace autocts::nn
+
+#endif  // AUTOCTS_NN_LAYER_NORM_H_

@@ -1,0 +1,24 @@
+#include "nn/linear.h"
+
+namespace autocts::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", XavierUniform({in_features, out_features}, in_features,
+                              out_features, rng));
+  if (with_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  AUTOCTS_CHECK_GE(x.ndim(), 2);
+  AUTOCTS_CHECK_EQ(x.dim(-1), in_features_);
+  Variable y = ag::MatMul(x, weight_);
+  if (bias_.defined()) y = ag::Add(y, bias_);
+  return y;
+}
+
+}  // namespace autocts::nn

@@ -1,0 +1,33 @@
+// Affine transformation over the last (feature) dimension.
+#ifndef AUTOCTS_NN_LINEAR_H_
+#define AUTOCTS_NN_LINEAR_H_
+
+#include "autograd/variable_ops.h"
+#include "nn/module.h"
+
+namespace autocts::nn {
+
+// y = x W + b, applied to the last dim of an input of rank >= 2.
+class Linear : public Module {
+ public:
+  // Creates a layer mapping `in_features` to `out_features`. Weights use
+  // Xavier-uniform initialization; the bias (if any) starts at zero.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool with_bias = true);
+
+  // Input [..., in_features] -> output [..., out_features].
+  Variable Forward(const Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Variable weight_;  // [in_features, out_features]
+  Variable bias_;    // [out_features] or undefined
+};
+
+}  // namespace autocts::nn
+
+#endif  // AUTOCTS_NN_LINEAR_H_

@@ -1,0 +1,125 @@
+#include "nn/state_dict.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/text_codec.h"
+
+namespace autocts::nn {
+
+std::string SaveStateDict(const Module& module) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& [name, parameter] : module.NamedParameters()) {
+    const Tensor& value = parameter.value();
+    out << "param = " << name << " " << value.ndim();
+    for (int64_t d : value.shape()) out << " " << d;
+    for (int64_t i = 0; i < value.size(); ++i) out << " " << value.data()[i];
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status LoadStateDict(Module* module, const std::string& text) {
+  AUTOCTS_CHECK(module != nullptr);
+  StatusOr<TextReader> reader = TextReader::Parse(text);
+  if (!reader.ok()) return reader.status();
+
+  // Parse all records first.
+  std::vector<std::pair<std::string, Tensor>> records;
+  for (const std::string& record : reader.value().GetAll("param")) {
+    std::istringstream stream(record);
+    std::string name;
+    int64_t ndim = 0;
+    if (!(stream >> name >> ndim) || ndim < 0 || ndim > 8) {
+      return Status::InvalidArgument("malformed param record: " + record);
+    }
+    Shape shape(ndim);
+    for (int64_t d = 0; d < ndim; ++d) {
+      if (!(stream >> shape[d]) || shape[d] < 0) {
+        return Status::InvalidArgument("bad shape in record: " + name);
+      }
+    }
+    Tensor value(shape);
+    for (int64_t i = 0; i < value.size(); ++i) {
+      if (!(stream >> value.data()[i])) {
+        return Status::InvalidArgument("truncated values for: " + name);
+      }
+    }
+    double extra;
+    if (stream >> extra) {
+      return Status::InvalidArgument("trailing values for: " + name);
+    }
+    records.emplace_back(name, value);
+  }
+
+  // Match against the module's parameters.
+  std::vector<std::pair<std::string, Variable>> parameters =
+      module->NamedParameters();
+  if (records.size() != parameters.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " +
+        std::to_string(records.size()) + ", module has " +
+        std::to_string(parameters.size()));
+  }
+  for (auto& [name, parameter] : parameters) {
+    const Tensor* found = nullptr;
+    for (const auto& [record_name, value] : records) {
+      if (record_name == name) {
+        found = &value;
+        break;
+      }
+    }
+    if (found == nullptr) return Status::NotFound("missing parameter: " + name);
+    if (found->shape() != parameter.shape()) {
+      return Status::InvalidArgument("shape mismatch for: " + name);
+    }
+  }
+  // All validated; now write values.
+  for (auto& [name, parameter] : parameters) {
+    for (const auto& [record_name, value] : records) {
+      if (record_name == name) {
+        parameter.mutable_value() = value.Clone();
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status SaveStateDictToFile(const Module& module, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << SaveStateDict(module);
+  return out ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+Status LoadStateDictFromFile(Module* module, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  return LoadStateDict(module, text);
+}
+
+ParameterSnapshot::ParameterSnapshot(const Module& module) {
+  for (const auto& [name, parameter] : module.NamedParameters()) {
+    values_.emplace_back(name, parameter.value().Clone());
+  }
+}
+
+void ParameterSnapshot::Restore(Module* module) const {
+  AUTOCTS_CHECK(module != nullptr);
+  std::vector<std::pair<std::string, Variable>> parameters =
+      module->NamedParameters();
+  AUTOCTS_CHECK_EQ(parameters.size(), values_.size())
+      << "snapshot/module structure mismatch";
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    AUTOCTS_CHECK(parameters[i].first == values_[i].first)
+        << "snapshot/module parameter order mismatch at " << i;
+    AUTOCTS_CHECK(parameters[i].second.shape() == values_[i].second.shape());
+    parameters[i].second.mutable_value() = values_[i].second.Clone();
+  }
+}
+
+}  // namespace autocts::nn

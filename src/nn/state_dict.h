@@ -1,0 +1,46 @@
+// Parameter (de)serialization: save and restore the trained weights of any
+// Module by parameter name, in a line-oriented text format (no third-party
+// dependency). Used for checkpointing, best-weights restore, and shipping
+// trained forecasting models next to their genotypes.
+//
+// Format (one record per parameter):
+//   param = <name> <ndim> <dim0> ... <dimk> <v0> <v1> ... <vn>
+#ifndef AUTOCTS_NN_STATE_DICT_H_
+#define AUTOCTS_NN_STATE_DICT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace autocts::nn {
+
+// Serializes every named parameter of `module`.
+std::string SaveStateDict(const Module& module);
+
+// Restores parameter values into `module`. Every parameter of the module
+// must be present in the text with a matching shape; unknown extra records
+// are rejected too (they signal an architecture mismatch).
+Status LoadStateDict(Module* module, const std::string& text);
+
+// Convenience file wrappers.
+Status SaveStateDictToFile(const Module& module, const std::string& path);
+Status LoadStateDictFromFile(Module* module, const std::string& path);
+
+// In-memory snapshot/restore used for best-validation-weights tracking.
+// Snapshot captures deep copies of all parameter values.
+class ParameterSnapshot {
+ public:
+  // Captures the current values of `module`'s parameters.
+  explicit ParameterSnapshot(const Module& module);
+
+  // Writes the captured values back (module must have identical structure).
+  void Restore(Module* module) const;
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> values_;
+};
+
+}  // namespace autocts::nn
+
+#endif  // AUTOCTS_NN_STATE_DICT_H_

@@ -1,0 +1,113 @@
+#include "ops/attention_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::ops {
+
+AttentionOpBase::AttentionOpBase(const OpContext& context, bool temporal,
+                                 bool sparse)
+    : temporal_(temporal),
+      sparse_(sparse),
+      attention_factor_(context.attention_factor),
+      channels_(context.channels),
+      query_proj_(context.channels, context.channels, context.rng),
+      key_proj_(context.channels, context.channels, context.rng),
+      value_proj_(context.channels, context.channels, context.rng),
+      output_proj_(context.channels, context.channels, context.rng) {
+  RegisterModule("query", &query_proj_);
+  RegisterModule("key", &key_proj_);
+  RegisterModule("value", &value_proj_);
+  RegisterModule("output", &output_proj_);
+}
+
+Variable AttentionOpBase::Forward(const Variable& x) {
+  AUTOCTS_CHECK_EQ(x.ndim(), 4);
+  // Move the attended axis into the last-but-one position:
+  //   temporal: [B, T, N, D] -> [B, N, T, D]; spatial: already [B, T, N, D].
+  const Variable sequences = temporal_ ? ag::Transpose(x, 1, 2) : x;
+  const Variable q = query_proj_.Forward(sequences);
+  const Variable k = key_proj_.Forward(sequences);
+  const Variable v = value_proj_.Forward(sequences);
+  Variable attended =
+      sparse_ ? SparseAttention(q, k, v) : FullAttention(q, k, v);
+  attended = output_proj_.Forward(attended);
+  return temporal_ ? ag::Transpose(attended, 1, 2) : attended;
+}
+
+Variable AttentionOpBase::FullAttention(const Variable& q, const Variable& k,
+                                        const Variable& v) const {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(channels_));
+  const Variable scores = ag::MulScalar(
+      ag::MatMul(q, ag::Transpose(k, -2, -1)), scale);
+  return ag::MatMul(ag::Softmax(scores, /*axis=*/-1), v);
+}
+
+Variable AttentionOpBase::SparseAttention(const Variable& q, const Variable& k,
+                                          const Variable& v) const {
+  const int64_t length = q.dim(-2);
+  const int64_t u = std::min<int64_t>(
+      length,
+      std::max<int64_t>(
+          1, static_cast<int64_t>(std::ceil(
+                 attention_factor_ * std::log(static_cast<double>(length) + 1.0)))));
+  if (u >= length) return FullAttention(q, k, v);
+
+  const double scale = 1.0 / std::sqrt(static_cast<double>(channels_));
+
+  // Sparsity measurement M(q_i) = max_j s_ij - mean_j s_ij, computed on
+  // detached values and averaged over all batch rows so one shared index
+  // set is used (see header).
+  const Tensor raw_scores =
+      MulScalar(MatMul(q.value(), k.value().Transpose(-2, -1)), scale);
+  const Tensor flat =
+      raw_scores.Reshape({-1, length, length});  // [rows, L, L]
+  const int64_t rows = flat.dim(0);
+  std::vector<double> measurement(length, 0.0);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t i = 0; i < length; ++i) {
+      const double* row = flat.data() + (r * length + i) * length;
+      double max_score = row[0];
+      double sum = 0.0;
+      for (int64_t j = 0; j < length; ++j) {
+        max_score = std::max(max_score, row[j]);
+        sum += row[j];
+      }
+      measurement[i] += max_score - sum / static_cast<double>(length);
+    }
+  }
+  std::vector<int64_t> order(length);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + u, order.end(),
+                    [&measurement](int64_t a, int64_t b) {
+                      return measurement[a] > measurement[b];
+                    });
+  std::vector<int64_t> active(order.begin(), order.begin() + u);
+  std::sort(active.begin(), active.end());
+
+  // Active queries attend normally.
+  const Variable q_active = ag::IndexSelect(q, /*axis=*/-2, active);
+  const Variable scores = ag::MulScalar(
+      ag::MatMul(q_active, ag::Transpose(k, -2, -1)), scale);
+  const Variable attended_active =
+      ag::MatMul(ag::Softmax(scores, /*axis=*/-1), v);  // [.., u, D]
+
+  // Lazy queries output mean(V); scatter the active rows on top using a
+  // constant one-hot selection matrix S [L, u] and a lazy-row mask [L, 1].
+  Tensor select({length, u});
+  Tensor lazy_mask = Tensor::Ones({length, 1});
+  for (int64_t j = 0; j < u; ++j) {
+    select.data()[active[j] * u + j] = 1.0;
+    lazy_mask.data()[active[j]] = 0.0;
+  }
+  const Variable mean_v = ag::Mean(v, /*axis=*/-2, /*keepdim=*/true);
+  const Variable lazy_part = ag::Mul(ag::Constant(lazy_mask), mean_v);
+  const Variable active_part =
+      ag::MatMul(ag::Constant(select), attended_active);
+  return ag::Add(active_part, lazy_part);
+}
+
+}  // namespace autocts::ops

@@ -1,0 +1,84 @@
+// Attention-family operators of Table 1:
+//   Transformer over time (Eq. 12) and over nodes (Eq. 16);
+//   Informer (ProbSparse attention) over time (Eq. 13) and nodes (Eq. 17).
+//
+// Informer's smp(.) query sampling: queries are ranked by the sparsity
+// measurement M(q) = max_j(q k_j / sqrt(d)) - mean_j(q k_j / sqrt(d)), and
+// only the top u = ceil(c ln L) queries attend; the remaining ("lazy")
+// queries output the mean of V, exactly as in Zhou et al. (2021). One
+// simplification for this substrate: the measurement is averaged across
+// batch rows so the selected indices are shared per forward pass, which
+// keeps the gather/scatter dense while exercising the same sampled-query
+// code path.
+#ifndef AUTOCTS_OPS_ATTENTION_OPS_H_
+#define AUTOCTS_OPS_ATTENTION_OPS_H_
+
+#include "nn/linear.h"
+#include "ops/st_operator.h"
+
+namespace autocts::ops {
+
+// Shared single-head scaled dot-product attention machinery. The axis over
+// which attention operates is selected by `temporal`:
+//   temporal: sequence axis = T (per node);  spatial: sequence axis = N
+//   (per timestep).
+class AttentionOpBase : public StOperator {
+ public:
+  AttentionOpBase(const OpContext& context, bool temporal, bool sparse);
+
+  Variable Forward(const Variable& x) final;
+
+ protected:
+  // Full attention over the last-but-one axis of [.., L, D] inputs.
+  Variable FullAttention(const Variable& q, const Variable& k,
+                         const Variable& v) const;
+  // ProbSparse attention (Informer).
+  Variable SparseAttention(const Variable& q, const Variable& k,
+                           const Variable& v) const;
+
+ private:
+  bool temporal_;
+  bool sparse_;
+  double attention_factor_;
+  int64_t channels_;
+  nn::Linear query_proj_;
+  nn::Linear key_proj_;
+  nn::Linear value_proj_;
+  nn::Linear output_proj_;
+};
+
+// Eq. 12: full self-attention along time, per node.
+class TransformerTOp : public AttentionOpBase {
+ public:
+  explicit TransformerTOp(const OpContext& context)
+      : AttentionOpBase(context, /*temporal=*/true, /*sparse=*/false) {}
+  std::string name() const override { return "trans_t"; }
+};
+
+// Eq. 13: Informer (ProbSparse) attention along time, per node (INF-T).
+class InformerTOp : public AttentionOpBase {
+ public:
+  explicit InformerTOp(const OpContext& context)
+      : AttentionOpBase(context, /*temporal=*/true, /*sparse=*/true) {}
+  std::string name() const override { return "inf_t"; }
+};
+
+// Eq. 16: full self-attention across nodes, per timestep.
+class TransformerSOp : public AttentionOpBase {
+ public:
+  explicit TransformerSOp(const OpContext& context)
+      : AttentionOpBase(context, /*temporal=*/false, /*sparse=*/false) {}
+  std::string name() const override { return "trans_s"; }
+};
+
+// Eq. 17: Informer attention across nodes, per timestep (INF-S).
+class InformerSOp : public AttentionOpBase {
+ public:
+  explicit InformerSOp(const OpContext& context)
+      : AttentionOpBase(context, /*temporal=*/false, /*sparse=*/true) {}
+  std::string name() const override { return "inf_s"; }
+};
+
+}  // namespace autocts::ops
+
+#endif  // AUTOCTS_OPS_ATTENTION_OPS_H_

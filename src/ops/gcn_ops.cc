@@ -1,0 +1,120 @@
+#include "ops/gcn_ops.h"
+
+namespace autocts::ops {
+namespace {
+
+// Applies an [N, N] propagation matrix to [.., N, D] representations.
+Variable Propagate(const Variable& matrix, const Variable& x) {
+  return ag::MatMul(matrix, x);
+}
+
+}  // namespace
+
+GraphDiffusionConv::GraphDiffusionConv(
+    int64_t in_dim, int64_t out_dim, int64_t max_step, const Tensor& adjacency,
+    std::shared_ptr<graph::AdaptiveAdjacency> adaptive, Rng* rng)
+    : max_step_(max_step), adaptive_(std::move(adaptive)) {
+  AUTOCTS_CHECK(adjacency.defined() || adaptive_ != nullptr)
+      << "diffusion GCN requires a graph";
+  AUTOCTS_CHECK(rng != nullptr);
+  if (adjacency.defined()) {
+    graph::DiffusionTransitions transitions =
+        graph::BuildDiffusionTransitions(adjacency, max_step_);
+    forward_powers_ = std::move(transitions.forward);
+    backward_powers_ = std::move(transitions.backward);
+    adaptive_ = nullptr;  // Predefined graph takes precedence.
+  }
+  for (int64_t k = 0; k <= max_step_; ++k) {
+    forward_weights_.push_back(std::make_unique<nn::Linear>(in_dim, out_dim, rng));
+    backward_weights_.push_back(
+        std::make_unique<nn::Linear>(in_dim, out_dim, rng));
+    RegisterModule("forward_w" + std::to_string(k),
+                   forward_weights_.back().get());
+    RegisterModule("backward_w" + std::to_string(k),
+                   backward_weights_.back().get());
+  }
+}
+
+Variable GraphDiffusionConv::Forward(const Variable& x) const {
+  Variable result;
+  if (!forward_powers_.empty()) {
+    for (int64_t k = 0; k <= max_step_; ++k) {
+      Variable term = forward_weights_[k]->Forward(
+          Propagate(ag::Constant(forward_powers_[k]), x));
+      term = ag::Add(term, backward_weights_[k]->Forward(Propagate(
+                               ag::Constant(backward_powers_[k]), x)));
+      result = k == 0 ? term : ag::Add(result, term);
+    }
+    return result;
+  }
+  // Learned graph: build differentiable random-walk powers.
+  const Variable forward_adj = adaptive_->Forward();
+  const Variable backward_adj = adaptive_->ForwardReverse();
+  Variable x_forward = x;
+  Variable x_backward = x;
+  for (int64_t k = 0; k <= max_step_; ++k) {
+    if (k > 0) {
+      x_forward = Propagate(forward_adj, x_forward);
+      x_backward = Propagate(backward_adj, x_backward);
+    }
+    Variable term = forward_weights_[k]->Forward(x_forward);
+    term = ag::Add(term, backward_weights_[k]->Forward(x_backward));
+    result = k == 0 ? term : ag::Add(result, term);
+  }
+  return result;
+}
+
+DgcnOp::DgcnOp(const OpContext& context)
+    : conv_(context.channels, context.channels, context.max_diffusion_step,
+            context.adjacency, context.adaptive, context.rng) {
+  RegisterModule("conv", &conv_);
+}
+
+Variable DgcnOp::Forward(const Variable& x) { return conv_.Forward(x); }
+
+ChebGcnOp::ChebGcnOp(const OpContext& context)
+    : order_(context.cheb_order), adaptive_(context.adaptive) {
+  AUTOCTS_CHECK(context.HasGraph()) << "ChebGCN requires a graph";
+  AUTOCTS_CHECK(context.rng != nullptr);
+  AUTOCTS_CHECK_GE(order_, 1);
+  if (context.adjacency.defined()) {
+    polynomials_ = graph::ChebyshevPolynomials(
+        graph::ScaledLaplacian(context.adjacency), order_);
+    adaptive_ = nullptr;
+  }
+  for (int64_t k = 0; k < order_; ++k) {
+    weights_.push_back(std::make_unique<nn::Linear>(
+        context.channels, context.channels, context.rng));
+    RegisterModule("w" + std::to_string(k), weights_.back().get());
+  }
+}
+
+Variable ChebGcnOp::Forward(const Variable& x) {
+  if (!polynomials_.empty()) {
+    Variable result;
+    for (int64_t k = 0; k < order_; ++k) {
+      const Variable term = weights_[k]->Forward(
+          Propagate(ag::Constant(polynomials_[k]), x));
+      result = k == 0 ? term : ag::Add(result, term);
+    }
+    return result;
+  }
+  // Learned graph: Chebyshev recursion T_0 = I, T_1 = A,
+  // T_k = 2 A T_{k-1} - T_{k-2}, applied to x directly.
+  const Variable adj = adaptive_->Forward();
+  Variable result = weights_[0]->Forward(x);  // T_0 x = x
+  if (order_ == 1) return result;
+  Variable prev2 = x;
+  Variable prev1 = Propagate(adj, x);
+  result = ag::Add(result, weights_[1]->Forward(prev1));
+  for (int64_t k = 2; k < order_; ++k) {
+    const Variable current =
+        ag::Sub(ag::MulScalar(Propagate(adj, prev1), 2.0), prev2);
+    result = ag::Add(result, weights_[k]->Forward(current));
+    prev2 = prev1;
+    prev1 = current;
+  }
+  return result;
+}
+
+}  // namespace autocts::ops

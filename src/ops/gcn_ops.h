@@ -1,0 +1,70 @@
+// GCN-family S-operators of Table 1:
+//   Chebyshev GCN (Eq. 14): H_t = sum_k W_k T_k(L~) Z_t
+//   Diffusion GCN (Eq. 15): H_t = sum_k (D_O^-1 A)^k Z_t W1_k
+//                                  + (D_I^-1 A^T)^k Z_t W2_k
+//
+// With a predefined adjacency the propagation matrices are precomputed
+// constants; without one they are built (differentiably) from the shared
+// adaptive adjacency, matching the data-driven graphs of Graph WaveNet /
+// AGCRN / MTGNN that the paper cites.
+#ifndef AUTOCTS_OPS_GCN_OPS_H_
+#define AUTOCTS_OPS_GCN_OPS_H_
+
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "nn/linear.h"
+#include "ops/st_operator.h"
+
+namespace autocts::ops {
+
+// Generic diffusion graph convolution with independent input/output widths,
+// reused by DgcnOp, the DCGRU cell of DCRNN, and MTGNN's mix-hop layer.
+class GraphDiffusionConv : public nn::Module {
+ public:
+  GraphDiffusionConv(int64_t in_dim, int64_t out_dim, int64_t max_step,
+                     const Tensor& adjacency,
+                     std::shared_ptr<graph::AdaptiveAdjacency> adaptive,
+                     Rng* rng);
+
+  // [B, T, N, in_dim] (or [B, N, in_dim]) -> same shape with out_dim.
+  Variable Forward(const Variable& x) const;
+
+ private:
+  int64_t max_step_;
+  std::shared_ptr<graph::AdaptiveAdjacency> adaptive_;
+  std::vector<Tensor> forward_powers_;   // precomputed when adjacency given
+  std::vector<Tensor> backward_powers_;
+  std::vector<std::unique_ptr<nn::Linear>> forward_weights_;
+  std::vector<std::unique_ptr<nn::Linear>> backward_weights_;
+};
+
+// Diffusion GCN operator (Eq. 15); the strongest GCN-family variant per the
+// paper's Table 3 comparison.
+class DgcnOp : public StOperator {
+ public:
+  explicit DgcnOp(const OpContext& context);
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "dgcn"; }
+
+ private:
+  GraphDiffusionConv conv_;
+};
+
+// Chebyshev GCN (Eq. 14).
+class ChebGcnOp : public StOperator {
+ public:
+  explicit ChebGcnOp(const OpContext& context);
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "cheb_gcn"; }
+
+ private:
+  int64_t order_;
+  std::shared_ptr<graph::AdaptiveAdjacency> adaptive_;
+  std::vector<Tensor> polynomials_;  // precomputed when adjacency given
+  std::vector<std::unique_ptr<nn::Linear>> weights_;
+};
+
+}  // namespace autocts::ops
+
+#endif  // AUTOCTS_OPS_GCN_OPS_H_

@@ -1,0 +1,47 @@
+// String-keyed factory for S/T operators.
+//
+// New operators can be registered at runtime, which is exactly the
+// extensibility argument of Section 3.1: "whenever a new S/T-operator is
+// designed, the new S/T-operator can be easily included in the search
+// space" (see examples/custom_operator.cpp).
+#ifndef AUTOCTS_OPS_OP_REGISTRY_H_
+#define AUTOCTS_OPS_OP_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ops/st_operator.h"
+
+namespace autocts::ops {
+
+using OpFactory = std::function<StOperatorPtr(const OpContext&)>;
+
+// Global operator registry (not thread-safe; populate before searching).
+class OpRegistry {
+ public:
+  static OpRegistry& Global();
+
+  // Registers `factory` under `name`; CHECK-fails on duplicates.
+  void Register(const std::string& name, OpFactory factory);
+  bool Contains(const std::string& name) const;
+  // Instantiates the operator; NotFound if the name is unknown.
+  StatusOr<StOperatorPtr> Create(const std::string& name,
+                                 const OpContext& context) const;
+  // All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  OpRegistry();
+  std::vector<std::pair<std::string, OpFactory>> factories_;
+};
+
+// Convenience wrapper around OpRegistry::Global().Create that CHECK-fails
+// on unknown names (used by the search code, where names come from a
+// validated operator set).
+StOperatorPtr CreateOp(const std::string& name, const OpContext& context);
+
+}  // namespace autocts::ops
+
+#endif  // AUTOCTS_OPS_OP_REGISTRY_H_

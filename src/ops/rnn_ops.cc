@@ -1,0 +1,106 @@
+#include "ops/rnn_ops.h"
+
+namespace autocts::ops {
+namespace {
+
+// Zero state matching `x` with the feature dim replaced by `hidden`.
+Variable ZeroState(const Variable& x, int64_t hidden) {
+  Shape shape = x.shape();
+  shape.back() = hidden;
+  return ag::Constant(Tensor::Zeros(shape));
+}
+
+}  // namespace
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      gates_(input_dim + hidden_dim, 4 * hidden_dim, rng) {
+  RegisterModule("gates", &gates_);
+}
+
+LstmCell::State LstmCell::Forward(const Variable& x,
+                                  const State& state) const {
+  const Variable joined = ag::Concat({x, state.h}, /*axis=*/-1);
+  const Variable gates = gates_.Forward(joined);
+  const Variable i = ag::Sigmoid(ag::Slice(gates, -1, 0, hidden_dim_));
+  const Variable f =
+      ag::Sigmoid(ag::Slice(gates, -1, hidden_dim_, hidden_dim_));
+  const Variable g =
+      ag::Tanh(ag::Slice(gates, -1, 2 * hidden_dim_, hidden_dim_));
+  const Variable o =
+      ag::Sigmoid(ag::Slice(gates, -1, 3 * hidden_dim_, hidden_dim_));
+  State next;
+  next.c = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+  next.h = ag::Mul(o, ag::Tanh(next.c));
+  return next;
+}
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      zr_gates_(input_dim + hidden_dim, 2 * hidden_dim, rng),
+      candidate_(input_dim + hidden_dim, hidden_dim, rng) {
+  RegisterModule("zr_gates", &zr_gates_);
+  RegisterModule("candidate", &candidate_);
+}
+
+Variable GruCell::Forward(const Variable& x, const Variable& h) const {
+  const Variable joined = ag::Concat({x, h}, /*axis=*/-1);
+  const Variable zr = zr_gates_.Forward(joined);
+  const Variable z = ag::Sigmoid(ag::Slice(zr, -1, 0, hidden_dim_));
+  const Variable r = ag::Sigmoid(ag::Slice(zr, -1, hidden_dim_, hidden_dim_));
+  const Variable candidate = ag::Tanh(
+      candidate_.Forward(ag::Concat({x, ag::Mul(r, h)}, /*axis=*/-1)));
+  // h' = z * h + (1 - z) * candidate
+  return ag::Add(ag::Mul(z, h),
+                 ag::Mul(ag::AddScalar(ag::Neg(z), 1.0), candidate));
+}
+
+LstmOp::LstmOp(const OpContext& context)
+    : cell_(context.channels, context.channels, context.rng) {
+  RegisterModule("cell", &cell_);
+}
+
+Variable LstmOp::Forward(const Variable& x) {
+  AUTOCTS_CHECK_EQ(x.ndim(), 4);
+  const int64_t steps = x.dim(1);
+  LstmCell::State state;
+  const Variable first = ag::Reshape(
+      ag::Slice(x, 1, 0, 1), {x.dim(0), x.dim(2), x.dim(3)});
+  state.h = ZeroState(first, cell_.hidden_dim());
+  state.c = ZeroState(first, cell_.hidden_dim());
+  std::vector<Variable> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    const Variable x_t = ag::Reshape(ag::Slice(x, 1, t, 1),
+                                     {x.dim(0), x.dim(2), x.dim(3)});
+    state = cell_.Forward(x_t, state);
+    outputs.push_back(ag::Reshape(
+        state.h, {x.dim(0), 1, x.dim(2), cell_.hidden_dim()}));
+  }
+  return ag::Concat(outputs, /*axis=*/1);
+}
+
+GruOp::GruOp(const OpContext& context)
+    : cell_(context.channels, context.channels, context.rng) {
+  RegisterModule("cell", &cell_);
+}
+
+Variable GruOp::Forward(const Variable& x) {
+  AUTOCTS_CHECK_EQ(x.ndim(), 4);
+  const int64_t steps = x.dim(1);
+  const Variable first = ag::Reshape(
+      ag::Slice(x, 1, 0, 1), {x.dim(0), x.dim(2), x.dim(3)});
+  Variable h = ZeroState(first, cell_.hidden_dim());
+  std::vector<Variable> outputs;
+  outputs.reserve(steps);
+  for (int64_t t = 0; t < steps; ++t) {
+    const Variable x_t = ag::Reshape(ag::Slice(x, 1, t, 1),
+                                     {x.dim(0), x.dim(2), x.dim(3)});
+    h = cell_.Forward(x_t, h);
+    outputs.push_back(
+        ag::Reshape(h, {x.dim(0), 1, x.dim(2), cell_.hidden_dim()}));
+  }
+  return ag::Concat(outputs, /*axis=*/1);
+}
+
+}  // namespace autocts::ops

@@ -1,0 +1,77 @@
+// RNN-family T-operators of Table 1 (Eqs. 10-11) and the reusable
+// LSTM/GRU cells behind them.
+//
+// The paper's design principles EXCLUDE the RNN family from the compact
+// operator set (Section 3.2.3 / Figure 6); these operators exist for
+// (a) the "w/o design principles" ablation that searches over all operators
+// in Table 1, and (b) the DCRNN / AGCRN / LSTNet / TPA-LSTM baselines.
+#ifndef AUTOCTS_OPS_RNN_OPS_H_
+#define AUTOCTS_OPS_RNN_OPS_H_
+
+#include <utility>
+
+#include "nn/linear.h"
+#include "ops/st_operator.h"
+
+namespace autocts::ops {
+
+// One LSTM step: gates from [x, h]; works on any [..., D] input shape.
+class LstmCell : public nn::Module {
+ public:
+  LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  struct State {
+    Variable h;
+    Variable c;
+  };
+
+  // x: [..., input_dim]; state tensors: [..., hidden_dim].
+  State Forward(const Variable& x, const State& state) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  nn::Linear gates_;  // [input+hidden] -> 4*hidden (i, f, g, o)
+};
+
+// One GRU step.
+class GruCell : public nn::Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  Variable Forward(const Variable& x, const Variable& h) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  nn::Linear zr_gates_;  // [input+hidden] -> 2*hidden (z, r)
+  nn::Linear candidate_;  // [input+hidden] -> hidden
+};
+
+// Eq. 10: per-node LSTM along time; outputs the hidden sequence.
+class LstmOp : public StOperator {
+ public:
+  explicit LstmOp(const OpContext& context);
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "lstm"; }
+
+ private:
+  LstmCell cell_;
+};
+
+// Eq. 11: per-node GRU along time.
+class GruOp : public StOperator {
+ public:
+  explicit GruOp(const OpContext& context);
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "gru"; }
+
+ private:
+  GruCell cell_;
+};
+
+}  // namespace autocts::ops
+
+#endif  // AUTOCTS_OPS_RNN_OPS_H_

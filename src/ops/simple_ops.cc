@@ -1,0 +1,11 @@
+#include "ops/simple_ops.h"
+
+namespace autocts::ops {
+
+Variable ZeroOp::Forward(const Variable& x) {
+  return ag::MulScalar(x, 0.0);
+}
+
+Variable IdentityOp::Forward(const Variable& x) { return x; }
+
+}  // namespace autocts::ops

@@ -1,0 +1,28 @@
+// Non-parametric operators: Zero and Identity (Section 3.2.3 adds these two
+// to the compact operator set).
+#ifndef AUTOCTS_OPS_SIMPLE_OPS_H_
+#define AUTOCTS_OPS_SIMPLE_OPS_H_
+
+#include "ops/st_operator.h"
+
+namespace autocts::ops {
+
+// Outputs all zeros; lets the search drop an edge entirely.
+class ZeroOp : public StOperator {
+ public:
+  ZeroOp() = default;
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "zero"; }
+};
+
+// Passes the input through unchanged (skip connection).
+class IdentityOp : public StOperator {
+ public:
+  IdentityOp() = default;
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "identity"; }
+};
+
+}  // namespace autocts::ops
+
+#endif  // AUTOCTS_OPS_SIMPLE_OPS_H_

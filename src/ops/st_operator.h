@@ -1,0 +1,54 @@
+// Common interface and construction context for the S/T operators of
+// Table 1 in the AutoCTS paper.
+//
+// Operator contract: Forward maps [B, T, N, D] -> [B, T, N, D], preserving
+// every dimension (T-operators use causal padding), so the weighted-sum
+// mixtures of the micro/macro search spaces (Eqs. 4-6, 18) are shape-safe.
+#ifndef AUTOCTS_OPS_ST_OPERATOR_H_
+#define AUTOCTS_OPS_ST_OPERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "autograd/variable_ops.h"
+#include "graph/adaptive_adjacency.h"
+#include "nn/module.h"
+
+namespace autocts::ops {
+
+// Everything an operator needs at construction time.
+//
+// `adaptive` (a learned adjacency shared across all operators of one model)
+// is intentionally NOT registered as a submodule by operators that use it;
+// the owning model registers it exactly once so its parameters are not
+// duplicated in the parameter list.
+struct OpContext {
+  int64_t channels = 16;    // D: hidden feature width
+  int64_t num_nodes = 0;    // N
+  int64_t kernel_size = 2;  // temporal conv kernel
+  int64_t dilation = 1;     // temporal conv dilation
+  int64_t max_diffusion_step = 2;   // K in Eq. 15
+  int64_t cheb_order = 3;           // K in Eq. 14
+  double attention_factor = 2.0;    // c in u = ceil(c ln L) for Informer
+  Tensor adjacency;                 // predefined graph; may be undefined
+  std::shared_ptr<graph::AdaptiveAdjacency> adaptive;  // learned graph
+  Rng* rng = nullptr;
+
+  // True if some form of adjacency is available for GCN-family operators.
+  bool HasGraph() const { return adjacency.defined() || adaptive != nullptr; }
+};
+
+// Base class of every S/T operator.
+class StOperator : public nn::Module {
+ public:
+  // [B, T, N, D] -> [B, T, N, D].
+  virtual Variable Forward(const Variable& x) = 0;
+  // The registry name, e.g. "gdcc".
+  virtual std::string name() const = 0;
+};
+
+using StOperatorPtr = std::unique_ptr<StOperator>;
+
+}  // namespace autocts::ops
+
+#endif  // AUTOCTS_OPS_ST_OPERATOR_H_

@@ -1,0 +1,28 @@
+#include "ops/temporal_conv_ops.h"
+
+namespace autocts::ops {
+
+Conv1dOp::Conv1dOp(const OpContext& context)
+    : conv_(context.channels, context.channels, context.kernel_size,
+            context.dilation, /*causal=*/true, context.rng) {
+  RegisterModule("conv", &conv_);
+}
+
+Variable Conv1dOp::Forward(const Variable& x) { return conv_.Forward(x); }
+
+GdccOp::GdccOp(const OpContext& context)
+    : filter_conv_(context.channels, context.channels, context.kernel_size,
+                   context.dilation, /*causal=*/true, context.rng),
+      gate_conv_(context.channels, context.channels, context.kernel_size,
+                 context.dilation, /*causal=*/true, context.rng) {
+  RegisterModule("filter", &filter_conv_);
+  RegisterModule("gate", &gate_conv_);
+}
+
+Variable GdccOp::Forward(const Variable& x) {
+  const Variable filter = filter_conv_.Forward(x);
+  const Variable gate = ag::Sigmoid(gate_conv_.Forward(x));
+  return ag::Mul(filter, gate);
+}
+
+}  // namespace autocts::ops

@@ -1,0 +1,39 @@
+// CNN-family T-operators of Table 1:
+//   1D Convolution (Eq. 8):  H = Z * W
+//   Gated Dilated Causal Convolution, GDCC (Eq. 9):
+//       H = (Z * W1) (elementwise*) sigmoid(Z * W2)
+#ifndef AUTOCTS_OPS_TEMPORAL_CONV_OPS_H_
+#define AUTOCTS_OPS_TEMPORAL_CONV_OPS_H_
+
+#include "nn/conv.h"
+#include "ops/st_operator.h"
+
+namespace autocts::ops {
+
+// Plain causal 1-D convolution over time (Eq. 8).
+class Conv1dOp : public StOperator {
+ public:
+  explicit Conv1dOp(const OpContext& context);
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "conv1d"; }
+
+ private:
+  nn::TemporalConv1d conv_;
+};
+
+// Gated dilated causal convolution (Eq. 9); the strongest CNN-family
+// variant per the paper's Principle 2 analysis.
+class GdccOp : public StOperator {
+ public:
+  explicit GdccOp(const OpContext& context);
+  Variable Forward(const Variable& x) override;
+  std::string name() const override { return "gdcc"; }
+
+ private:
+  nn::TemporalConv1d filter_conv_;
+  nn::TemporalConv1d gate_conv_;
+};
+
+}  // namespace autocts::ops
+
+#endif  // AUTOCTS_OPS_TEMPORAL_CONV_OPS_H_

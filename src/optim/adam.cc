@@ -1,0 +1,51 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::optim {
+
+Adam::Adam(std::vector<Variable> parameters, Options options)
+    : Optimizer(std::move(parameters)), options_(options) {
+  learning_rate_ = options.learning_rate;
+  first_moment_.resize(parameters_.size());
+  second_moment_.resize(parameters_.size());
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double bias1 =
+      1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));
+  const double bias2 =
+      1.0 - std::pow(options_.beta2, static_cast<double>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Variable& parameter = parameters_[i];
+    if (!parameter.has_grad()) continue;
+    Tensor grad = parameter.grad().Clone();
+    if (options_.weight_decay != 0.0) {
+      AddInPlace(&grad, MulScalar(parameter.value(), options_.weight_decay));
+    }
+    if (!first_moment_[i].defined()) {
+      first_moment_[i] = Tensor::Zeros(parameter.shape());
+      second_moment_[i] = Tensor::Zeros(parameter.shape());
+    }
+    Tensor& m = first_moment_[i];
+    Tensor& v = second_moment_[i];
+    double* pm = m.data();
+    double* pv = v.data();
+    const double* pg = grad.data();
+    double* pw = parameter.mutable_value().data();
+    const int64_t n = grad.size();
+    const double lr = learning_rate_;
+    for (int64_t j = 0; j < n; ++j) {
+      pm[j] = options_.beta1 * pm[j] + (1.0 - options_.beta1) * pg[j];
+      pv[j] = options_.beta2 * pv[j] + (1.0 - options_.beta2) * pg[j] * pg[j];
+      const double m_hat = pm[j] / bias1;
+      const double v_hat = pv[j] / bias2;
+      pw[j] -= lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace autocts::optim

@@ -1,0 +1,37 @@
+// Adam optimizer (Kingma & Ba, 2014) with decoupled-style weight decay
+// applied as L2 on the gradient, matching the paper's training setup
+// (Section 4.1.4: distinct lr / betas / weight decay for architecture
+// parameters Theta and network weights w).
+#ifndef AUTOCTS_OPTIM_ADAM_H_
+#define AUTOCTS_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace autocts::optim {
+
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Variable> parameters, Options options);
+
+  void Step() override;
+
+ private:
+  Options options_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+}  // namespace autocts::optim
+
+#endif  // AUTOCTS_OPTIM_ADAM_H_

@@ -1,0 +1,35 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace autocts::optim {
+
+ExponentialSchedule::ExponentialSchedule(double initial, double gamma,
+                                         double floor)
+    : initial_(initial), gamma_(gamma), floor_(floor) {
+  AUTOCTS_CHECK_GT(gamma, 0.0);
+}
+
+double ExponentialSchedule::At(int64_t epoch) const {
+  AUTOCTS_CHECK_GE(epoch, 0);
+  return std::max(floor_, initial_ * std::pow(gamma_, static_cast<double>(epoch)));
+}
+
+CosineSchedule::CosineSchedule(double initial, double final_value,
+                               int64_t total_epochs)
+    : initial_(initial), final_(final_value), total_epochs_(total_epochs) {
+  AUTOCTS_CHECK_GT(total_epochs, 0);
+}
+
+double CosineSchedule::At(int64_t epoch) const {
+  AUTOCTS_CHECK_GE(epoch, 0);
+  const double progress = std::min(
+      1.0, static_cast<double>(epoch) / static_cast<double>(total_epochs_));
+  return final_ +
+         0.5 * (initial_ - final_) * (1.0 + std::cos(M_PI * progress));
+}
+
+}  // namespace autocts::optim

@@ -1,0 +1,37 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::optim {
+
+Optimizer::Optimizer(std::vector<Variable> parameters)
+    : parameters_(std::move(parameters)) {}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& parameter : parameters_) parameter.ClearGrad();
+}
+
+double ClipGradNorm(const std::vector<Variable>& parameters, double max_norm) {
+  AUTOCTS_CHECK_GT(max_norm, 0.0);
+  double total_sq = 0.0;
+  for (const Variable& parameter : parameters) {
+    if (!parameter.has_grad()) continue;
+    const double n = Norm(parameter.grad());
+    total_sq += n * n;
+  }
+  const double total = std::sqrt(total_sq);
+  if (total > max_norm) {
+    const double scale = max_norm / (total + 1e-12);
+    for (const Variable& parameter : parameters) {
+      if (!parameter.has_grad()) continue;
+      // Grad tensors are owned by the parameter nodes; scale in place.
+      Tensor grad = parameter.grad();
+      ScaleInPlace(&grad, scale);
+    }
+  }
+  return total;
+}
+
+}  // namespace autocts::optim

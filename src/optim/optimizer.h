@@ -1,0 +1,39 @@
+// Gradient-descent optimizers over Variable parameters.
+#ifndef AUTOCTS_OPTIM_OPTIMIZER_H_
+#define AUTOCTS_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace autocts::optim {
+
+// Base optimizer; owns handles (shared aliases) to the parameters it steps.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> parameters);
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the accumulated gradients; parameters with no
+  // gradient are skipped.
+  virtual void Step() = 0;
+
+  // Clears all accumulated gradients.
+  void ZeroGrad();
+
+  // Replaces the learning rate (used by LR schedules).
+  void SetLearningRate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<Variable> parameters_;
+  double learning_rate_ = 1e-3;
+};
+
+// Rescales all gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clipping norm.
+double ClipGradNorm(const std::vector<Variable>& parameters, double max_norm);
+
+}  // namespace autocts::optim
+
+#endif  // AUTOCTS_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,35 @@
+#include "optim/sgd.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace autocts::optim {
+
+Sgd::Sgd(std::vector<Variable> parameters, Options options)
+    : Optimizer(std::move(parameters)), options_(options) {
+  learning_rate_ = options.learning_rate;
+  velocity_.resize(parameters_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Variable& parameter = parameters_[i];
+    if (!parameter.has_grad()) continue;
+    Tensor update = parameter.grad().Clone();
+    if (options_.weight_decay != 0.0) {
+      AddInPlace(&update,
+                 MulScalar(parameter.value(), options_.weight_decay));
+    }
+    if (options_.momentum != 0.0) {
+      if (!velocity_[i].defined()) {
+        velocity_[i] = Tensor::Zeros(parameter.shape());
+      }
+      ScaleInPlace(&velocity_[i], options_.momentum);
+      AddInPlace(&velocity_[i], update);
+      update = velocity_[i].Clone();
+    }
+    ScaleInPlace(&update, -learning_rate_);
+    AddInPlace(&parameter.mutable_value(), update);
+  }
+}
+
+}  // namespace autocts::optim

@@ -1,0 +1,30 @@
+// Stochastic gradient descent with optional momentum and weight decay.
+#ifndef AUTOCTS_OPTIM_SGD_H_
+#define AUTOCTS_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace autocts::optim {
+
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-2;
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  Sgd(std::vector<Variable> parameters, Options options);
+
+  void Step() override;
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace autocts::optim
+
+#endif  // AUTOCTS_OPTIM_SGD_H_

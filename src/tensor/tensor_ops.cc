@@ -1,0 +1,464 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autocts {
+namespace {
+
+// Strides of `shape` expanded to broadcast against `out_shape`: axes of size
+// 1 (or missing on the left) get stride 0.
+std::vector<int64_t> BroadcastStrides(const Shape& shape,
+                                      const Shape& out_shape) {
+  const std::vector<int64_t> strides = RowMajorStrides(shape);
+  const int64_t out_rank = static_cast<int64_t>(out_shape.size());
+  const int64_t rank = static_cast<int64_t>(shape.size());
+  std::vector<int64_t> result(out_rank, 0);
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t out_axis = out_rank - rank + i;
+    if (shape[i] != 1) {
+      AUTOCTS_CHECK_EQ(shape[i], out_shape[out_axis])
+          << "broadcast mismatch " << ShapeToString(shape) << " vs "
+          << ShapeToString(out_shape);
+      result[out_axis] = strides[i];
+    }
+  }
+  return result;
+}
+
+template <typename Fn>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
+  if (a.shape() == b.shape()) {  // Fast path: no broadcasting.
+    Tensor out(a.shape());
+    const double* pa = a.data();
+    const double* pb = b.data();
+    double* po = out.data();
+    const int64_t n = a.size();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
+  const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  std::vector<int64_t> index(rank, 0);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  int64_t oa = 0;
+  int64_t ob = 0;
+  const int64_t n = out.size();
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = fn(pa[oa], pb[ob]);
+    for (int64_t axis = rank - 1; axis >= 0; --axis) {
+      ++index[axis];
+      oa += sa[axis];
+      ob += sb[axis];
+      if (index[axis] < out_shape[axis]) break;
+      index[axis] = 0;
+      oa -= sa[axis] * out_shape[axis];
+      ob -= sb[axis] * out_shape[axis];
+    }
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor UnaryOp(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const double* pa = a.data();
+  double* po = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+int64_t NormalizeAxis(int64_t axis, int64_t rank) {
+  if (axis < 0) axis += rank;
+  AUTOCTS_CHECK_GE(axis, 0);
+  AUTOCTS_CHECK_LT(axis, rank);
+  return axis;
+}
+
+// Decomposes `shape` around `axis` into (outer, axis_size, inner) extents so
+// reductions can run as three nested loops.
+void AxisExtents(const Shape& shape, int64_t axis, int64_t* outer,
+                 int64_t* mid, int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < axis; ++i) *outer *= shape[i];
+  *mid = shape[axis];
+  for (int64_t i = axis + 1; i < static_cast<int64_t>(shape.size()); ++i) {
+    *inner *= shape[i];
+  }
+}
+
+Shape ReducedShape(const Shape& shape, int64_t axis, bool keepdim) {
+  Shape out = shape;
+  if (keepdim) {
+    out[axis] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+    if (out.empty()) out.push_back(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const int64_t rank = std::max(a.size(), b.size());
+  Shape out(rank, 1);
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t da =
+        i < static_cast<int64_t>(a.size()) ? a[a.size() - 1 - i] : 1;
+    const int64_t db =
+        i < static_cast<int64_t>(b.size()) ? b[b.size() - 1 - i] : 1;
+    AUTOCTS_CHECK(da == db || da == 1 || db == 1)
+        << "incompatible shapes " << ShapeToString(a) << " and "
+        << ShapeToString(b);
+    out[rank - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](double x, double y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](double x, double y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](double x, double y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](double x, double y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](double x, double y) { return std::max(x, y); });
+}
+
+Tensor AddScalar(const Tensor& a, double value) {
+  return UnaryOp(a, [value](double x) { return x + value; });
+}
+Tensor MulScalar(const Tensor& a, double value) {
+  return UnaryOp(a, [value](double x) { return x * value; });
+}
+Tensor PowScalar(const Tensor& a, double exponent) {
+  return UnaryOp(a, [exponent](double x) { return std::pow(x, exponent); });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](double x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](double x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](double x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](double x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](double x) { return std::abs(x); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](double x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+Tensor Apply(const Tensor& a, const std::function<double(double)>& fn) {
+  return UnaryOp(a, fn);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  AUTOCTS_CHECK_GE(a.ndim(), 2);
+  AUTOCTS_CHECK_GE(b.ndim(), 2);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t k2 = b.dim(-2);
+  const int64_t n = b.dim(-1);
+  AUTOCTS_CHECK_EQ(k, k2) << "matmul inner dims " << ShapeToString(a.shape())
+                          << " x " << ShapeToString(b.shape());
+  const Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  const Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  const Shape batch = BroadcastShapes(a_batch, b_batch);
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+
+  const std::vector<int64_t> sa = BroadcastStrides(a_batch, batch);
+  const std::vector<int64_t> sb = BroadcastStrides(b_batch, batch);
+  const int64_t batch_rank = static_cast<int64_t>(batch.size());
+  const int64_t num_batches = NumElements(batch);
+  // Per-matrix strides: batch strides of a/b are in units of elements of the
+  // trailing matrix, so multiply by the matrix sizes.
+  std::vector<int64_t> index(batch_rank, 0);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  const int64_t a_mat = m * k;
+  const int64_t b_mat = k * n;
+  const int64_t o_mat = m * n;
+  int64_t oa = 0;
+  int64_t ob = 0;
+  for (int64_t batch_idx = 0; batch_idx < num_batches; ++batch_idx) {
+    const double* ma = pa + oa * a_mat;
+    const double* mb = pb + ob * b_mat;
+    double* mo = po + batch_idx * o_mat;
+    for (int64_t i = 0; i < m; ++i) {
+      double* row_out = mo + i * n;
+      const double* row_a = ma + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const double va = row_a[kk];
+        if (va == 0.0) continue;
+        const double* row_b = mb + kk * n;
+        for (int64_t j = 0; j < n; ++j) row_out[j] += va * row_b[j];
+      }
+    }
+    for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
+      ++index[axis];
+      oa += sa[axis];
+      ob += sb[axis];
+      if (index[axis] < batch[axis]) break;
+      index[axis] = 0;
+      oa -= sa[axis] * batch[axis];
+      ob -= sb[axis] * batch[axis];
+    }
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
+  axis = NormalizeAxis(axis, a.ndim());
+  int64_t outer, mid, inner;
+  AxisExtents(a.shape(), axis, &outer, &mid, &inner);
+  Tensor out(ReducedShape(a.shape(), axis, keepdim));
+  const double* pa = a.data();
+  double* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t m = 0; m < mid; ++m) {
+      const double* src = pa + (o * mid + m) * inner;
+      double* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdim) {
+  axis = NormalizeAxis(axis, a.ndim());
+  Tensor out = Sum(a, axis, keepdim);
+  ScaleInPlace(&out, 1.0 / static_cast<double>(a.shape()[axis]));
+  return out;
+}
+
+Tensor Max(const Tensor& a, int64_t axis, bool keepdim) {
+  axis = NormalizeAxis(axis, a.ndim());
+  int64_t outer, mid, inner;
+  AxisExtents(a.shape(), axis, &outer, &mid, &inner);
+  AUTOCTS_CHECK_GT(mid, 0);
+  Tensor out(ReducedShape(a.shape(), axis, keepdim));
+  const double* pa = a.data();
+  double* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    double* dst = po + o * inner;
+    for (int64_t i = 0; i < inner; ++i) {
+      dst[i] = pa[o * mid * inner + i];
+    }
+    for (int64_t m = 1; m < mid; ++m) {
+      const double* src = pa + (o * mid + m) * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] = std::max(dst[i], src[i]);
+    }
+  }
+  return out;
+}
+
+Tensor ArgMax(const Tensor& a, int64_t axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  int64_t outer, mid, inner;
+  AxisExtents(a.shape(), axis, &outer, &mid, &inner);
+  Tensor out(ReducedShape(a.shape(), axis, /*keepdim=*/false));
+  const double* pa = a.data();
+  double* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      int64_t best = 0;
+      double best_value = pa[o * mid * inner + i];
+      for (int64_t m = 1; m < mid; ++m) {
+        const double value = pa[(o * mid + m) * inner + i];
+        if (value > best_value) {
+          best_value = value;
+          best = m;
+        }
+      }
+      po[o * inner + i] = static_cast<double>(best);
+    }
+  }
+  return out;
+}
+
+double SumAll(const Tensor& a) {
+  double total = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) total += a.data()[i];
+  return total;
+}
+
+double MeanAll(const Tensor& a) {
+  AUTOCTS_CHECK_GT(a.size(), 0);
+  return SumAll(a) / static_cast<double>(a.size());
+}
+
+double MaxAll(const Tensor& a) {
+  AUTOCTS_CHECK_GT(a.size(), 0);
+  double best = a.data()[0];
+  for (int64_t i = 1; i < a.size(); ++i) best = std::max(best, a.data()[i]);
+  return best;
+}
+
+double MinAll(const Tensor& a) {
+  AUTOCTS_CHECK_GT(a.size(), 0);
+  double best = a.data()[0];
+  for (int64_t i = 1; i < a.size(); ++i) best = std::min(best, a.data()[i]);
+  return best;
+}
+
+Tensor Softmax(const Tensor& a, int64_t axis) {
+  axis = NormalizeAxis(axis, a.ndim());
+  const Tensor max = Max(a, axis, /*keepdim=*/true);
+  const Tensor shifted = Sub(a, max);
+  const Tensor exps = Exp(shifted);
+  const Tensor total = Sum(exps, axis, /*keepdim=*/true);
+  return Div(exps, total);
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
+  AUTOCTS_CHECK(!tensors.empty());
+  axis = NormalizeAxis(axis, tensors[0].ndim());
+  Shape out_shape = tensors[0].shape();
+  int64_t total_axis = 0;
+  for (const Tensor& t : tensors) {
+    AUTOCTS_CHECK_EQ(t.ndim(), tensors[0].ndim());
+    for (int64_t i = 0; i < t.ndim(); ++i) {
+      if (i != axis) {
+        AUTOCTS_CHECK_EQ(t.shape()[i], out_shape[i])
+            << "concat shape mismatch on axis " << i;
+      }
+    }
+    total_axis += t.shape()[axis];
+  }
+  out_shape[axis] = total_axis;
+  Tensor out(out_shape);
+  int64_t outer, mid, inner;
+  AxisExtents(out_shape, axis, &outer, &mid, &inner);
+  (void)mid;
+  double* po = out.data();
+  int64_t axis_offset = 0;
+  for (const Tensor& t : tensors) {
+    const int64_t t_axis = t.shape()[axis];
+    const double* pt = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      double* dst = po + (o * total_axis + axis_offset) * inner;
+      const double* src = pt + o * t_axis * inner;
+      std::copy(src, src + t_axis * inner, dst);
+    }
+    axis_offset += t_axis;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
+  axis = NormalizeAxis(axis, a.ndim());
+  AUTOCTS_CHECK_GE(start, 0);
+  AUTOCTS_CHECK_GE(length, 0);
+  AUTOCTS_CHECK_LE(start + length, a.shape()[axis]);
+  Shape out_shape = a.shape();
+  out_shape[axis] = length;
+  Tensor out(out_shape);
+  int64_t outer, mid, inner;
+  AxisExtents(a.shape(), axis, &outer, &mid, &inner);
+  const double* pa = a.data();
+  double* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const double* src = pa + (o * mid + start) * inner;
+    double* dst = po + o * length * inner;
+    std::copy(src, src + length * inner, dst);
+  }
+  return out;
+}
+
+Tensor Pad(const Tensor& a, int64_t axis, int64_t before, int64_t after) {
+  axis = NormalizeAxis(axis, a.ndim());
+  AUTOCTS_CHECK_GE(before, 0);
+  AUTOCTS_CHECK_GE(after, 0);
+  Shape out_shape = a.shape();
+  out_shape[axis] += before + after;
+  Tensor out(out_shape);
+  int64_t outer, mid, inner;
+  AxisExtents(a.shape(), axis, &outer, &mid, &inner);
+  const int64_t out_mid = out_shape[axis];
+  const double* pa = a.data();
+  double* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const double* src = pa + o * mid * inner;
+    double* dst = po + (o * out_mid + before) * inner;
+    std::copy(src, src + mid * inner, dst);
+  }
+  return out;
+}
+
+Tensor BroadcastTo(const Tensor& a, const Shape& target) {
+  return BinaryOp(a, Tensor::Zeros(target),
+                  [](double x, double) { return x; });
+}
+
+Tensor ReduceTo(const Tensor& a, const Shape& target) {
+  if (a.shape() == target) return a;
+  Tensor current = a;
+  // Remove extra leading axes by summing them away.
+  while (current.ndim() > static_cast<int64_t>(target.size())) {
+    current = Sum(current, 0, /*keepdim=*/false);
+    if (current.ndim() == 1 && target.empty()) break;
+  }
+  // Sum broadcast (stretched) axes back down to size 1.
+  for (int64_t i = 0; i < current.ndim(); ++i) {
+    if (target[i] == 1 && current.shape()[i] != 1) {
+      current = Sum(current, i, /*keepdim=*/true);
+    } else {
+      AUTOCTS_CHECK_EQ(current.shape()[i], target[i])
+          << "cannot reduce " << ShapeToString(a.shape()) << " to "
+          << ShapeToString(target);
+    }
+  }
+  return current;
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  AUTOCTS_CHECK(a->shape() == b.shape())
+      << ShapeToString(a->shape()) << " vs " << ShapeToString(b.shape());
+  double* pa = a->data();
+  const double* pb = b.data();
+  const int64_t n = a->size();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void ScaleInPlace(Tensor* a, double value) {
+  double* pa = a->data();
+  const int64_t n = a->size();
+  for (int64_t i = 0; i < n; ++i) pa[i] *= value;
+}
+
+double Norm(const Tensor& a) {
+  double total = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) total += a.data()[i] * a.data()[i];
+  return std::sqrt(total);
+}
+
+}  // namespace autocts

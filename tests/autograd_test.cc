@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/variable.h"
+#include "autograd/variable_ops.h"
+#include "common/random.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts {
+namespace {
+
+Tensor RandomTensor(const Shape& shape, uint64_t seed, double lo = -1.0,
+                    double hi = 1.0) {
+  Rng rng(seed);
+  return Tensor::Rand(shape, &rng, lo, hi);
+}
+
+TEST(Variable, LeafBasics) {
+  Variable v(Tensor::Full({2}, 3.0), /*requires_grad=*/true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.has_grad());
+  EXPECT_EQ(v.size(), 2);
+}
+
+TEST(Variable, BackwardAccumulatesIntoLeaves) {
+  Variable a(Tensor::Full({3}, 2.0), true);
+  Variable loss = ag::SumAll(ag::MulScalar(a, 4.0));
+  loss.Backward();
+  ASSERT_TRUE(a.has_grad());
+  for (int64_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a.grad().data()[i], 4.0);
+}
+
+TEST(Variable, GradsAccumulateAcrossBackwards) {
+  Variable a(Tensor::Ones({2}), true);
+  ag::SumAll(a).Backward();
+  ag::SumAll(a).Backward();
+  EXPECT_DOUBLE_EQ(a.grad().data()[0], 2.0);
+  a.ClearGrad();
+  EXPECT_FALSE(a.has_grad());
+}
+
+TEST(Variable, NoGradLeavesAreSkipped) {
+  Variable a(Tensor::Ones({2}), false);
+  Variable b(Tensor::Ones({2}), true);
+  Variable loss = ag::SumAll(ag::Mul(a, b));
+  loss.Backward();
+  EXPECT_FALSE(a.has_grad());
+  EXPECT_TRUE(b.has_grad());
+}
+
+TEST(Variable, DiamondGraphSumsBothPaths) {
+  // loss = sum(a*a + a) -> d/da = 2a + 1.
+  Variable a(Tensor::Full({2}, 3.0), true);
+  Variable loss = ag::SumAll(ag::Add(ag::Mul(a, a), a));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(a.grad().data()[0], 7.0);
+}
+
+TEST(Variable, SharedSubexpressionUsedTwice) {
+  // b = 2a used by two consumers; d/da sum(b + 3b) = 8.
+  Variable a(Tensor::Ones({2}), true);
+  Variable b = ag::MulScalar(a, 2.0);
+  Variable loss = ag::SumAll(ag::Add(b, ag::MulScalar(b, 3.0)));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(a.grad().data()[1], 8.0);
+}
+
+TEST(Variable, DetachStopsGradients) {
+  Variable a(Tensor::Ones({2}), true);
+  Variable loss = ag::SumAll(ag::Mul(ag::Detach(a), a));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(a.grad().data()[0], 1.0);  // Only the live path counts.
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference gradient checks for every differentiable op.
+// ---------------------------------------------------------------------------
+
+using UnaryFn = Variable (*)(const Variable&);
+
+struct UnaryCase {
+  const char* name;
+  UnaryFn fn;
+  double lo;
+  double hi;
+};
+
+class UnaryGradTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryGradTest, MatchesFiniteDifference) {
+  const UnaryCase& c = GetParam();
+  const Tensor input = RandomTensor({2, 3}, 42, c.lo, c.hi);
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& v) {
+        return ag::SumAll(GetParam().fn(v[0]));
+      },
+      {input}, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << c.name << ": " << result.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnary, UnaryGradTest,
+    ::testing::Values(UnaryCase{"exp", &ag::Exp, -1.0, 1.0},
+                      UnaryCase{"log", &ag::Log, 0.5, 2.0},
+                      UnaryCase{"sqrt", &ag::Sqrt, 0.5, 2.0},
+                      UnaryCase{"abs", &ag::Abs, 0.2, 1.0},
+                      UnaryCase{"tanh", &ag::Tanh, -1.0, 1.0},
+                      UnaryCase{"sigmoid", &ag::Sigmoid, -1.0, 1.0},
+                      UnaryCase{"relu_pos", &ag::Relu, 0.2, 1.0},
+                      UnaryCase{"relu_neg", &ag::Relu, -1.0, -0.2},
+                      UnaryCase{"neg", &ag::Neg, -1.0, 1.0}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+using BinaryFn = Variable (*)(const Variable&, const Variable&);
+
+struct BinaryCase {
+  const char* name;
+  BinaryFn fn;
+  Shape shape_a;
+  Shape shape_b;
+};
+
+class BinaryGradTest : public ::testing::TestWithParam<BinaryCase> {};
+
+TEST_P(BinaryGradTest, MatchesFiniteDifference) {
+  const BinaryCase& c = GetParam();
+  const Tensor a = RandomTensor(c.shape_a, 1, 0.5, 1.5);
+  const Tensor b = RandomTensor(c.shape_b, 2, 0.5, 1.5);
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Variable>& v) {
+        return ag::SumAll(GetParam().fn(v[0], v[1]));
+      },
+      {a, b}, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << c.name << ": " << result.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinary, BinaryGradTest,
+    ::testing::Values(
+        BinaryCase{"add_same", &ag::Add, {2, 3}, {2, 3}},
+        BinaryCase{"add_broadcast", &ag::Add, {2, 3}, {3}},
+        BinaryCase{"add_broadcast_col", &ag::Add, {2, 3}, {2, 1}},
+        BinaryCase{"sub_same", &ag::Sub, {2, 3}, {2, 3}},
+        BinaryCase{"sub_broadcast", &ag::Sub, {3}, {2, 3}},
+        BinaryCase{"mul_same", &ag::Mul, {2, 3}, {2, 3}},
+        BinaryCase{"mul_broadcast", &ag::Mul, {2, 3}, {1, 3}},
+        BinaryCase{"div_same", &ag::Div, {2, 3}, {2, 3}},
+        BinaryCase{"div_broadcast", &ag::Div, {2, 3}, {3}}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(GradCheck, MatMul2d) {
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::MatMul(v[0], v[1]));
+      },
+      {RandomTensor({3, 4}, 3), RandomTensor({4, 2}, 4)}, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(GradCheck, MatMulBatchedBroadcast) {
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::MatMul(v[0], v[1]));
+      },
+      {RandomTensor({2, 3, 4}, 5), RandomTensor({4, 2}, 6)}, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(GradCheck, MatMulLeftBroadcast) {
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::MatMul(v[0], v[1]));
+      },
+      {RandomTensor({3, 3}, 7), RandomTensor({2, 2, 3, 2}, 8)}, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+class ReduceGradTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, bool>> {};
+
+TEST_P(ReduceGradTest, SumAndMean) {
+  const auto [axis, keepdim] = GetParam();
+  for (const bool use_mean : {false, true}) {
+    GradCheckResult result = CheckGradients(
+        [axis, keepdim, use_mean](const std::vector<Variable>& v) {
+          // Square first so the reduction gradient is input-dependent.
+          const Variable squared = ag::Mul(v[0], v[0]);
+          const Variable reduced = use_mean ? ag::Mean(squared, axis, keepdim)
+                                            : ag::Sum(squared, axis, keepdim);
+          return ag::SumAll(ag::Mul(reduced, reduced));
+        },
+        {RandomTensor({2, 3, 4}, 9)}, 1e-6, 1e-5);
+    EXPECT_TRUE(result.ok) << result.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AxesAndKeepdim, ReduceGradTest,
+    ::testing::Combine(::testing::Values<int64_t>(0, 1, 2),
+                       ::testing::Bool()));
+
+TEST(GradCheck, SoftmaxAlongEachAxis) {
+  for (int64_t axis = 0; axis < 2; ++axis) {
+    GradCheckResult result = CheckGradients(
+        [axis](const std::vector<Variable>& v) {
+          const Variable s = ag::Softmax(v[0], axis);
+          return ag::SumAll(ag::Mul(s, s));
+        },
+        {RandomTensor({3, 4}, 10)}, 1e-6, 1e-5);
+    EXPECT_TRUE(result.ok) << "axis " << axis << ": " << result.message;
+  }
+}
+
+TEST(GradCheck, SoftmaxWithTemperature) {
+  for (const double tau : {0.5, 1.0, 5.0}) {
+    GradCheckResult result = CheckGradients(
+        [tau](const std::vector<Variable>& v) {
+          const Variable s = ag::SoftmaxWithTemperature(v[0], 0, tau);
+          return ag::SumAll(ag::Mul(s, s));
+        },
+        {RandomTensor({5}, 11)}, 1e-6, 1e-5);
+    EXPECT_TRUE(result.ok) << "tau " << tau << ": " << result.message;
+  }
+}
+
+TEST(SoftmaxTemperature, LowTauApproachesOneHot) {
+  Variable logits(Tensor::FromVector({3}, {1.0, 2.0, 0.5}), false);
+  const Tensor sharp =
+      ag::SoftmaxWithTemperature(logits, 0, 0.01).value();
+  EXPECT_GT(sharp.data()[1], 0.999);
+  const Tensor smooth =
+      ag::SoftmaxWithTemperature(logits, 0, 100.0).value();
+  EXPECT_NEAR(smooth.data()[0], 1.0 / 3.0, 1e-2);
+}
+
+TEST(GradCheck, ReshapePermuteSliceConcatPad) {
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& v) {
+        Variable x = ag::Reshape(v[0], {3, 4});
+        x = ag::Permute(x, {1, 0});                  // [4, 3]
+        Variable left = ag::Slice(x, 0, 0, 2);       // [2, 3]
+        Variable right = ag::Slice(x, 0, 2, 2);      // [2, 3]
+        Variable cat = ag::Concat({left, right}, 1); // [2, 6]
+        Variable padded = ag::Pad(cat, 0, 1, 1);     // [4, 6]
+        return ag::SumAll(ag::Mul(padded, padded));
+      },
+      {RandomTensor({12}, 12)}, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(GradCheck, IndexSelectWithDuplicates) {
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& v) {
+        const Variable sel = ag::IndexSelect(v[0], 0, {2, 0, 2});
+        return ag::SumAll(ag::Mul(sel, sel));
+      },
+      {RandomTensor({4, 3}, 13)}, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(IndexSelect, ForwardGathersRows) {
+  Variable a(Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6}), false);
+  const Tensor sel = ag::IndexSelect(a, 0, {2, 1}).value();
+  EXPECT_EQ(sel.At({0, 0}), 5.0);
+  EXPECT_EQ(sel.At({1, 1}), 4.0);
+}
+
+TEST(GradCheck, Losses) {
+  const Tensor pred = RandomTensor({2, 3}, 14);
+  const Tensor target = RandomTensor({2, 3}, 15);
+  for (const int which : {0, 1, 2}) {
+    GradCheckResult result = CheckGradients(
+        [which](const std::vector<Variable>& v) {
+          switch (which) {
+            case 0:
+              return ag::MseLoss(v[0], v[1]);
+            case 1:
+              return ag::L1Loss(v[0], v[1]);
+            default:
+              return ag::HuberLoss(v[0], v[1], 0.35);
+          }
+        },
+        {pred, target}, 1e-6, 1e-4);
+    EXPECT_TRUE(result.ok) << "loss " << which << ": " << result.message;
+  }
+}
+
+TEST(Losses, KnownValues) {
+  Variable p(Tensor::FromVector({2}, {1.0, 3.0}), false);
+  Variable y(Tensor::FromVector({2}, {0.0, 1.0}), false);
+  EXPECT_NEAR(ag::L1Loss(p, y).value().item(), 1.5, 1e-12);
+  EXPECT_NEAR(ag::MseLoss(p, y).value().item(), 2.5, 1e-12);
+  // Huber(delta=1): |1| -> 0.5; |2| -> 1*(2-0.5) = 1.5; mean = 1.0.
+  EXPECT_NEAR(ag::HuberLoss(p, y, 1.0).value().item(), 1.0, 1e-12);
+}
+
+TEST(GradCheck, DeepComposedExpression) {
+  GradCheckResult result = CheckGradients(
+      [](const std::vector<Variable>& v) {
+        Variable h = ag::Tanh(ag::MatMul(v[0], v[1]));
+        h = ag::Mul(h, ag::Sigmoid(h));
+        h = ag::Softmax(h, 1);
+        return ag::MeanAll(ag::Mul(h, h));
+      },
+      {RandomTensor({3, 4}, 16), RandomTensor({4, 5}, 17)}, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(BackwardDeath, NonScalarNeedsSeed) {
+  Variable a(Tensor::Ones({2}), true);
+  Variable b = ag::MulScalar(a, 2.0);
+  EXPECT_DEATH(b.Backward(), "");
+  b.Backward(Tensor::Ones({2}));  // Seeded form works.
+  EXPECT_DOUBLE_EQ(a.grad().data()[0], 2.0);
+}
+
+}  // namespace
+}  // namespace autocts

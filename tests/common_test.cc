@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/text_codec.h"
+
+namespace autocts {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  StatusOr<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_DEATH(bad.value(), "");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-5.0, -1.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, -1.0);
+  }
+}
+
+TEST(Rng, NormalHasApproximatelyUnitMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIntIsUnbiasedAcrossBuckets) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 500);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(17);
+  const std::vector<int64_t> perm = rng.Permutation(50);
+  std::vector<bool> seen(50, false);
+  for (int64_t v : perm) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(TextCodec, RoundTripAllTypes) {
+  TextWriter writer;
+  writer.Add("name", "metr-la");
+  writer.AddInt("nodes", 207);
+  writer.AddDouble("fraction", 0.7);
+  writer.Add("edge", "0 1 gdcc");
+  writer.Add("edge", "1 2 dgcn");
+  StatusOr<TextReader> reader = TextReader::Parse(writer.ToString());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().Get("name").value(), "metr-la");
+  EXPECT_EQ(reader.value().GetInt("nodes").value(), 207);
+  EXPECT_DOUBLE_EQ(reader.value().GetDouble("fraction").value(), 0.7);
+  EXPECT_EQ(reader.value().GetAll("edge").size(), 2u);
+  EXPECT_EQ(reader.value().GetAll("edge")[1], "1 2 dgcn");
+}
+
+TEST(TextCodec, MissingKeyIsNotFound) {
+  StatusOr<TextReader> reader = TextReader::Parse("a = 1\n");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().Get("b").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TextCodec, MalformedLineRejected) {
+  EXPECT_FALSE(TextReader::Parse("no equals sign\n").ok());
+  EXPECT_FALSE(TextReader::Parse("= empty key\n").ok());
+}
+
+TEST(TextCodec, CommentsAndBlankLinesIgnored) {
+  StatusOr<TextReader> reader =
+      TextReader::Parse("# comment\n\n  key =  value  \n");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().Get("key").value(), "value");
+}
+
+TEST(TextCodec, NonNumericValueRejectedByTypedGetters) {
+  StatusOr<TextReader> reader = TextReader::Parse("k = abc\n");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.value().GetInt("k").ok());
+  EXPECT_FALSE(reader.value().GetDouble("k").ok());
+}
+
+TEST(StringUtil, SplitAndStrip) {
+  const std::vector<std::string> parts = SplitString(" a, b ,c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(StripWhitespace("  x y \t"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  EXPECT_GE(watch.Seconds(), 0.0);
+  EXPECT_GE(watch.Millis(), watch.Seconds() * 1000.0 - 1e-6);
+  watch.Reset();
+  EXPECT_LT(watch.Seconds(), 1.0);
+}
+
+TEST(Check, PassesAndFails) {
+  AUTOCTS_CHECK(true) << "never printed";
+  AUTOCTS_CHECK_EQ(2, 2);
+  AUTOCTS_CHECK_LT(1, 2);
+  EXPECT_DEATH(AUTOCTS_CHECK_EQ(1, 2) << "boom", "boom");
+  EXPECT_DEATH(AUTOCTS_CHECK(false), "CHECK failed");
+}
+
+TEST(Logging, LevelsFilterMessages) {
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  AUTOCTS_LOG(INFO) << "should be suppressed";
+  SetMinLogLevel(LogLevel::kInfo);
+  AUTOCTS_LOG(INFO) << "visible (smoke)";
+}
+
+}  // namespace
+}  // namespace autocts

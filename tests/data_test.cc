@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/csv.h"
+#include "data/cts_dataset.h"
+#include "data/scaler.h"
+#include "data/synthetic/generators.h"
+#include "data/window_dataset.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts {
+namespace {
+
+using data::CtsDataset;
+using data::StandardScaler;
+using data::WindowDataset;
+using data::WindowSpec;
+
+Tensor SequentialValues(int64_t steps, int64_t nodes, int64_t features) {
+  Tensor values({steps, nodes, features});
+  for (int64_t i = 0; i < values.size(); ++i) {
+    values.data()[i] = static_cast<double>(i);
+  }
+  return values;
+}
+
+TEST(Split, ChronologicalFractionsAndOrder) {
+  const Tensor values = SequentialValues(100, 2, 1);
+  const data::DataSplit split = data::ChronologicalSplit(values, 0.7, 0.1);
+  EXPECT_EQ(split.train.dim(0), 70);
+  EXPECT_EQ(split.validation.dim(0), 10);
+  EXPECT_EQ(split.test.dim(0), 20);
+  // Chronological: validation starts exactly where train ends.
+  EXPECT_EQ(split.validation.At({0, 0, 0}), split.train.At({69, 1, 0}) + 1.0);
+  EXPECT_EQ(split.test.At({0, 0, 0}), 80.0 * 2.0);
+}
+
+TEST(Split, PemsRatio) {
+  const data::DataSplit split =
+      data::ChronologicalSplit(SequentialValues(100, 1, 1), 0.6, 0.2);
+  EXPECT_EQ(split.train.dim(0), 60);
+  EXPECT_EQ(split.validation.dim(0), 20);
+  EXPECT_EQ(split.test.dim(0), 20);
+}
+
+TEST(Split, InvalidFractionsDie) {
+  const Tensor values = SequentialValues(10, 1, 1);
+  EXPECT_DEATH(data::ChronologicalSplit(values, 0.9, 0.2), "");
+  EXPECT_DEATH(data::ChronologicalSplit(values, 0.0, 0.2), "");
+}
+
+TEST(Scaler, TransformIsZeroMeanUnitVariance) {
+  Rng rng(1);
+  Tensor values = Tensor::Rand({50, 4, 2}, &rng, 10.0, 20.0);
+  StandardScaler scaler;
+  scaler.Fit(values);
+  const Tensor normalized = scaler.Transform(values);
+  for (int64_t f = 0; f < 2; ++f) {
+    double mean = 0.0;
+    for (int64_t r = 0; r < 50 * 4; ++r) mean += normalized.data()[r * 2 + f];
+    EXPECT_NEAR(mean / (50 * 4), 0.0, 1e-9);
+  }
+}
+
+TEST(Scaler, RoundTripThroughInverse) {
+  Rng rng(2);
+  Tensor values = Tensor::Rand({30, 3, 1}, &rng, -5.0, 5.0);
+  StandardScaler scaler;
+  scaler.Fit(values);
+  const Tensor normalized = scaler.Transform(values);
+  const Tensor restored = scaler.InverseTransformFeature(normalized, 0);
+  EXPECT_TRUE(restored.AllClose(values, 1e-9));
+}
+
+TEST(Scaler, MaskedFitIgnoresZeroReadings) {
+  // Half the readings are zeros (failed sensors); masked stats must match
+  // the clean half.
+  Tensor values({10, 1, 1});
+  for (int64_t t = 0; t < 10; ++t) {
+    values.At({t, 0, 0}) = (t % 2 == 0) ? 60.0 : 0.0;
+  }
+  StandardScaler masked;
+  masked.Fit(values, /*mask_null=*/true);
+  EXPECT_NEAR(masked.mean(0), 60.0, 1e-9);
+  StandardScaler unmasked;
+  unmasked.Fit(values, /*mask_null=*/false);
+  EXPECT_NEAR(unmasked.mean(0), 30.0, 1e-9);
+}
+
+TEST(Windows, MultiStepCountsAndContents) {
+  const Tensor values = SequentialValues(30, 2, 1);
+  WindowSpec spec;
+  spec.input_length = 12;
+  spec.output_length = 12;
+  WindowDataset windows(values, spec);
+  EXPECT_EQ(windows.NumSamples(), 30 - 12 - 12 + 1);
+  Tensor x, y;
+  windows.GetBatch({0, 3}, &x, &y);
+  EXPECT_EQ(x.shape(), (Shape{2, 12, 2, 1}));
+  EXPECT_EQ(y.shape(), (Shape{2, 12, 2, 1}));
+  // Sample 0: x covers t=0..11, y covers t=12..23.
+  EXPECT_EQ(x.At({0, 0, 0, 0}), 0.0);
+  EXPECT_EQ(x.At({0, 11, 1, 0}), 23.0);
+  EXPECT_EQ(y.At({0, 0, 0, 0}), 24.0);
+  // Sample 3 is shifted by 3 frames (frame = nodes * features = 2).
+  EXPECT_EQ(x.At({1, 0, 0, 0}), 6.0);
+}
+
+TEST(Windows, SingleStepHorizonSelectsExactStep) {
+  const Tensor values = SequentialValues(40, 1, 1);
+  WindowSpec spec;
+  spec.input_length = 10;
+  spec.output_length = 1;
+  spec.horizon = 3;
+  WindowDataset windows(values, spec);
+  EXPECT_EQ(windows.NumSamples(), 40 - 10 - 3 + 1);
+  Tensor x, y;
+  windows.GetBatch({0}, &x, &y);
+  // Input covers t=0..9; the target is t = 10 + 3 - 1 = 12.
+  EXPECT_EQ(y.At({0, 0, 0, 0}), 12.0);
+}
+
+TEST(Windows, TargetFeatureSelection) {
+  Tensor values = SequentialValues(20, 1, 2);
+  WindowSpec spec;
+  spec.input_length = 4;
+  spec.output_length = 2;
+  spec.target_feature = 1;
+  WindowDataset windows(values, spec);
+  Tensor x, y;
+  windows.GetBatch({0}, &x, &y);
+  // Feature 1 at t=4 is element 4*2+1.
+  EXPECT_EQ(y.At({0, 0, 0, 0}), 9.0);
+  // Inputs keep both features.
+  EXPECT_EQ(x.dim(3), 2);
+}
+
+TEST(Windows, EpochBatchesCoverEverySampleOnce) {
+  const Tensor values = SequentialValues(60, 1, 1);
+  WindowSpec spec;
+  spec.input_length = 5;
+  spec.output_length = 5;
+  WindowDataset windows(values, spec);
+  Rng rng(3);
+  const auto batches = windows.EpochBatches(8, &rng);
+  std::vector<int> seen(windows.NumSamples(), 0);
+  for (const auto& batch : batches) {
+    EXPECT_LE(static_cast<int64_t>(batch.size()), 8);
+    for (int64_t index : batch) ++seen[index];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Windows, SingleStepRequiresUnitOutput) {
+  WindowSpec spec;
+  spec.horizon = 3;
+  spec.output_length = 2;
+  EXPECT_DEATH(WindowDataset(SequentialValues(30, 1, 1), spec), "");
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generators.
+// ---------------------------------------------------------------------------
+
+TEST(TrafficSpeed, ShapeGraphAndValueRanges) {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = 8;
+  config.num_steps = 600;
+  const CtsDataset dataset = data::GenerateTrafficSpeed(config);
+  EXPECT_EQ(dataset.values.shape(), (Shape{600, 8, 2}));
+  ASSERT_TRUE(dataset.adjacency.defined());
+  EXPECT_EQ(dataset.adjacency.shape(), (Shape{8, 8}));
+  EXPECT_GE(MinAll(dataset.values), 0.0);
+  // Speeds stay below ~freeflow + noise.
+  EXPECT_LT(MaxAll(Slice(dataset.values, 2, 0, 1)), 90.0);
+  // Graph has some edges.
+  EXPECT_GT(SumAll(dataset.adjacency), 0.0);
+}
+
+TEST(TrafficSpeed, DeterministicPerSeedAndDiurnal) {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = 4;
+  config.num_steps = 2 * config.steps_per_day;
+  const CtsDataset a = data::GenerateTrafficSpeed(config);
+  const CtsDataset b = data::GenerateTrafficSpeed(config);
+  EXPECT_TRUE(a.values.AllClose(b.values));
+  config.seed = 99;
+  const CtsDataset c = data::GenerateTrafficSpeed(config);
+  EXPECT_FALSE(a.values.AllClose(c.values, 1e-6));
+  // Rush hour (17:30) is slower on average than night (03:00).
+  const int64_t night = 3 * 288 / 24;
+  const int64_t rush = 17 * 288 / 24 + 6;
+  double night_speed = 0.0;
+  double rush_speed = 0.0;
+  for (int64_t n = 0; n < 4; ++n) {
+    night_speed += a.values.At({night, n, 0});
+    rush_speed += a.values.At({rush, n, 0});
+  }
+  EXPECT_GT(night_speed, rush_speed + 1.0);
+}
+
+TEST(TrafficSpeed, ContainsMissingReadings) {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = 10;
+  config.num_steps = 1000;
+  config.missing_rate = 0.01;
+  const CtsDataset dataset = data::GenerateTrafficSpeed(config);
+  int64_t zeros = 0;
+  for (int64_t t = 0; t < 1000; ++t) {
+    for (int64_t n = 0; n < 10; ++n) {
+      if (dataset.values.At({t, n, 0}) == 0.0) ++zeros;
+    }
+  }
+  EXPECT_GT(zeros, 20);  // ~100 expected.
+  EXPECT_LT(zeros, 400);
+}
+
+TEST(TrafficSpeed, TimeOfDayFeatureIsPeriodic) {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = 2;
+  config.num_steps = 600;
+  const CtsDataset dataset = data::GenerateTrafficSpeed(config);
+  EXPECT_EQ(dataset.values.At({0, 0, 1}), 0.0);
+  EXPECT_NEAR(dataset.values.At({288, 0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(dataset.values.At({144, 1, 1}), 0.5, 1e-12);
+}
+
+TEST(TrafficFlow, NonNegativeWithWeeklyPattern) {
+  data::TrafficFlowConfig config;
+  config.num_nodes = 6;
+  config.num_steps = 7 * 288;
+  const CtsDataset dataset = data::GenerateTrafficFlow(config);
+  EXPECT_EQ(dataset.values.shape(), (Shape{7 * 288, 6, 1}));
+  EXPECT_GE(MinAll(dataset.values), 0.0);
+  // Weekday morning rush is busier than weekend morning rush.
+  const int64_t rush_offset = 8 * 288 / 24 + 6;
+  double weekday = 0.0;
+  double weekend = 0.0;
+  for (int64_t n = 0; n < 6; ++n) {
+    weekday += dataset.values.At({0 * 288 + rush_offset, n, 0});  // Monday
+    weekend += dataset.values.At({5 * 288 + rush_offset, n, 0});  // Saturday
+  }
+  EXPECT_GT(weekday, weekend);
+}
+
+TEST(Solar, ZeroAtNightPositiveAtNoon) {
+  data::SolarConfig config;
+  config.num_nodes = 5;
+  config.num_steps = 3 * 144;
+  const CtsDataset dataset = data::GenerateSolar(config);
+  EXPECT_FALSE(dataset.adjacency.defined());  // No predefined graph.
+  for (int64_t day = 0; day < 3; ++day) {
+    for (int64_t n = 0; n < 5; ++n) {
+      // Midnight and 3am are strictly zero.
+      EXPECT_EQ(dataset.values.At({day * 144, n, 0}), 0.0);
+      EXPECT_EQ(dataset.values.At({day * 144 + 18, n, 0}), 0.0);
+      // Noon is positive.
+      EXPECT_GT(dataset.values.At({day * 144 + 72, n, 0}), 0.0);
+    }
+  }
+}
+
+TEST(Electricity, PositiveLoadsWithEveningPeakForResidential) {
+  data::ElectricityConfig config;
+  config.num_nodes = 12;
+  config.num_steps = 14 * 24;
+  const CtsDataset dataset = data::GenerateElectricity(config);
+  EXPECT_FALSE(dataset.adjacency.defined());
+  EXPECT_GE(MinAll(dataset.values), 0.0);
+  // Average 19:00 load exceeds average 03:00 load across clients/days.
+  double evening = 0.0;
+  double night = 0.0;
+  for (int64_t day = 0; day < 14; ++day) {
+    for (int64_t n = 0; n < 12; ++n) {
+      evening += dataset.values.At({day * 24 + 19, n, 0});
+      night += dataset.values.At({day * 24 + 3, n, 0});
+    }
+  }
+  EXPECT_GT(evening, night);
+}
+
+TEST(Csv, SaveLoadRoundTrip) {
+  Rng rng(4);
+  const Tensor matrix = Tensor::Rand({7, 3}, &rng, -10.0, 10.0);
+  const std::string path = ::testing::TempDir() + "/autocts_csv_test.csv";
+  ASSERT_TRUE(data::SaveMatrixCsv(path, matrix).ok());
+  StatusOr<Tensor> loaded = data::LoadMatrixCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().AllClose(matrix, 1e-9));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ErrorsAreStatusesNotCrashes) {
+  EXPECT_EQ(data::LoadMatrixCsv("/nonexistent/file.csv").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(data::SaveMatrixCsv("/nonexistent/dir/file.csv",
+                                   Tensor::Zeros({1, 1}))
+                   .ok());
+  EXPECT_FALSE(
+      data::SaveMatrixCsv(::testing::TempDir() + "/x.csv", Tensor::Zeros({2}))
+          .ok());
+  const std::string ragged_path = ::testing::TempDir() + "/ragged.csv";
+  FILE* f = std::fopen(ragged_path.c_str(), "w");
+  std::fputs("1,2\n3\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(data::LoadMatrixCsv(ragged_path).ok());
+  std::remove(ragged_path.c_str());
+}
+
+}  // namespace
+}  // namespace autocts

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/adaptive_adjacency.h"
+#include "graph/adjacency.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts {
+namespace {
+
+Tensor TestAdjacency() {
+  // A small weighted digraph with an isolated node (3).
+  Tensor a = Tensor::Zeros({4, 4});
+  a.At({0, 1}) = 1.0;
+  a.At({1, 0}) = 0.5;
+  a.At({1, 2}) = 2.0;
+  a.At({2, 0}) = 1.0;
+  return a;
+}
+
+TEST(DistanceAdjacency, SymmetricZeroDiagonalThresholded) {
+  Rng rng(1);
+  const Tensor positions = graph::RandomPositions(10, &rng);
+  const Tensor a =
+      graph::DistanceGaussianAdjacency(positions, /*sigma=*/0.4,
+                                       /*threshold=*/0.3);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.At({i, i}), 0.0);
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(a.At({i, j}), a.At({j, i}), 1e-12);  // Euclidean distance.
+      EXPECT_TRUE(a.At({i, j}) == 0.0 || a.At({i, j}) >= 0.3);
+      EXPECT_LE(a.At({i, j}), 1.0);
+    }
+  }
+}
+
+TEST(DistanceAdjacency, CloserNodesGetLargerWeights) {
+  Tensor positions = Tensor::FromVector({3, 2}, {0.0, 0.0,   // node 0
+                                                 0.1, 0.0,   // near 0
+                                                 0.9, 0.9});  // far away
+  const Tensor a =
+      graph::DistanceGaussianAdjacency(positions, 0.5, 0.0);
+  EXPECT_GT(a.At({0, 1}), a.At({0, 2}));
+}
+
+TEST(Normalization, AddSelfLoops) {
+  const Tensor a = graph::AddSelfLoops(TestAdjacency());
+  EXPECT_EQ(a.At({0, 0}), 1.0);
+  EXPECT_EQ(a.At({0, 1}), 1.0);
+}
+
+TEST(Normalization, RowNormalizeMakesRowsStochastic) {
+  const Tensor p = graph::RowNormalize(TestAdjacency());
+  for (int64_t i = 0; i < 3; ++i) {  // Node 3 has degree 0.
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < 4; ++j) row_sum += p.At({i, j});
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+  // Zero-degree row stays zero instead of dividing by zero.
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(p.At({3, j}), 0.0);
+}
+
+TEST(Normalization, SymNormalizeIsSymmetricForSymmetricInput) {
+  Rng rng(2);
+  const Tensor positions = graph::RandomPositions(6, &rng);
+  const Tensor a = graph::DistanceGaussianAdjacency(positions, 0.5, 0.1);
+  const Tensor s = graph::SymNormalize(a);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(s.At({i, j}), s.At({j, i}), 1e-12);
+    }
+  }
+}
+
+TEST(Eigen, PowerIterationFindsDominantEigenvalue) {
+  // Diagonal matrix: eigenvalues are the entries.
+  Tensor m = Tensor::Zeros({3, 3});
+  m.At({0, 0}) = 2.0;
+  m.At({1, 1}) = 7.0;
+  m.At({2, 2}) = 1.0;
+  EXPECT_NEAR(graph::LargestEigenvalue(m), 7.0, 1e-6);
+}
+
+TEST(Laplacian, ScaledLaplacianSpectrumInMinusOneOne) {
+  Rng rng(3);
+  const Tensor positions = graph::RandomPositions(8, &rng);
+  const Tensor a = graph::DistanceGaussianAdjacency(positions, 0.5, 0.1);
+  const Tensor scaled = graph::ScaledLaplacian(a);
+  // Largest |eigenvalue| of the scaled Laplacian should be <= ~1.
+  EXPECT_LE(graph::LargestEigenvalue(scaled), 1.0 + 1e-6);
+}
+
+TEST(Chebyshev, RecursionMatchesDefinition) {
+  Rng rng(4);
+  const Tensor positions = graph::RandomPositions(5, &rng);
+  const Tensor a = graph::DistanceGaussianAdjacency(positions, 0.5, 0.1);
+  const Tensor l = graph::ScaledLaplacian(a);
+  const std::vector<Tensor> polys = graph::ChebyshevPolynomials(l, 4);
+  ASSERT_EQ(polys.size(), 4u);
+  EXPECT_TRUE(polys[0].AllClose(Tensor::Eye(5), 1e-12));
+  EXPECT_TRUE(polys[1].AllClose(l, 1e-12));
+  const Tensor expected_t2 =
+      Sub(MulScalar(MatMul(l, polys[1]), 2.0), polys[0]);
+  EXPECT_TRUE(polys[2].AllClose(expected_t2, 1e-9));
+  const Tensor expected_t3 =
+      Sub(MulScalar(MatMul(l, polys[2]), 2.0), polys[1]);
+  EXPECT_TRUE(polys[3].AllClose(expected_t3, 1e-9));
+}
+
+TEST(Diffusion, TransitionPowersAreStochasticAndComposed) {
+  const Tensor a = TestAdjacency();
+  const graph::DiffusionTransitions transitions =
+      graph::BuildDiffusionTransitions(a, 3);
+  ASSERT_EQ(transitions.forward.size(), 4u);
+  ASSERT_EQ(transitions.backward.size(), 4u);
+  EXPECT_TRUE(transitions.forward[0].AllClose(Tensor::Eye(4), 1e-12));
+  // P^2 == P * P.
+  EXPECT_TRUE(transitions.forward[2].AllClose(
+      MatMul(transitions.forward[1], transitions.forward[1]), 1e-12));
+  EXPECT_TRUE(transitions.backward[3].AllClose(
+      MatMul(transitions.backward[2], transitions.backward[1]), 1e-12));
+  // Row sums of P stay in [0, 1] (sub-stochastic due to dangling nodes).
+  for (int64_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 4; ++j) row += transitions.forward[1].At({i, j});
+    EXPECT_LE(row, 1.0 + 1e-12);
+  }
+  // Backward uses the transposed graph: node 3 has in-degree 0 => its
+  // backward row is zero.
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(transitions.backward[1].At({3, j}), 0.0);
+  }
+}
+
+TEST(AdaptiveAdjacency, RowStochasticAndDifferentiable) {
+  Rng rng(5);
+  graph::AdaptiveAdjacency adaptive(6, 4, &rng);
+  EXPECT_EQ(adaptive.NumParameters(), 2 * 6 * 4);
+  Variable a = adaptive.Forward();
+  EXPECT_EQ(a.shape(), (Shape{6, 6}));
+  for (int64_t i = 0; i < 6; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 6; ++j) {
+      row += a.value().At({i, j});
+      EXPECT_GE(a.value().At({i, j}), 0.0);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+  // Gradients reach the embeddings.
+  Variable loss = ag::SumAll(ag::Mul(a, a));
+  loss.Backward();
+  for (const Variable& p : adaptive.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(AdaptiveAdjacency, ReverseUsesSwappedEmbeddings) {
+  Rng rng(6);
+  graph::AdaptiveAdjacency adaptive(5, 3, &rng);
+  const Tensor forward = adaptive.Forward().value();
+  const Tensor reverse = adaptive.ForwardReverse().value();
+  EXPECT_EQ(reverse.shape(), (Shape{5, 5}));
+  EXPECT_FALSE(forward.AllClose(reverse, 1e-6));
+}
+
+}  // namespace
+}  // namespace autocts

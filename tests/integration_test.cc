@@ -1,0 +1,131 @@
+// End-to-end pipeline tests: dataset generation -> preparation -> joint
+// search (Algorithm 1) -> architecture evaluation -> metrics, mirroring the
+// two-stage protocol of Section 3.4 at miniature scale.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/searcher.h"
+#include "data/synthetic/generators.h"
+#include "models/model_zoo.h"
+#include "models/trainer.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts {
+namespace {
+
+TEST(Integration, FullAutoCtsPipelineBeatsNaiveBaseline) {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = 5;
+  config.num_steps = 500;
+  config.seed = 41;
+  data::WindowSpec window;
+  window.input_length = 8;
+  window.output_length = 4;
+  const models::PreparedData data = models::PrepareData(
+      data::GenerateTrafficSpeed(config), window, 0.7, 0.1);
+
+  // Stage 1: architecture search.
+  core::SearchOptions options;
+  options.supernet.micro_nodes = 3;
+  options.supernet.macro_blocks = 2;
+  options.supernet.hidden_dim = 8;
+  options.epochs = 2;
+  options.batch_size = 16;
+  options.max_batches_per_epoch = 8;
+  const core::SearchResult search =
+      core::JointSearcher(options).Search(data);
+  ASSERT_TRUE(search.genotype.Validate().ok());
+
+  // Stage 2: train the derived architecture from scratch.
+  models::TrainConfig train_config;
+  train_config.epochs = 5;
+  train_config.batch_size = 16;
+  const models::EvalResult eval =
+      core::EvaluateGenotype(search.genotype, data, 8, train_config);
+
+  // The searched model must beat the training-mean predictor by a margin.
+  std::unique_ptr<core::DerivedModel> probe =
+      core::BuildDerivedModel(search.genotype, data, 8, 1);
+  Tensor predictions, truths;
+  models::Predict(probe.get(), data, data.test(), 16, &predictions, &truths);
+  const double naive_mae =
+      metrics::ComputeMetrics(
+          Tensor::Full(truths.shape(), data.scaler.mean(0)), truths)
+          .mae;
+  EXPECT_LT(eval.average.mae, naive_mae * 0.9)
+      << "searched " << eval.average.mae << " vs naive " << naive_mae;
+}
+
+TEST(Integration, SingleStepPipelineOnSolarData) {
+  data::SolarConfig config;
+  config.num_nodes = 5;
+  config.num_steps = 6 * 144;
+  data::WindowSpec window;
+  window.input_length = 24;  // Scaled-down analogue of the 168-step window.
+  window.output_length = 1;
+  window.horizon = 3;
+  const models::PreparedData data =
+      models::PrepareData(data::GenerateSolar(config), window, 0.6, 0.2);
+
+  models::ModelContext context;
+  context.num_nodes = data.num_nodes;
+  context.in_features = data.in_features;
+  context.input_length = window.input_length;
+  context.output_length = 1;
+  context.hidden_dim = 8;
+  context.seed = 5;
+  models::ForecastingModelPtr model =
+      models::CreateBaseline("LSTNet", context);
+  models::TrainConfig train_config;
+  train_config.epochs = 3;
+  train_config.batch_size = 16;
+  train_config.max_batches_per_epoch = 20;
+  const models::EvalResult eval =
+      models::TrainAndEvaluate(model.get(), data, train_config);
+  // RRSE < 1 means better than predicting the mean; CORR positive means it
+  // tracks the diurnal pattern.
+  EXPECT_LT(eval.rrse, 1.0);
+  EXPECT_GT(eval.corr, 0.3);
+}
+
+TEST(Integration, GenotypePersistsAndReloadsIdentically) {
+  data::TrafficFlowConfig config;
+  config.num_nodes = 4;
+  config.num_steps = 250;
+  data::WindowSpec window;
+  window.input_length = 6;
+  window.output_length = 3;
+  const models::PreparedData data = models::PrepareData(
+      data::GenerateTrafficFlow(config), window, 0.6, 0.2);
+  core::SearchOptions options;
+  options.supernet.micro_nodes = 3;
+  options.supernet.macro_blocks = 2;
+  options.supernet.hidden_dim = 8;
+  options.epochs = 1;
+  options.batch_size = 8;
+  options.max_batches_per_epoch = 3;
+  const core::SearchResult search =
+      core::JointSearcher(options).Search(data);
+
+  // Persist -> reload -> same architecture, same (seeded) model outputs.
+  StatusOr<core::Genotype> reloaded =
+      core::Genotype::FromText(search.genotype.ToText());
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded.value(), search.genotype);
+
+  std::unique_ptr<core::DerivedModel> model_a =
+      core::BuildDerivedModel(search.genotype, data, 8, 9);
+  std::unique_ptr<core::DerivedModel> model_b =
+      core::BuildDerivedModel(reloaded.value(), data, 8, 9);
+  model_a->SetTraining(false);
+  model_b->SetTraining(false);
+  Tensor x, y;
+  data.test().GetBatch({0, 1}, &x, &y);
+  EXPECT_TRUE(model_a->Forward(ag::Constant(x))
+                  .value()
+                  .AllClose(model_b->Forward(ag::Constant(x)).value(),
+                            1e-12));
+}
+
+}  // namespace
+}  // namespace autocts

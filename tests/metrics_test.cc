@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts {
+namespace {
+
+using metrics::ComputeHorizonMetrics;
+using metrics::ComputeMetrics;
+using metrics::Corr;
+using metrics::PointMetrics;
+using metrics::Rrse;
+
+TEST(PointMetrics, HandComputedValues) {
+  const Tensor pred = Tensor::FromVector({4}, {1.0, 2.0, 3.0, 4.0});
+  const Tensor truth = Tensor::FromVector({4}, {2.0, 2.0, 1.0, 8.0});
+  const PointMetrics m = ComputeMetrics(pred, truth, /*masked=*/false);
+  EXPECT_NEAR(m.mae, (1.0 + 0.0 + 2.0 + 4.0) / 4.0, 1e-12);
+  EXPECT_NEAR(m.rmse, std::sqrt((1.0 + 0.0 + 4.0 + 16.0) / 4.0), 1e-12);
+  EXPECT_NEAR(m.mape, (0.5 + 0.0 + 2.0 + 0.5) / 4.0, 1e-12);
+}
+
+TEST(PointMetrics, PerfectPredictionIsZero) {
+  Rng rng(1);
+  const Tensor truth = Tensor::Rand({3, 5}, &rng, 1.0, 2.0);
+  const PointMetrics m = ComputeMetrics(truth, truth);
+  EXPECT_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.mape, 0.0);
+}
+
+TEST(PointMetrics, MaskingExcludesNullTruthEntries) {
+  // Truth 0.0 marks a failed sensor; errors there must not count.
+  const Tensor pred = Tensor::FromVector({3}, {10.0, 100.0, 3.0});
+  const Tensor truth = Tensor::FromVector({3}, {12.0, 0.0, 4.0});
+  const PointMetrics masked = ComputeMetrics(pred, truth, /*masked=*/true);
+  EXPECT_NEAR(masked.mae, (2.0 + 1.0) / 2.0, 1e-12);
+  const PointMetrics unmasked = ComputeMetrics(pred, truth, /*masked=*/false);
+  EXPECT_GT(unmasked.mae, 30.0);
+}
+
+TEST(PointMetrics, RmseDominatedByLargeErrors) {
+  const Tensor pred = Tensor::FromVector({2}, {0.0, 0.0});
+  const Tensor truth = Tensor::FromVector({2}, {1.0, 7.0});
+  const PointMetrics m = ComputeMetrics(pred, truth, /*masked=*/false);
+  EXPECT_GT(m.rmse, m.mae);
+}
+
+TEST(PointMetrics, ShapeMismatchDies) {
+  EXPECT_DEATH(
+      ComputeMetrics(Tensor::Zeros({2}), Tensor::Zeros({3})), "");
+}
+
+TEST(HorizonMetrics, SlicesTheRequestedStep) {
+  // [B=1, Q=3, N=1, 1]: per-step errors 1, 2, 3.
+  const Tensor pred = Tensor::FromVector({1, 3, 1, 1}, {1.0, 2.0, 3.0});
+  const Tensor truth = Tensor::FromVector({1, 3, 1, 1}, {2.0, 4.0, 6.0});
+  EXPECT_NEAR(ComputeHorizonMetrics(pred, truth, 0).mae, 1.0, 1e-12);
+  EXPECT_NEAR(ComputeHorizonMetrics(pred, truth, 1).mae, 2.0, 1e-12);
+  EXPECT_NEAR(ComputeHorizonMetrics(pred, truth, 2).mae, 3.0, 1e-12);
+  // The all-horizon average sits between them.
+  EXPECT_NEAR(ComputeMetrics(pred, truth).mae, 2.0, 1e-12);
+}
+
+TEST(Rrse, ZeroForPerfectOneForMeanPredictor) {
+  Rng rng(2);
+  const Tensor truth = Tensor::Rand({50, 2}, &rng, 0.0, 10.0);
+  EXPECT_EQ(Rrse(truth, truth), 0.0);
+  const Tensor mean_pred = Tensor::Full({50, 2}, MeanAll(truth));
+  EXPECT_NEAR(Rrse(mean_pred, truth), 1.0, 1e-9);
+}
+
+TEST(Rrse, ScalesWithErrorMagnitude) {
+  Rng rng(3);
+  const Tensor truth = Tensor::Rand({40, 1}, &rng, 0.0, 1.0);
+  const Tensor small = Add(truth, Tensor::Full({40, 1}, 0.01));
+  const Tensor large = Add(truth, Tensor::Full({40, 1}, 0.5));
+  EXPECT_LT(Rrse(small, truth), Rrse(large, truth));
+}
+
+TEST(Corr, PerfectAndAntiCorrelation) {
+  Tensor truth({10, 1});
+  Tensor flipped({10, 1});
+  for (int64_t t = 0; t < 10; ++t) {
+    truth.At({t, 0}) = static_cast<double>(t);
+    flipped.At({t, 0}) = -static_cast<double>(t);
+  }
+  EXPECT_NEAR(Corr(truth, truth), 1.0, 1e-12);
+  EXPECT_NEAR(Corr(flipped, truth), -1.0, 1e-12);
+  // Affine transformations preserve correlation.
+  const Tensor scaled = AddScalar(MulScalar(truth, 3.0), 7.0);
+  EXPECT_NEAR(Corr(scaled, truth), 1.0, 1e-12);
+}
+
+TEST(Corr, IsBoundedForRandomSeries) {
+  Rng rng(4);
+  const Tensor a = Tensor::Randn({100, 5}, &rng);
+  const Tensor b = Tensor::Randn({100, 5}, &rng);
+  const double c = Corr(a, b);
+  EXPECT_GE(c, -1.0);
+  EXPECT_LE(c, 1.0);
+  EXPECT_NEAR(c, 0.0, 0.3);  // Independent noise: near zero.
+}
+
+TEST(Corr, ConstantSeriesAreSkipped) {
+  // A constant column has zero variance; it must not poison the average.
+  Tensor truth({10, 2});
+  Tensor pred({10, 2});
+  for (int64_t t = 0; t < 10; ++t) {
+    truth.At({t, 0}) = static_cast<double>(t);
+    pred.At({t, 0}) = static_cast<double>(t);
+    truth.At({t, 1}) = 5.0;
+    pred.At({t, 1}) = 5.0;
+  }
+  EXPECT_NEAR(Corr(pred, truth), 1.0, 1e-12);
+}
+
+TEST(Metrics, BetterForecastsScoreBetterOnEveryMetric) {
+  // An end-to-end sanity property: adding more noise hurts all metrics.
+  Rng rng(5);
+  const Tensor truth = Tensor::Rand({200, 3}, &rng, 20.0, 80.0);
+  Rng noise_rng(6);
+  Tensor mild = truth.Clone();
+  Tensor severe = truth.Clone();
+  for (int64_t i = 0; i < truth.size(); ++i) {
+    const double n = noise_rng.Normal();
+    mild.data()[i] += n * 1.0;
+    severe.data()[i] += n * 10.0;
+  }
+  const PointMetrics m_mild = ComputeMetrics(mild, truth);
+  const PointMetrics m_severe = ComputeMetrics(severe, truth);
+  EXPECT_LT(m_mild.mae, m_severe.mae);
+  EXPECT_LT(m_mild.rmse, m_severe.rmse);
+  EXPECT_LT(m_mild.mape, m_severe.mape);
+  EXPECT_LT(Rrse(mild, truth), Rrse(severe, truth));
+  EXPECT_GT(Corr(mild, truth), Corr(severe, truth));
+}
+
+}  // namespace
+}  // namespace autocts

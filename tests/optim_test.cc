@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/variable_ops.h"
+#include "optim/adam.h"
+#include "optim/lr_schedule.h"
+#include "optim/sgd.h"
+#include "tensor/tensor_ops.h"
+
+namespace autocts {
+namespace {
+
+// Minimizes f(w) = sum((w - target)^2) and returns the final w.
+template <typename MakeOptimizer>
+Tensor MinimizeQuadratic(MakeOptimizer make, int steps) {
+  Variable w(Tensor::FromVector({3}, {5.0, -4.0, 2.0}), true);
+  const Variable target(Tensor::FromVector({3}, {1.0, 2.0, 3.0}), false);
+  auto optimizer = make(std::vector<Variable>{w});
+  for (int i = 0; i < steps; ++i) {
+    Variable loss = ag::MseLoss(w, target);
+    optimizer->ZeroGrad();
+    loss.Backward();
+    optimizer->Step();
+  }
+  return w.value();
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  const Tensor w = MinimizeQuadratic(
+      [](std::vector<Variable> params) {
+        return std::make_unique<optim::Sgd>(std::move(params),
+                                            optim::Sgd::Options{.learning_rate = 0.2});
+      },
+      200);
+  EXPECT_NEAR(w.data()[0], 1.0, 1e-3);
+  EXPECT_NEAR(w.data()[1], 2.0, 1e-3);
+  EXPECT_NEAR(w.data()[2], 3.0, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesFirstSteps) {
+  // With momentum the second step is larger than the first-step size.
+  auto run = [](double momentum) {
+    Variable w(Tensor::Scalar(10.0), true);
+    optim::Sgd opt({w}, {.learning_rate = 0.01, .momentum = momentum});
+    double prev = w.value().item();
+    double first_delta = 0.0;
+    double second_delta = 0.0;
+    for (int i = 0; i < 2; ++i) {
+      Variable loss = ag::MseLoss(w, Variable(Tensor::Scalar(0.0), false));
+      opt.ZeroGrad();
+      loss.Backward();
+      opt.Step();
+      const double delta = std::abs(w.value().item() - prev);
+      prev = w.value().item();
+      if (i == 0) {
+        first_delta = delta;
+      } else {
+        second_delta = delta;
+      }
+    }
+    return std::make_pair(first_delta, second_delta);
+  };
+  const auto [f0, s0] = run(0.0);
+  const auto [f1, s1] = run(0.9);
+  EXPECT_NEAR(f0, f1, 1e-9);   // Same first step.
+  EXPECT_GT(s1, s0 * 1.5);     // Momentum compounds.
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Variable w(Tensor::Scalar(1.0), true);
+  optim::Sgd opt({w}, {.learning_rate = 0.1, .weight_decay = 1.0});
+  // Zero-gradient step: only decay acts.
+  Variable loss = ag::MulScalar(ag::SumAll(w), 0.0);
+  opt.ZeroGrad();
+  loss.Backward();
+  opt.Step();
+  EXPECT_NEAR(w.value().item(), 0.9, 1e-12);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  const Tensor w = MinimizeQuadratic(
+      [](std::vector<Variable> params) {
+        return std::make_unique<optim::Adam>(
+            std::move(params), optim::Adam::Options{.learning_rate = 0.1});
+      },
+      400);
+  EXPECT_NEAR(w.data()[0], 1.0, 1e-2);
+  EXPECT_NEAR(w.data()[1], 2.0, 1e-2);
+  EXPECT_NEAR(w.data()[2], 3.0, 1e-2);
+}
+
+TEST(Adam, FirstStepHasLearningRateMagnitude) {
+  // Adam's bias-corrected first step is ~lr regardless of gradient scale.
+  for (const double scale : {1e-3, 1.0, 1e3}) {
+    Variable w(Tensor::Scalar(0.0), true);
+    optim::Adam opt({w}, {.learning_rate = 0.05});
+    Variable loss = ag::MulScalar(ag::SumAll(w), scale);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+    EXPECT_NEAR(std::abs(w.value().item()), 0.05, 0.05 * 0.01)
+        << "gradient scale " << scale;
+  }
+}
+
+TEST(Adam, SkipsParametersWithoutGradients) {
+  Variable used(Tensor::Scalar(1.0), true);
+  Variable unused(Tensor::Scalar(5.0), true);
+  optim::Adam opt({used, unused}, {.learning_rate = 0.1});
+  Variable loss = ag::SumAll(used);
+  opt.ZeroGrad();
+  loss.Backward();
+  opt.Step();
+  EXPECT_NE(used.value().item(), 1.0);
+  EXPECT_EQ(unused.value().item(), 5.0);
+}
+
+TEST(ClipGradNorm, RescalesOnlyWhenAboveThreshold) {
+  Variable a(Tensor::FromVector({2}, {0.0, 0.0}), true);
+  Variable loss = ag::SumAll(ag::MulScalar(a, 3.0));
+  loss.Backward();  // grad = [3, 3], norm = sqrt(18) ~ 4.24
+  const double before = optim::ClipGradNorm({a}, 1.0);
+  EXPECT_NEAR(before, std::sqrt(18.0), 1e-9);
+  EXPECT_NEAR(Norm(a.grad()), 1.0, 1e-6);
+
+  // Below the threshold: untouched.
+  a.ClearGrad();
+  ag::SumAll(ag::MulScalar(a, 0.1)).Backward();
+  optim::ClipGradNorm({a}, 10.0);
+  EXPECT_NEAR(a.grad().data()[0], 0.1, 1e-12);
+}
+
+TEST(Schedules, ExponentialDecaysToFloor) {
+  optim::ExponentialSchedule schedule(5.0, 0.9, 0.001);
+  EXPECT_DOUBLE_EQ(schedule.At(0), 5.0);
+  EXPECT_NEAR(schedule.At(1), 4.5, 1e-12);
+  EXPECT_NEAR(schedule.At(2), 4.05, 1e-12);
+  EXPECT_DOUBLE_EQ(schedule.At(1000), 0.001);  // Clamped at the floor.
+  // Monotone decreasing.
+  for (int e = 0; e < 50; ++e) EXPECT_GE(schedule.At(e), schedule.At(e + 1));
+}
+
+TEST(Schedules, CosineEndpoints) {
+  optim::CosineSchedule schedule(1.0, 0.1, 10);
+  EXPECT_NEAR(schedule.At(0), 1.0, 1e-12);
+  EXPECT_NEAR(schedule.At(10), 0.1, 1e-12);
+  EXPECT_NEAR(schedule.At(5), 0.55, 1e-12);  // Midpoint of cosine.
+  EXPECT_NEAR(schedule.At(20), 0.1, 1e-12);  // Clamped after the horizon.
+}
+
+TEST(Optimizer, SetLearningRateTakesEffect) {
+  Variable w(Tensor::Scalar(1.0), true);
+  optim::Sgd opt({w}, {.learning_rate = 0.0});
+  opt.SetLearningRate(0.5);
+  Variable loss = ag::SumAll(w);
+  opt.ZeroGrad();
+  loss.Backward();
+  opt.Step();
+  EXPECT_NEAR(w.value().item(), 0.5, 1e-12);
+}
+
+TEST(Optimizer, TrainsATinyNetworkToFitXor) {
+  // 2-4-1 MLP fits XOR; verifies end-to-end autograd + Adam integration.
+  Rng rng(99);
+  Variable w1(Tensor::Rand({2, 8}, &rng, -0.7, 0.7), true);
+  Variable b1(Tensor::Zeros({8}), true);
+  Variable w2(Tensor::Rand({8, 1}, &rng, -0.7, 0.7), true);
+  Variable b2(Tensor::Zeros({1}), true);
+  const Variable x(
+      Tensor::FromVector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1}), false);
+  const Variable y(Tensor::FromVector({4, 1}, {0, 1, 1, 0}), false);
+  optim::Adam opt({w1, b1, w2, b2}, {.learning_rate = 0.05});
+  double final_loss = 1.0;
+  for (int step = 0; step < 800; ++step) {
+    const Variable h = ag::Tanh(ag::Add(ag::MatMul(x, w1), b1));
+    const Variable out = ag::Sigmoid(ag::Add(ag::MatMul(h, w2), b2));
+    Variable loss = ag::MseLoss(out, y);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+    final_loss = loss.value().item();
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+}  // namespace
+}  // namespace autocts

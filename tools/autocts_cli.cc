@@ -1,0 +1,229 @@
+// autocts_cli — command-line front end for the library.
+//
+// Subcommands:
+//   list-ops                     print every registered operator
+//   generate [options]           generate a synthetic dataset, export CSV
+//   search   [options]           run the joint architecture search
+//   evaluate [options]           retrain a saved genotype and report metrics
+//
+// Common options:
+//   --kind K        traffic-speed | traffic-flow | solar | electricity
+//   --nodes N       number of series (default 12)
+//   --steps T       number of timestamps (default 1440)
+//   --seed S        dataset seed (default 1)
+//   --input P --output Q --horizon H     window spec (defaults 12/12/0)
+//   --hidden D      hidden width (default 16)
+//   --epochs E      search or training epochs
+//   --genotype F    genotype file (search output / evaluate input)
+//   --cost-weight W efficiency-aware search weight (default 0 = off)
+//   --out F         output file (generate: CSV; search: genotype text)
+//
+// Examples:
+//   autocts_cli search --kind traffic-flow --nodes 10 --steps 1200 \
+//       --epochs 2 --out genotype.txt
+//   autocts_cli evaluate --kind traffic-flow --nodes 10 --steps 1200 \
+//       --genotype genotype.txt --epochs 4
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/evaluator.h"
+#include "core/searcher.h"
+#include "data/csv.h"
+#include "data/synthetic/generators.h"
+#include "models/trainer.h"
+#include "ops/op_registry.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace autocts;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                         nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: autocts_cli <list-ops|generate|search|evaluate> "
+               "[--key value ...]\n(see the header of tools/autocts_cli.cc "
+               "for the full option list)\n");
+  return 2;
+}
+
+data::CtsDataset MakeDataset(const Args& args) {
+  const std::string kind = args.Get("kind", "traffic-speed");
+  const int64_t nodes = args.GetInt("nodes", 12);
+  const int64_t steps = args.GetInt("steps", 1440);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  if (kind == "traffic-speed") {
+    data::TrafficSpeedConfig config;
+    config.num_nodes = nodes;
+    config.num_steps = steps;
+    config.seed = seed;
+    return data::GenerateTrafficSpeed(config);
+  }
+  if (kind == "traffic-flow") {
+    data::TrafficFlowConfig config;
+    config.num_nodes = nodes;
+    config.num_steps = steps;
+    config.seed = seed;
+    return data::GenerateTrafficFlow(config);
+  }
+  if (kind == "solar") {
+    data::SolarConfig config;
+    config.num_nodes = nodes;
+    config.num_steps = steps;
+    config.seed = seed;
+    return data::GenerateSolar(config);
+  }
+  if (kind == "electricity") {
+    data::ElectricityConfig config;
+    config.num_nodes = nodes;
+    config.num_steps = steps;
+    config.seed = seed;
+    return data::GenerateElectricity(config);
+  }
+  std::fprintf(stderr, "unknown --kind %s\n", kind.c_str());
+  std::exit(2);
+}
+
+models::PreparedData PrepareFromArgs(const Args& args,
+                                     const data::CtsDataset& dataset) {
+  data::WindowSpec window;
+  window.input_length = args.GetInt("input", 12);
+  window.output_length = args.GetInt("output", 12);
+  window.horizon = args.GetInt("horizon", 0);
+  if (window.horizon > 0) window.output_length = 1;
+  return models::PrepareData(dataset, window,
+                             args.GetDouble("train-fraction", 0.7),
+                             args.GetDouble("val-fraction", 0.1));
+}
+
+int ListOps() {
+  for (const std::string& name : ops::OpRegistry::Global().Names()) {
+    std::printf("%-10s cost=%.2f %s\n", name.c_str(),
+                core::OperatorCost(name),
+                core::IsParametricOp(name) ? "" : "(non-parametric)");
+  }
+  return 0;
+}
+
+int Generate(const Args& args) {
+  const data::CtsDataset dataset = MakeDataset(args);
+  const std::string out = args.Get("out", "dataset.csv");
+  // Export the target feature as a [T, N] matrix.
+  Tensor matrix({dataset.num_steps(), dataset.num_nodes()});
+  for (int64_t t = 0; t < dataset.num_steps(); ++t) {
+    for (int64_t n = 0; n < dataset.num_nodes(); ++n) {
+      matrix.At({t, n}) =
+          dataset.values.At({t, n, dataset.target_feature});
+    }
+  }
+  const Status status = data::SaveMatrixCsv(out, matrix);
+  std::printf("%s: %s (%lld x %lld)\n", out.c_str(),
+              status.ToString().c_str(),
+              static_cast<long long>(dataset.num_steps()),
+              static_cast<long long>(dataset.num_nodes()));
+  return status.ok() ? 0 : 1;
+}
+
+int Search(const Args& args) {
+  const data::CtsDataset dataset = MakeDataset(args);
+  const models::PreparedData prepared = PrepareFromArgs(args, dataset);
+  core::SearchOptions options;
+  options.supernet.micro_nodes = args.GetInt("micro-nodes", 5);
+  options.supernet.macro_blocks = args.GetInt("macro-blocks", 4);
+  options.supernet.hidden_dim = args.GetInt("hidden", 16);
+  options.epochs = args.GetInt("epochs", 2);
+  options.batch_size = args.GetInt("batch", 32);
+  options.max_batches_per_epoch = args.GetInt("max-batches", 5);
+  options.cost_weight = args.GetDouble("cost-weight", 0.0);
+  options.bilevel_order = args.GetInt("bilevel", 1);
+  options.seed = static_cast<uint64_t>(args.GetInt("search-seed", 3));
+  options.verbose = true;
+  const core::SearchResult result =
+      core::JointSearcher(options).Search(prepared);
+  std::printf("%s", result.genotype.ToPrettyString().c_str());
+  std::printf("search took %.1fs; relative architecture cost %.2f\n",
+              result.search_seconds,
+              core::GenotypeCost(result.genotype));
+  const std::string out = args.Get("out", "genotype.txt");
+  std::ofstream stream(out);
+  stream << result.genotype.ToText();
+  std::printf("genotype written to %s\n", out.c_str());
+  return stream ? 0 : 1;
+}
+
+int Evaluate(const Args& args) {
+  const std::string path = args.Get("genotype", "genotype.txt");
+  std::ifstream stream(path);
+  if (!stream) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const std::string text{std::istreambuf_iterator<char>(stream),
+                         std::istreambuf_iterator<char>()};
+  const StatusOr<core::Genotype> genotype = core::Genotype::FromText(text);
+  if (!genotype.ok()) {
+    std::fprintf(stderr, "bad genotype: %s\n",
+                 genotype.status().ToString().c_str());
+    return 1;
+  }
+  const data::CtsDataset dataset = MakeDataset(args);
+  const models::PreparedData prepared = PrepareFromArgs(args, dataset);
+  models::TrainConfig config;
+  config.epochs = args.GetInt("epochs", 4);
+  config.batch_size = args.GetInt("batch", 32);
+  config.max_batches_per_epoch = args.GetInt("max-batches", 10);
+  config.early_stop_patience = args.GetInt("patience", 0);
+  config.verbose = true;
+  const models::EvalResult result = core::EvaluateGenotype(
+      genotype.value(), prepared, args.GetInt("hidden", 16), config);
+  std::printf(
+      "test: MAE %.4f  RMSE %.4f  MAPE %.2f%%  RRSE %.4f  CORR %.4f\n",
+      result.average.mae, result.average.rmse, result.average.mape * 100.0,
+      result.rrse, result.corr);
+  std::printf("epochs run %lld, params %lld, %.2f s/epoch, %.3f ms/window\n",
+              static_cast<long long>(result.epochs_run),
+              static_cast<long long>(result.parameter_count),
+              result.train_seconds_per_epoch,
+              result.inference_ms_per_window);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  if (args.command == "list-ops") return ListOps();
+  if (args.command == "generate") return Generate(args);
+  if (args.command == "search") return Search(args);
+  if (args.command == "evaluate") return Evaluate(args);
+  return Usage();
+}
