@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/autocts_bench_common.dir/bench_common.cc.o.d"
+  "libautocts_bench_common.a"
+  "libautocts_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

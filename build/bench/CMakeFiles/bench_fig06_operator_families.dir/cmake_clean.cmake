@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_operator_families.dir/bench_fig06_operator_families.cc.o"
+  "CMakeFiles/bench_fig06_operator_families.dir/bench_fig06_operator_families.cc.o.d"
+  "bench_fig06_operator_families"
+  "bench_fig06_operator_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_operator_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table03_operator_variants.cc" "bench/CMakeFiles/bench_table03_operator_variants.dir/bench_table03_operator_variants.cc.o" "gcc" "bench/CMakeFiles/bench_table03_operator_variants.dir/bench_table03_operator_variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/autocts_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

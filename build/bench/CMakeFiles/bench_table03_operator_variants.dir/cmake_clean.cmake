@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_operator_variants.dir/bench_table03_operator_variants.cc.o"
+  "CMakeFiles/bench_table03_operator_variants.dir/bench_table03_operator_variants.cc.o.d"
+  "bench_table03_operator_variants"
+  "bench_table03_operator_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_operator_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_06_multistep.dir/bench_table05_06_multistep.cc.o"
+  "CMakeFiles/bench_table05_06_multistep.dir/bench_table05_06_multistep.cc.o.d"
+  "bench_table05_06_multistep"
+  "bench_table05_06_multistep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_06_multistep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_search_cost.dir/bench_table07_search_cost.cc.o"
+  "CMakeFiles/bench_table07_search_cost.dir/bench_table07_search_cost.cc.o.d"
+  "bench_table07_search_cost"
+  "bench_table07_search_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_search_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

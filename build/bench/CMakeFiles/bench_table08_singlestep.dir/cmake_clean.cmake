@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_singlestep.dir/bench_table08_singlestep.cc.o"
+  "CMakeFiles/bench_table08_singlestep.dir/bench_table08_singlestep.cc.o.d"
+  "bench_table08_singlestep"
+  "bench_table08_singlestep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_singlestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

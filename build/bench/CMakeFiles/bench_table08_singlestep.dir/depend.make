@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table08_singlestep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_16_ablations.dir/bench_table09_16_ablations.cc.o"
+  "CMakeFiles/bench_table09_16_ablations.dir/bench_table09_16_ablations.cc.o.d"
+  "bench_table09_16_ablations"
+  "bench_table09_16_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_16_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

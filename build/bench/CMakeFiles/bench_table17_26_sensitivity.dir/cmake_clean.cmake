@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table17_26_sensitivity.dir/bench_table17_26_sensitivity.cc.o"
+  "CMakeFiles/bench_table17_26_sensitivity.dir/bench_table17_26_sensitivity.cc.o.d"
+  "bench_table17_26_sensitivity"
+  "bench_table17_26_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table17_26_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table35_transferability.dir/bench_table35_transferability.cc.o"
+  "CMakeFiles/bench_table35_transferability.dir/bench_table35_transferability.cc.o.d"
+  "bench_table35_transferability"
+  "bench_table35_transferability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table35_transferability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electricity_forecasting.dir/electricity_forecasting.cpp.o"
+  "CMakeFiles/electricity_forecasting.dir/electricity_forecasting.cpp.o.d"
+  "electricity_forecasting"
+  "electricity_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electricity_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for electricity_forecasting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_forecasting.dir/traffic_forecasting.cpp.o"
+  "CMakeFiles/traffic_forecasting.dir/traffic_forecasting.cpp.o.d"
+  "traffic_forecasting"
+  "traffic_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_autograd.dir/autograd/grad_check.cc.o"
+  "CMakeFiles/autocts_autograd.dir/autograd/grad_check.cc.o.d"
+  "CMakeFiles/autocts_autograd.dir/autograd/variable.cc.o"
+  "CMakeFiles/autocts_autograd.dir/autograd/variable.cc.o.d"
+  "CMakeFiles/autocts_autograd.dir/autograd/variable_ops.cc.o"
+  "CMakeFiles/autocts_autograd.dir/autograd/variable_ops.cc.o.d"
+  "libautocts_autograd.a"
+  "libautocts_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

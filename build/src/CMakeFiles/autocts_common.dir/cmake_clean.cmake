@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_common.dir/common/logging.cc.o"
+  "CMakeFiles/autocts_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/autocts_common.dir/common/random.cc.o"
+  "CMakeFiles/autocts_common.dir/common/random.cc.o.d"
+  "CMakeFiles/autocts_common.dir/common/status.cc.o"
+  "CMakeFiles/autocts_common.dir/common/status.cc.o.d"
+  "CMakeFiles/autocts_common.dir/common/text_codec.cc.o"
+  "CMakeFiles/autocts_common.dir/common/text_codec.cc.o.d"
+  "libautocts_common.a"
+  "libautocts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/autocts_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/derived_model.cc" "src/CMakeFiles/autocts_core.dir/core/derived_model.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/derived_model.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/autocts_core.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/genotype.cc" "src/CMakeFiles/autocts_core.dir/core/genotype.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/genotype.cc.o.d"
+  "/root/repo/src/core/macro_only.cc" "src/CMakeFiles/autocts_core.dir/core/macro_only.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/macro_only.cc.o.d"
+  "/root/repo/src/core/micro_dag.cc" "src/CMakeFiles/autocts_core.dir/core/micro_dag.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/micro_dag.cc.o.d"
+  "/root/repo/src/core/operator_set.cc" "src/CMakeFiles/autocts_core.dir/core/operator_set.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/operator_set.cc.o.d"
+  "/root/repo/src/core/searcher.cc" "src/CMakeFiles/autocts_core.dir/core/searcher.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/searcher.cc.o.d"
+  "/root/repo/src/core/supernet.cc" "src/CMakeFiles/autocts_core.dir/core/supernet.cc.o" "gcc" "src/CMakeFiles/autocts_core.dir/core/supernet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autocts_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

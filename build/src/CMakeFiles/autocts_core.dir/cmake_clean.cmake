@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/autocts_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/autocts_core.dir/core/derived_model.cc.o"
+  "CMakeFiles/autocts_core.dir/core/derived_model.cc.o.d"
+  "CMakeFiles/autocts_core.dir/core/evaluator.cc.o"
+  "CMakeFiles/autocts_core.dir/core/evaluator.cc.o.d"
+  "CMakeFiles/autocts_core.dir/core/genotype.cc.o"
+  "CMakeFiles/autocts_core.dir/core/genotype.cc.o.d"
+  "CMakeFiles/autocts_core.dir/core/macro_only.cc.o"
+  "CMakeFiles/autocts_core.dir/core/macro_only.cc.o.d"
+  "CMakeFiles/autocts_core.dir/core/micro_dag.cc.o"
+  "CMakeFiles/autocts_core.dir/core/micro_dag.cc.o.d"
+  "CMakeFiles/autocts_core.dir/core/operator_set.cc.o"
+  "CMakeFiles/autocts_core.dir/core/operator_set.cc.o.d"
+  "CMakeFiles/autocts_core.dir/core/searcher.cc.o"
+  "CMakeFiles/autocts_core.dir/core/searcher.cc.o.d"
+  "CMakeFiles/autocts_core.dir/core/supernet.cc.o"
+  "CMakeFiles/autocts_core.dir/core/supernet.cc.o.d"
+  "libautocts_core.a"
+  "libautocts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

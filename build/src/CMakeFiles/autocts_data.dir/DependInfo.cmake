@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/autocts_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/autocts_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/cts_dataset.cc" "src/CMakeFiles/autocts_data.dir/data/cts_dataset.cc.o" "gcc" "src/CMakeFiles/autocts_data.dir/data/cts_dataset.cc.o.d"
+  "/root/repo/src/data/scaler.cc" "src/CMakeFiles/autocts_data.dir/data/scaler.cc.o" "gcc" "src/CMakeFiles/autocts_data.dir/data/scaler.cc.o.d"
+  "/root/repo/src/data/synthetic/electricity.cc" "src/CMakeFiles/autocts_data.dir/data/synthetic/electricity.cc.o" "gcc" "src/CMakeFiles/autocts_data.dir/data/synthetic/electricity.cc.o.d"
+  "/root/repo/src/data/synthetic/solar.cc" "src/CMakeFiles/autocts_data.dir/data/synthetic/solar.cc.o" "gcc" "src/CMakeFiles/autocts_data.dir/data/synthetic/solar.cc.o.d"
+  "/root/repo/src/data/synthetic/traffic_flow.cc" "src/CMakeFiles/autocts_data.dir/data/synthetic/traffic_flow.cc.o" "gcc" "src/CMakeFiles/autocts_data.dir/data/synthetic/traffic_flow.cc.o.d"
+  "/root/repo/src/data/synthetic/traffic_speed.cc" "src/CMakeFiles/autocts_data.dir/data/synthetic/traffic_speed.cc.o" "gcc" "src/CMakeFiles/autocts_data.dir/data/synthetic/traffic_speed.cc.o.d"
+  "/root/repo/src/data/window_dataset.cc" "src/CMakeFiles/autocts_data.dir/data/window_dataset.cc.o" "gcc" "src/CMakeFiles/autocts_data.dir/data/window_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autocts_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_data.dir/data/csv.cc.o"
+  "CMakeFiles/autocts_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/autocts_data.dir/data/cts_dataset.cc.o"
+  "CMakeFiles/autocts_data.dir/data/cts_dataset.cc.o.d"
+  "CMakeFiles/autocts_data.dir/data/scaler.cc.o"
+  "CMakeFiles/autocts_data.dir/data/scaler.cc.o.d"
+  "CMakeFiles/autocts_data.dir/data/synthetic/electricity.cc.o"
+  "CMakeFiles/autocts_data.dir/data/synthetic/electricity.cc.o.d"
+  "CMakeFiles/autocts_data.dir/data/synthetic/solar.cc.o"
+  "CMakeFiles/autocts_data.dir/data/synthetic/solar.cc.o.d"
+  "CMakeFiles/autocts_data.dir/data/synthetic/traffic_flow.cc.o"
+  "CMakeFiles/autocts_data.dir/data/synthetic/traffic_flow.cc.o.d"
+  "CMakeFiles/autocts_data.dir/data/synthetic/traffic_speed.cc.o"
+  "CMakeFiles/autocts_data.dir/data/synthetic/traffic_speed.cc.o.d"
+  "CMakeFiles/autocts_data.dir/data/window_dataset.cc.o"
+  "CMakeFiles/autocts_data.dir/data/window_dataset.cc.o.d"
+  "libautocts_data.a"
+  "libautocts_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

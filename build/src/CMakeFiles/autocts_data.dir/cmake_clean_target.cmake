@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautocts_data.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_graph.dir/graph/adaptive_adjacency.cc.o"
+  "CMakeFiles/autocts_graph.dir/graph/adaptive_adjacency.cc.o.d"
+  "CMakeFiles/autocts_graph.dir/graph/adjacency.cc.o"
+  "CMakeFiles/autocts_graph.dir/graph/adjacency.cc.o.d"
+  "libautocts_graph.a"
+  "libautocts_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

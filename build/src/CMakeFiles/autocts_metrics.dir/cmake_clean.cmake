@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_metrics.dir/metrics/metrics.cc.o"
+  "CMakeFiles/autocts_metrics.dir/metrics/metrics.cc.o.d"
+  "libautocts_metrics.a"
+  "libautocts_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/agcrn.cc" "src/CMakeFiles/autocts_models.dir/models/agcrn.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/agcrn.cc.o.d"
+  "/root/repo/src/models/dcrnn.cc" "src/CMakeFiles/autocts_models.dir/models/dcrnn.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/dcrnn.cc.o.d"
+  "/root/repo/src/models/forecasting_model.cc" "src/CMakeFiles/autocts_models.dir/models/forecasting_model.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/forecasting_model.cc.o.d"
+  "/root/repo/src/models/graph_wavenet.cc" "src/CMakeFiles/autocts_models.dir/models/graph_wavenet.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/graph_wavenet.cc.o.d"
+  "/root/repo/src/models/lstnet.cc" "src/CMakeFiles/autocts_models.dir/models/lstnet.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/lstnet.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/CMakeFiles/autocts_models.dir/models/model_zoo.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/model_zoo.cc.o.d"
+  "/root/repo/src/models/mtgnn.cc" "src/CMakeFiles/autocts_models.dir/models/mtgnn.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/mtgnn.cc.o.d"
+  "/root/repo/src/models/st_blocks.cc" "src/CMakeFiles/autocts_models.dir/models/st_blocks.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/st_blocks.cc.o.d"
+  "/root/repo/src/models/stgcn.cc" "src/CMakeFiles/autocts_models.dir/models/stgcn.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/stgcn.cc.o.d"
+  "/root/repo/src/models/tpa_lstm.cc" "src/CMakeFiles/autocts_models.dir/models/tpa_lstm.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/tpa_lstm.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/CMakeFiles/autocts_models.dir/models/trainer.cc.o" "gcc" "src/CMakeFiles/autocts_models.dir/models/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autocts_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_models.dir/models/agcrn.cc.o"
+  "CMakeFiles/autocts_models.dir/models/agcrn.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/dcrnn.cc.o"
+  "CMakeFiles/autocts_models.dir/models/dcrnn.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/forecasting_model.cc.o"
+  "CMakeFiles/autocts_models.dir/models/forecasting_model.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/graph_wavenet.cc.o"
+  "CMakeFiles/autocts_models.dir/models/graph_wavenet.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/lstnet.cc.o"
+  "CMakeFiles/autocts_models.dir/models/lstnet.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/model_zoo.cc.o"
+  "CMakeFiles/autocts_models.dir/models/model_zoo.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/mtgnn.cc.o"
+  "CMakeFiles/autocts_models.dir/models/mtgnn.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/st_blocks.cc.o"
+  "CMakeFiles/autocts_models.dir/models/st_blocks.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/stgcn.cc.o"
+  "CMakeFiles/autocts_models.dir/models/stgcn.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/tpa_lstm.cc.o"
+  "CMakeFiles/autocts_models.dir/models/tpa_lstm.cc.o.d"
+  "CMakeFiles/autocts_models.dir/models/trainer.cc.o"
+  "CMakeFiles/autocts_models.dir/models/trainer.cc.o.d"
+  "libautocts_models.a"
+  "libautocts_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

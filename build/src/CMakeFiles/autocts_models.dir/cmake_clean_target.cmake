@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautocts_models.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/autocts_nn.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/autocts_nn.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/batch_norm.cc" "src/CMakeFiles/autocts_nn.dir/nn/batch_norm.cc.o" "gcc" "src/CMakeFiles/autocts_nn.dir/nn/batch_norm.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/autocts_nn.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/autocts_nn.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/autocts_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/autocts_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/autocts_nn.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/autocts_nn.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/autocts_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/autocts_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/autocts_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/autocts_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/state_dict.cc" "src/CMakeFiles/autocts_nn.dir/nn/state_dict.cc.o" "gcc" "src/CMakeFiles/autocts_nn.dir/nn/state_dict.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autocts_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_nn.dir/nn/activations.cc.o"
+  "CMakeFiles/autocts_nn.dir/nn/activations.cc.o.d"
+  "CMakeFiles/autocts_nn.dir/nn/batch_norm.cc.o"
+  "CMakeFiles/autocts_nn.dir/nn/batch_norm.cc.o.d"
+  "CMakeFiles/autocts_nn.dir/nn/conv.cc.o"
+  "CMakeFiles/autocts_nn.dir/nn/conv.cc.o.d"
+  "CMakeFiles/autocts_nn.dir/nn/dropout.cc.o"
+  "CMakeFiles/autocts_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/autocts_nn.dir/nn/layer_norm.cc.o"
+  "CMakeFiles/autocts_nn.dir/nn/layer_norm.cc.o.d"
+  "CMakeFiles/autocts_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/autocts_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/autocts_nn.dir/nn/module.cc.o"
+  "CMakeFiles/autocts_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/autocts_nn.dir/nn/state_dict.cc.o"
+  "CMakeFiles/autocts_nn.dir/nn/state_dict.cc.o.d"
+  "libautocts_nn.a"
+  "libautocts_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/attention_ops.cc" "src/CMakeFiles/autocts_ops.dir/ops/attention_ops.cc.o" "gcc" "src/CMakeFiles/autocts_ops.dir/ops/attention_ops.cc.o.d"
+  "/root/repo/src/ops/gcn_ops.cc" "src/CMakeFiles/autocts_ops.dir/ops/gcn_ops.cc.o" "gcc" "src/CMakeFiles/autocts_ops.dir/ops/gcn_ops.cc.o.d"
+  "/root/repo/src/ops/op_registry.cc" "src/CMakeFiles/autocts_ops.dir/ops/op_registry.cc.o" "gcc" "src/CMakeFiles/autocts_ops.dir/ops/op_registry.cc.o.d"
+  "/root/repo/src/ops/rnn_ops.cc" "src/CMakeFiles/autocts_ops.dir/ops/rnn_ops.cc.o" "gcc" "src/CMakeFiles/autocts_ops.dir/ops/rnn_ops.cc.o.d"
+  "/root/repo/src/ops/simple_ops.cc" "src/CMakeFiles/autocts_ops.dir/ops/simple_ops.cc.o" "gcc" "src/CMakeFiles/autocts_ops.dir/ops/simple_ops.cc.o.d"
+  "/root/repo/src/ops/temporal_conv_ops.cc" "src/CMakeFiles/autocts_ops.dir/ops/temporal_conv_ops.cc.o" "gcc" "src/CMakeFiles/autocts_ops.dir/ops/temporal_conv_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autocts_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autocts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_ops.dir/ops/attention_ops.cc.o"
+  "CMakeFiles/autocts_ops.dir/ops/attention_ops.cc.o.d"
+  "CMakeFiles/autocts_ops.dir/ops/gcn_ops.cc.o"
+  "CMakeFiles/autocts_ops.dir/ops/gcn_ops.cc.o.d"
+  "CMakeFiles/autocts_ops.dir/ops/op_registry.cc.o"
+  "CMakeFiles/autocts_ops.dir/ops/op_registry.cc.o.d"
+  "CMakeFiles/autocts_ops.dir/ops/rnn_ops.cc.o"
+  "CMakeFiles/autocts_ops.dir/ops/rnn_ops.cc.o.d"
+  "CMakeFiles/autocts_ops.dir/ops/simple_ops.cc.o"
+  "CMakeFiles/autocts_ops.dir/ops/simple_ops.cc.o.d"
+  "CMakeFiles/autocts_ops.dir/ops/temporal_conv_ops.cc.o"
+  "CMakeFiles/autocts_ops.dir/ops/temporal_conv_ops.cc.o.d"
+  "libautocts_ops.a"
+  "libautocts_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

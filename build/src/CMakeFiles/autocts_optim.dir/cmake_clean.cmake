@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_optim.dir/optim/adam.cc.o"
+  "CMakeFiles/autocts_optim.dir/optim/adam.cc.o.d"
+  "CMakeFiles/autocts_optim.dir/optim/lr_schedule.cc.o"
+  "CMakeFiles/autocts_optim.dir/optim/lr_schedule.cc.o.d"
+  "CMakeFiles/autocts_optim.dir/optim/optimizer.cc.o"
+  "CMakeFiles/autocts_optim.dir/optim/optimizer.cc.o.d"
+  "CMakeFiles/autocts_optim.dir/optim/sgd.cc.o"
+  "CMakeFiles/autocts_optim.dir/optim/sgd.cc.o.d"
+  "libautocts_optim.a"
+  "libautocts_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

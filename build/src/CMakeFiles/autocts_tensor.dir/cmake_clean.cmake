@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/autocts_tensor.dir/tensor/tensor.cc.o.d"
+  "CMakeFiles/autocts_tensor.dir/tensor/tensor_ops.cc.o"
+  "CMakeFiles/autocts_tensor.dir/tensor/tensor_ops.cc.o.d"
+  "libautocts_tensor.a"
+  "libautocts_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

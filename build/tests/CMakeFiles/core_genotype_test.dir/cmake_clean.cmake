@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_genotype_test.dir/core_genotype_test.cc.o"
+  "CMakeFiles/core_genotype_test.dir/core_genotype_test.cc.o.d"
+  "core_genotype_test"
+  "core_genotype_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_genotype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_search_test.dir/core_search_test.cc.o"
+  "CMakeFiles/core_search_test.dir/core_search_test.cc.o.d"
+  "core_search_test"
+  "core_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autocts_cli.dir/autocts_cli.cc.o"
+  "CMakeFiles/autocts_cli.dir/autocts_cli.cc.o.d"
+  "autocts_cli"
+  "autocts_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autocts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
