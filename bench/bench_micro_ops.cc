@@ -3,8 +3,10 @@
 // diffusion GCN, a full mixed edge, and one supernet forward/backward.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "core/micro_dag.h"
 #include "graph/adjacency.h"
+#include "nn/conv.h"
 #include "ops/op_registry.h"
 #include "tensor/tensor_ops.h"
 
@@ -22,6 +24,80 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// Sets the pool size for the duration of one benchmark, restoring the
+// previous value afterwards so later benchmarks see the default.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int64_t n) : previous_(NumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ScopedThreads() { SetNumThreads(previous_); }
+
+ private:
+  int64_t previous_;
+};
+
+// Per-kernel GFLOP/s across matmul sizes x thread counts; the headline
+// numbers for the blocked parallel kernel rewrite.
+void BM_MatMulSweep(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ScopedThreads threads(state.range(1));
+  Rng rng(1);
+  const Tensor a = Tensor::Rand({n, n}, &rng);
+  const Tensor b = Tensor::Rand({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_MatMulSweep)
+    ->ArgsProduct({{64, 128, 256}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"})
+    ->UseRealTime();  // GFLOP/s against wall clock, not main-thread CPU.
+
+// The unblocked serial reference kernel at the same sizes, so the bench
+// trajectory records the speedup of the blocked kernel directly.
+void BM_MatMulNaiveRef(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::Rand({n, n}, &rng);
+  const Tensor b = Tensor::Rand({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulNaive(a, b));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_MatMulNaiveRef)->Arg(64)->Arg(128)->Arg(256)->ArgNames({"n"});
+
+// Causal temporal convolution (the T-operator workhorse) across channel
+// widths x thread counts.
+void BM_ConvSweep(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  ScopedThreads threads(state.range(1));
+  Rng rng(8);
+  nn::TemporalConv1d conv(channels, channels, /*kernel_size=*/2,
+                          /*dilation=*/1, /*causal=*/true, &rng);
+  conv.SetTraining(false);
+  const int64_t batch = 8, time = 24, nodes = 12;
+  const Tensor x = Tensor::Rand({batch, time, nodes, channels}, &rng, -1.0,
+                                1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(Variable(x, false)));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * batch * time * nodes * 2 * channels * channels,
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvSweep)
+    ->ArgsProduct({{16, 32, 64}, {1, 2, 4}})
+    ->ArgNames({"channels", "threads"})
+    ->UseRealTime();
 
 void BM_BatchedMatMul(benchmark::State& state) {
   Rng rng(2);

@@ -1,0 +1,205 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace autocts {
+namespace {
+
+constexpr int64_t kMaxThreads = 64;
+
+// Set while a thread is executing chunks, so nested ParallelFor calls run
+// serially instead of deadlocking on the pool.
+thread_local bool t_in_parallel_region = false;
+
+int64_t ThreadCountFromEnv() {
+  if (const char* env = std::getenv("AUTOCTS_NUM_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && value > 0) {
+      return std::min<int64_t>(value, kMaxThreads);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::clamp<int64_t>(hardware == 0 ? 1 : hardware, 1, kMaxThreads);
+}
+
+// One ParallelFor invocation. Chunks are handed out through an atomic
+// counter owned by the job, so a worker that wakes late (or for a previous
+// job) can only ever draw chunks of the job it actually holds a reference
+// to.
+struct Job {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> completed{0};
+
+  void RunChunk(int64_t chunk) const {
+    const int64_t lo = begin + chunk * grain;
+    const int64_t hi = std::min(end, lo + grain);
+    (*fn)(lo, hi);
+  }
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int64_t num_threads) : num_threads_(num_threads) {
+    workers_.reserve(num_threads - 1);
+    for (int64_t i = 0; i + 1 < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  int64_t num_threads() const { return num_threads_; }
+
+  // Runs all chunks of `job`, blocking until every chunk has finished. Only
+  // one job is active at a time; concurrent callers queue on run_mutex_.
+  void Run(const std::shared_ptr<Job>& job) {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_job_ = job;
+      ++job_version_;
+    }
+    wake_.notify_all();
+    Drain(*job);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+    current_job_.reset();
+  }
+
+ private:
+  void WorkerLoop() {
+    uint64_t seen_version = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock,
+                   [&] { return stop_ || job_version_ != seen_version; });
+        if (stop_) return;
+        seen_version = job_version_;
+        job = current_job_;
+      }
+      if (job != nullptr) Drain(*job);
+    }
+  }
+
+  void Drain(Job& job) {
+    t_in_parallel_region = true;
+    for (;;) {
+      const int64_t chunk =
+          job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job.num_chunks) break;
+      job.RunChunk(chunk);
+      const int64_t finished =
+          job.completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (finished == job.num_chunks) {
+        // Take the mutex so the notify cannot race past a waiter that has
+        // checked the predicate but not yet gone to sleep.
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_.notify_all();
+      }
+    }
+    t_in_parallel_region = false;
+  }
+
+  const int64_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex run_mutex_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::shared_ptr<Job> current_job_;
+  uint64_t job_version_ = 0;
+  bool stop_ = false;
+};
+
+std::mutex g_pool_mutex;
+// Owned by a shared_ptr so SetNumThreads can swap the pool while stragglers
+// (none, per the documented contract, but cheap insurance) still hold it.
+std::shared_ptr<ThreadPool> g_pool;  // NOLINT: intentional process-lifetime
+
+std::shared_ptr<ThreadPool> Pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr) {
+    g_pool = std::make_shared<ThreadPool>(ThreadCountFromEnv());
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+int64_t NumThreads() { return Pool()->num_threads(); }
+
+void SetNumThreads(int64_t n) {
+  AUTOCTS_CHECK_GE(n, 1);
+  const int64_t clamped = std::min(n, kMaxThreads);
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool != nullptr && g_pool->num_threads() == clamped) return;
+  g_pool = std::make_shared<ThreadPool>(clamped);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  AUTOCTS_CHECK_GE(grain, 1);
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  // Serial paths still walk the same chunk partition so per-chunk partial
+  // sums (ParallelSum) see identical groupings everywhere.
+  std::shared_ptr<ThreadPool> pool;
+  if (!t_in_parallel_region && num_chunks > 1) pool = Pool();
+  if (pool == nullptr || pool->num_threads() == 1) {
+    for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const int64_t lo = begin + chunk * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  pool->Run(job);
+}
+
+double ParallelSum(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<double(int64_t, int64_t)>& chunk_sum) {
+  if (begin >= end) return 0.0;
+  AUTOCTS_CHECK_GE(grain, 1);
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  std::vector<double> partials(num_chunks, 0.0);
+  ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    partials[(lo - begin) / grain] = chunk_sum(lo, hi);
+  });
+  double total = 0.0;
+  for (const double partial : partials) total += partial;
+  return total;
+}
+
+}  // namespace autocts

@@ -1,0 +1,46 @@
+// Deterministic parallel-execution layer: a lazily-initialized fixed thread
+// pool with a chunked ParallelFor primitive.
+//
+// Determinism contract: ParallelFor partitions [begin, end) into fixed-size
+// chunks of `grain` elements whose boundaries depend only on (begin, end,
+// grain) — never on the thread count or on scheduling. Kernels that write
+// disjoint output ranges per chunk, or that combine per-chunk partials in
+// chunk-index order (see ParallelSum), therefore produce bit-identical
+// results for any AUTOCTS_NUM_THREADS setting.
+#ifndef AUTOCTS_COMMON_PARALLEL_H_
+#define AUTOCTS_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace autocts {
+
+// Number of threads ParallelFor spreads work across. Initialized on first
+// use from AUTOCTS_NUM_THREADS (clamped to [1, 64]); defaults to the
+// hardware concurrency.
+int64_t NumThreads();
+
+// Overrides the thread count, recreating the pool if it shrinks or grows.
+// Intended for tests and benchmarks; must not be called concurrently with a
+// running ParallelFor.
+void SetNumThreads(int64_t n);
+
+// Invokes fn(chunk_begin, chunk_end) for every chunk of the fixed
+// partition of [begin, end) into `grain`-sized pieces (the last chunk may
+// be short), spread across the pool. The calling thread participates, so a
+// serial environment degrades to an in-order loop over the same chunks.
+// `fn` must be safe to run concurrently on disjoint chunks. Nested calls
+// from inside a chunk run serially on the calling worker.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+// Deterministic parallel sum reduction: evaluates chunk_sum over every
+// fixed `grain`-sized chunk of [begin, end) and adds the partial results in
+// chunk-index order, so the floating-point association is independent of
+// the thread count.
+double ParallelSum(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<double(int64_t, int64_t)>& chunk_sum);
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_COMMON_PARALLEL_H_

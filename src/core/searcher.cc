@@ -87,7 +87,7 @@ double JointSearcher::UnrolledThetaStep(
   //      ~ [grad_Theta L_train(w + eps v) - grad_Theta L_train(w - eps v)]
   //        / (2 eps)
   double v_norm_sq = 0.0;
-  for (const Tensor& g : v) v_norm_sq += autocts::Norm(g) * autocts::Norm(g);
+  for (const Tensor& g : v) v_norm_sq += autocts::SumSquares(g);
   const double v_norm = std::sqrt(v_norm_sq);
   const double eps = options_.unrolled_epsilon / std::max(v_norm, 1e-12);
 

@@ -18,8 +18,7 @@ double ClipGradNorm(const std::vector<Variable>& parameters, double max_norm) {
   double total_sq = 0.0;
   for (const Variable& parameter : parameters) {
     if (!parameter.has_grad()) continue;
-    const double n = Norm(parameter.grad());
-    total_sq += n * n;
+    total_sq += SumSquares(parameter.grad());
   }
   const double total = std::sqrt(total_sq);
   if (total > max_norm) {

@@ -3,8 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace autocts {
 namespace {
+
+// Fixed chunk sizes for ParallelFor. These are part of the determinism
+// contract: reductions combine per-chunk partials in chunk order, so chunk
+// boundaries must depend only on problem extents (see common/parallel.h).
+constexpr int64_t kElementwiseGrain = 16384;
+constexpr int64_t kReduceGrain = 8192;
+constexpr int64_t kCopyGrain = 16384;
 
 // Strides of `shape` expanded to broadcast against `out_shape`: axes of size
 // 1 (or missing on the left) get stride 0.
@@ -26,31 +35,28 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape,
   return result;
 }
 
-template <typename Fn>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
-  if (a.shape() == b.shape()) {  // Fast path: no broadcasting.
-    Tensor out(a.shape());
-    const double* pa = a.data();
-    const double* pb = b.data();
-    double* po = out.data();
-    const int64_t n = a.size();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
-    return out;
-  }
-  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
-  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
-  const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+// Walks flat indices [lo, hi) of a tensor of shape `out_shape`, maintaining
+// two broadcast input offsets with strides `sa` / `sb`, and calls
+// emit(flat, oa, ob) for each element. Seeking to `lo` is O(rank), so
+// chunked parallel execution pays no per-chunk rescan.
+template <typename Emit>
+void ForEachBroadcast(const Shape& out_shape,
+                      const std::vector<int64_t>& sa,
+                      const std::vector<int64_t>& sb, int64_t lo, int64_t hi,
+                      Emit emit) {
   const int64_t rank = static_cast<int64_t>(out_shape.size());
   std::vector<int64_t> index(rank, 0);
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* po = out.data();
   int64_t oa = 0;
   int64_t ob = 0;
-  const int64_t n = out.size();
-  for (int64_t flat = 0; flat < n; ++flat) {
-    po[flat] = fn(pa[oa], pb[ob]);
+  int64_t rem = lo;
+  for (int64_t axis = rank - 1; axis >= 0; --axis) {
+    index[axis] = rem % out_shape[axis];
+    rem /= out_shape[axis];
+    oa += index[axis] * sa[axis];
+    ob += index[axis] * sb[axis];
+  }
+  for (int64_t flat = lo; flat < hi; ++flat) {
+    emit(flat, oa, ob);
     for (int64_t axis = rank - 1; axis >= 0; --axis) {
       ++index[axis];
       oa += sa[axis];
@@ -61,6 +67,33 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
       ob -= sb[axis] * out_shape[axis];
     }
   }
+}
+
+template <typename Fn>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
+  if (a.shape() == b.shape()) {  // Fast path: no broadcasting.
+    Tensor out(a.shape());
+    const double* pa = a.data();
+    const double* pb = b.data();
+    double* po = out.data();
+    ParallelFor(0, a.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+    });
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
+  const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  ParallelFor(0, out.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    ForEachBroadcast(out_shape, sa, sb, lo, hi,
+                     [&](int64_t flat, int64_t oa, int64_t ob) {
+                       po[flat] = fn(pa[oa], pb[ob]);
+                     });
+  });
   return out;
 }
 
@@ -69,8 +102,9 @@ Tensor UnaryOp(const Tensor& a, Fn fn) {
   Tensor out(a.shape());
   const double* pa = a.data();
   double* po = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  ParallelFor(0, a.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
+  });
   return out;
 }
 
@@ -103,6 +137,25 @@ Shape ReducedShape(const Shape& shape, int64_t axis, bool keepdim) {
     if (out.empty()) out.push_back(1);
   }
   return out;
+}
+
+// Runs fn(o, ilo, ihi) over chunks of the flattened (outer x inner) output
+// space of an axis reduction, splitting chunks at `o` boundaries so each
+// call stays within one outer slice. Every output element is written by
+// exactly one chunk, and per-element accumulation over the reduced axis is
+// in ascending order inside fn — deterministic for any thread count.
+template <typename Fn>
+void ParallelOverReducedOutput(int64_t outer, int64_t inner, Fn fn) {
+  ParallelFor(0, outer * inner, kReduceGrain, [&](int64_t lo, int64_t hi) {
+    int64_t flat = lo;
+    while (flat < hi) {
+      const int64_t o = flat / inner;
+      const int64_t ilo = flat - o * inner;
+      const int64_t ihi = std::min(inner, ilo + (hi - flat));
+      fn(o, ilo, ihi);
+      flat += ihi - ilo;
+    }
+  });
 }
 
 }  // namespace
@@ -177,52 +230,49 @@ Tensor Apply(const Tensor& a, const std::function<double(double)>& fn) {
   return UnaryOp(a, fn);
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+namespace {
+
+// Shared shape/stride setup for the matmul variants.
+struct MatMulPlan {
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t n = 0;
+  int64_t num_batches = 0;
+  Shape out_shape;
+  // Per-batch matrix offsets (in units of whole matrices) for a and b,
+  // following broadcast over the leading dims.
+  std::vector<int64_t> a_offset;
+  std::vector<int64_t> b_offset;
+};
+
+MatMulPlan PlanMatMul(const Tensor& a, const Tensor& b) {
   AUTOCTS_CHECK_GE(a.ndim(), 2);
   AUTOCTS_CHECK_GE(b.ndim(), 2);
-  const int64_t m = a.dim(-2);
-  const int64_t k = a.dim(-1);
-  const int64_t k2 = b.dim(-2);
-  const int64_t n = b.dim(-1);
-  AUTOCTS_CHECK_EQ(k, k2) << "matmul inner dims " << ShapeToString(a.shape())
-                          << " x " << ShapeToString(b.shape());
+  MatMulPlan plan;
+  plan.m = a.dim(-2);
+  plan.k = a.dim(-1);
+  plan.n = b.dim(-1);
+  AUTOCTS_CHECK_EQ(plan.k, b.dim(-2))
+      << "matmul inner dims " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
   const Shape a_batch(a.shape().begin(), a.shape().end() - 2);
   const Shape b_batch(b.shape().begin(), b.shape().end() - 2);
   const Shape batch = BroadcastShapes(a_batch, b_batch);
-  Shape out_shape = batch;
-  out_shape.push_back(m);
-  out_shape.push_back(n);
-  Tensor out(out_shape);
-
+  plan.out_shape = batch;
+  plan.out_shape.push_back(plan.m);
+  plan.out_shape.push_back(plan.n);
+  plan.num_batches = NumElements(batch);
   const std::vector<int64_t> sa = BroadcastStrides(a_batch, batch);
   const std::vector<int64_t> sb = BroadcastStrides(b_batch, batch);
+  plan.a_offset.resize(plan.num_batches);
+  plan.b_offset.resize(plan.num_batches);
   const int64_t batch_rank = static_cast<int64_t>(batch.size());
-  const int64_t num_batches = NumElements(batch);
-  // Per-matrix strides: batch strides of a/b are in units of elements of the
-  // trailing matrix, so multiply by the matrix sizes.
   std::vector<int64_t> index(batch_rank, 0);
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* po = out.data();
-  const int64_t a_mat = m * k;
-  const int64_t b_mat = k * n;
-  const int64_t o_mat = m * n;
   int64_t oa = 0;
   int64_t ob = 0;
-  for (int64_t batch_idx = 0; batch_idx < num_batches; ++batch_idx) {
-    const double* ma = pa + oa * a_mat;
-    const double* mb = pb + ob * b_mat;
-    double* mo = po + batch_idx * o_mat;
-    for (int64_t i = 0; i < m; ++i) {
-      double* row_out = mo + i * n;
-      const double* row_a = ma + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const double va = row_a[kk];
-        if (va == 0.0) continue;
-        const double* row_b = mb + kk * n;
-        for (int64_t j = 0; j < n; ++j) row_out[j] += va * row_b[j];
-      }
-    }
+  for (int64_t batch_idx = 0; batch_idx < plan.num_batches; ++batch_idx) {
+    plan.a_offset[batch_idx] = oa;
+    plan.b_offset[batch_idx] = ob;
     for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
       ++index[axis];
       oa += sa[axis];
@@ -231,6 +281,137 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       index[axis] = 0;
       oa -= sa[axis] * batch[axis];
       ob -= sb[axis] * batch[axis];
+    }
+  }
+  return plan;
+}
+
+// Rows of A per parallel work item; also the register-tile height.
+constexpr int64_t kRowBlock = 4;
+
+// C[rows x n] += A-rows[rows x k] * B[k x n] with a 4x4 register tile: the
+// 16 accumulators live in registers across the whole k loop and each loaded
+// element of B feeds four multiply-adds. Every accumulator starts at +0.0
+// and sums its k terms in strictly ascending order — the same order as the
+// naive i-k-j loop — so blocked and naive results are bit-identical.
+inline void MicroKernel(const double* __restrict__ ma,
+                        const double* __restrict__ mb,
+                        double* __restrict__ mo, int64_t rows, int64_t n,
+                        int64_t k) {
+  int64_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const double* a0 = ma + (i + 0) * k;
+    const double* a1 = ma + (i + 1) * k;
+    const double* a2 = ma + (i + 2) * k;
+    const double* a3 = ma + (i + 3) * k;
+    int64_t j0 = 0;
+    for (; j0 + 4 <= n; j0 += 4) {
+      double c00 = 0, c01 = 0, c02 = 0, c03 = 0;
+      double c10 = 0, c11 = 0, c12 = 0, c13 = 0;
+      double c20 = 0, c21 = 0, c22 = 0, c23 = 0;
+      double c30 = 0, c31 = 0, c32 = 0, c33 = 0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const double* __restrict__ rb = mb + kk * n + j0;
+        const double b0 = rb[0], b1 = rb[1], b2 = rb[2], b3 = rb[3];
+        const double va0 = a0[kk], va1 = a1[kk], va2 = a2[kk],
+                     va3 = a3[kk];
+        c00 += va0 * b0; c01 += va0 * b1; c02 += va0 * b2; c03 += va0 * b3;
+        c10 += va1 * b0; c11 += va1 * b1; c12 += va1 * b2; c13 += va1 * b3;
+        c20 += va2 * b0; c21 += va2 * b1; c22 += va2 * b2; c23 += va2 * b3;
+        c30 += va3 * b0; c31 += va3 * b1; c32 += va3 * b2; c33 += va3 * b3;
+      }
+      double* r0 = mo + (i + 0) * n + j0;
+      double* r1 = mo + (i + 1) * n + j0;
+      double* r2 = mo + (i + 2) * n + j0;
+      double* r3 = mo + (i + 3) * n + j0;
+      r0[0] += c00; r0[1] += c01; r0[2] += c02; r0[3] += c03;
+      r1[0] += c10; r1[1] += c11; r1[2] += c12; r1[3] += c13;
+      r2[0] += c20; r2[1] += c21; r2[2] += c22; r2[3] += c23;
+      r3[0] += c30; r3[1] += c31; r3[2] += c32; r3[3] += c33;
+    }
+    // Column tail (n % 4): one accumulator per (row, column).
+    for (; j0 < n; ++j0) {
+      double c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const double vb = mb[kk * n + j0];
+        c0 += a0[kk] * vb;
+        c1 += a1[kk] * vb;
+        c2 += a2[kk] * vb;
+        c3 += a3[kk] * vb;
+      }
+      mo[(i + 0) * n + j0] += c0;
+      mo[(i + 1) * n + j0] += c1;
+      mo[(i + 2) * n + j0] += c2;
+      mo[(i + 3) * n + j0] += c3;
+    }
+  }
+  // Row tail (rows % 4).
+  for (; i < rows; ++i) {
+    const double* row_a = ma + i * k;
+    double* row_out = mo + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double va = row_a[kk];
+      const double* __restrict__ rb = mb + kk * n;
+      for (int64_t j = 0; j < n; ++j) row_out[j] += va * rb[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const MatMulPlan plan = PlanMatMul(a, b);
+  Tensor out(plan.out_shape);
+  const int64_t m = plan.m;
+  const int64_t k = plan.k;
+  const int64_t n = plan.n;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  const int64_t a_mat = m * k;
+  const int64_t b_mat = k * n;
+  const int64_t o_mat = m * n;
+  // Parallelize over batch x row-block work items: each item owns a
+  // disjoint slab of kRowBlock output rows, so scheduling cannot change any
+  // accumulation order.
+  const int64_t row_blocks = (m + kRowBlock - 1) / kRowBlock;
+  ParallelFor(
+      0, plan.num_batches * row_blocks, /*grain=*/1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t item = lo; item < hi; ++item) {
+          const int64_t batch_idx = item / row_blocks;
+          const int64_t i0 = (item - batch_idx * row_blocks) * kRowBlock;
+          const int64_t rows = std::min(kRowBlock, m - i0);
+          const double* ma = pa + plan.a_offset[batch_idx] * a_mat + i0 * k;
+          const double* mb = pb + plan.b_offset[batch_idx] * b_mat;
+          double* mo = po + batch_idx * o_mat + i0 * n;
+          MicroKernel(ma, mb, mo, rows, n, k);
+        }
+      });
+  return out;
+}
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
+  const MatMulPlan plan = PlanMatMul(a, b);
+  Tensor out(plan.out_shape);
+  const int64_t m = plan.m;
+  const int64_t k = plan.k;
+  const int64_t n = plan.n;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (int64_t batch_idx = 0; batch_idx < plan.num_batches; ++batch_idx) {
+    const double* ma = pa + plan.a_offset[batch_idx] * m * k;
+    const double* mb = pb + plan.b_offset[batch_idx] * k * n;
+    double* mo = po + batch_idx * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const double* row_a = ma + i * k;
+      double* row_out = mo + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const double va = row_a[kk];
+        const double* row_b = mb + kk * n;
+        for (int64_t j = 0; j < n; ++j) row_out[j] += va * row_b[j];
+      }
     }
   }
   return out;
@@ -243,13 +424,14 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
   Tensor out(ReducedShape(a.shape(), axis, keepdim));
   const double* pa = a.data();
   double* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t m = 0; m < mid; ++m) {
-      const double* src = pa + (o * mid + m) * inner;
-      double* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-    }
-  }
+  ParallelOverReducedOutput(
+      outer, inner, [&](int64_t o, int64_t ilo, int64_t ihi) {
+        double* dst = po + o * inner;
+        for (int64_t m = 0; m < mid; ++m) {
+          const double* src = pa + (o * mid + m) * inner;
+          for (int64_t i = ilo; i < ihi; ++i) dst[i] += src[i];
+        }
+      });
   return out;
 }
 
@@ -268,16 +450,18 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdim) {
   Tensor out(ReducedShape(a.shape(), axis, keepdim));
   const double* pa = a.data();
   double* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    double* dst = po + o * inner;
-    for (int64_t i = 0; i < inner; ++i) {
-      dst[i] = pa[o * mid * inner + i];
-    }
-    for (int64_t m = 1; m < mid; ++m) {
-      const double* src = pa + (o * mid + m) * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] = std::max(dst[i], src[i]);
-    }
-  }
+  ParallelOverReducedOutput(
+      outer, inner, [&](int64_t o, int64_t ilo, int64_t ihi) {
+        double* dst = po + o * inner;
+        const double* first = pa + o * mid * inner;
+        for (int64_t i = ilo; i < ihi; ++i) dst[i] = first[i];
+        for (int64_t m = 1; m < mid; ++m) {
+          const double* src = pa + (o * mid + m) * inner;
+          for (int64_t i = ilo; i < ihi; ++i) {
+            dst[i] = std::max(dst[i], src[i]);
+          }
+        }
+      });
   return out;
 }
 
@@ -288,27 +472,31 @@ Tensor ArgMax(const Tensor& a, int64_t axis) {
   Tensor out(ReducedShape(a.shape(), axis, /*keepdim=*/false));
   const double* pa = a.data();
   double* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      int64_t best = 0;
-      double best_value = pa[o * mid * inner + i];
-      for (int64_t m = 1; m < mid; ++m) {
-        const double value = pa[(o * mid + m) * inner + i];
-        if (value > best_value) {
-          best_value = value;
-          best = m;
+  ParallelOverReducedOutput(
+      outer, inner, [&](int64_t o, int64_t ilo, int64_t ihi) {
+        for (int64_t i = ilo; i < ihi; ++i) {
+          int64_t best = 0;
+          double best_value = pa[o * mid * inner + i];
+          for (int64_t m = 1; m < mid; ++m) {
+            const double value = pa[(o * mid + m) * inner + i];
+            if (value > best_value) {
+              best_value = value;
+              best = m;
+            }
+          }
+          po[o * inner + i] = static_cast<double>(best);
         }
-      }
-      po[o * inner + i] = static_cast<double>(best);
-    }
-  }
+      });
   return out;
 }
 
 double SumAll(const Tensor& a) {
-  double total = 0.0;
-  for (int64_t i = 0; i < a.size(); ++i) total += a.data()[i];
-  return total;
+  const double* pa = a.data();
+  return ParallelSum(0, a.size(), kReduceGrain, [&](int64_t lo, int64_t hi) {
+    double total = 0.0;
+    for (int64_t i = lo; i < hi; ++i) total += pa[i];
+    return total;
+  });
 }
 
 double MeanAll(const Tensor& a) {
@@ -318,25 +506,67 @@ double MeanAll(const Tensor& a) {
 
 double MaxAll(const Tensor& a) {
   AUTOCTS_CHECK_GT(a.size(), 0);
-  double best = a.data()[0];
-  for (int64_t i = 1; i < a.size(); ++i) best = std::max(best, a.data()[i]);
+  const double* pa = a.data();
+  double best = pa[0];
+  const int64_t n = a.size();
+  const int64_t num_chunks = (n + kReduceGrain - 1) / kReduceGrain;
+  std::vector<double> partials(num_chunks, pa[0]);
+  ParallelFor(0, n, kReduceGrain, [&](int64_t lo, int64_t hi) {
+    double local = pa[lo];
+    for (int64_t i = lo; i < hi; ++i) local = std::max(local, pa[i]);
+    partials[lo / kReduceGrain] = local;
+  });
+  for (const double partial : partials) best = std::max(best, partial);
   return best;
 }
 
 double MinAll(const Tensor& a) {
   AUTOCTS_CHECK_GT(a.size(), 0);
-  double best = a.data()[0];
-  for (int64_t i = 1; i < a.size(); ++i) best = std::min(best, a.data()[i]);
+  const double* pa = a.data();
+  double best = pa[0];
+  const int64_t n = a.size();
+  const int64_t num_chunks = (n + kReduceGrain - 1) / kReduceGrain;
+  std::vector<double> partials(num_chunks, pa[0]);
+  ParallelFor(0, n, kReduceGrain, [&](int64_t lo, int64_t hi) {
+    double local = pa[lo];
+    for (int64_t i = lo; i < hi; ++i) local = std::min(local, pa[i]);
+    partials[lo / kReduceGrain] = local;
+  });
+  for (const double partial : partials) best = std::min(best, partial);
   return best;
 }
 
 Tensor Softmax(const Tensor& a, int64_t axis) {
   axis = NormalizeAxis(axis, a.ndim());
-  const Tensor max = Max(a, axis, /*keepdim=*/true);
-  const Tensor shifted = Sub(a, max);
-  const Tensor exps = Exp(shifted);
-  const Tensor total = Sum(exps, axis, /*keepdim=*/true);
-  return Div(exps, total);
+  int64_t outer, mid, inner;
+  AxisExtents(a.shape(), axis, &outer, &mid, &inner);
+  Tensor out(a.shape());
+  const double* pa = a.data();
+  double* po = out.data();
+  // Fused max/exp-sum/divide per (outer, inner) lane; one pass over memory
+  // instead of the former five-tensor composition. Per-lane accumulation
+  // over `mid` is in ascending order, matching the old Max/Sum kernels
+  // bit-for-bit.
+  ParallelOverReducedOutput(
+      outer, inner, [&](int64_t o, int64_t ilo, int64_t ihi) {
+        const int64_t base = o * mid * inner;
+        for (int64_t i = ilo; i < ihi; ++i) {
+          const double* lane = pa + base + i;
+          double* lane_out = po + base + i;
+          double mx = lane[0];
+          for (int64_t m = 1; m < mid; ++m) {
+            mx = std::max(mx, lane[m * inner]);
+          }
+          double total = 0.0;
+          for (int64_t m = 0; m < mid; ++m) {
+            const double e = std::exp(lane[m * inner] - mx);
+            lane_out[m * inner] = e;
+            total += e;
+          }
+          for (int64_t m = 0; m < mid; ++m) lane_out[m * inner] /= total;
+        }
+      });
+  return out;
 }
 
 Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
@@ -364,11 +594,15 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
   for (const Tensor& t : tensors) {
     const int64_t t_axis = t.shape()[axis];
     const double* pt = t.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      double* dst = po + (o * total_axis + axis_offset) * inner;
-      const double* src = pt + o * t_axis * inner;
-      std::copy(src, src + t_axis * inner, dst);
-    }
+    const int64_t row = t_axis * inner;
+    const int64_t outer_grain = std::max<int64_t>(1, kCopyGrain / std::max<int64_t>(row, 1));
+    ParallelFor(0, outer, outer_grain, [&](int64_t olo, int64_t ohi) {
+      for (int64_t o = olo; o < ohi; ++o) {
+        double* dst = po + (o * total_axis + axis_offset) * inner;
+        const double* src = pt + o * row;
+        std::copy(src, src + row, dst);
+      }
+    });
     axis_offset += t_axis;
   }
   return out;
@@ -386,11 +620,16 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
   AxisExtents(a.shape(), axis, &outer, &mid, &inner);
   const double* pa = a.data();
   double* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const double* src = pa + (o * mid + start) * inner;
-    double* dst = po + o * length * inner;
-    std::copy(src, src + length * inner, dst);
-  }
+  const int64_t row = length * inner;
+  const int64_t outer_grain =
+      std::max<int64_t>(1, kCopyGrain / std::max<int64_t>(row, 1));
+  ParallelFor(0, outer, outer_grain, [&](int64_t olo, int64_t ohi) {
+    for (int64_t o = olo; o < ohi; ++o) {
+      const double* src = pa + (o * mid + start) * inner;
+      double* dst = po + o * row;
+      std::copy(src, src + row, dst);
+    }
+  });
   return out;
 }
 
@@ -406,33 +645,60 @@ Tensor Pad(const Tensor& a, int64_t axis, int64_t before, int64_t after) {
   const int64_t out_mid = out_shape[axis];
   const double* pa = a.data();
   double* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const double* src = pa + o * mid * inner;
-    double* dst = po + (o * out_mid + before) * inner;
-    std::copy(src, src + mid * inner, dst);
-  }
+  const int64_t row = mid * inner;
+  const int64_t outer_grain =
+      std::max<int64_t>(1, kCopyGrain / std::max<int64_t>(row, 1));
+  ParallelFor(0, outer, outer_grain, [&](int64_t olo, int64_t ohi) {
+    for (int64_t o = olo; o < ohi; ++o) {
+      const double* src = pa + o * row;
+      double* dst = po + (o * out_mid + before) * inner;
+      std::copy(src, src + row, dst);
+    }
+  });
   return out;
 }
 
 Tensor BroadcastTo(const Tensor& a, const Shape& target) {
-  return BinaryOp(a, Tensor::Zeros(target),
-                  [](double x, double) { return x; });
+  // Direct stride-0 gather; no throwaway zero tensor to drive BinaryOp.
+  const Shape out_shape = BroadcastShapes(a.shape(), target);
+  AUTOCTS_CHECK(out_shape == target)
+      << "cannot broadcast " << ShapeToString(a.shape()) << " to "
+      << ShapeToString(target);
+  if (a.shape() == target) return a;
+  Tensor out(target);
+  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), target);
+  const std::vector<int64_t> zero(target.size(), 0);
+  const double* pa = a.data();
+  double* po = out.data();
+  ParallelFor(0, out.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    ForEachBroadcast(target, sa, zero, lo, hi,
+                     [&](int64_t flat, int64_t oa, int64_t /*ob*/) {
+                       po[flat] = pa[oa];
+                     });
+  });
+  return out;
 }
 
 Tensor ReduceTo(const Tensor& a, const Shape& target) {
   if (a.shape() == target) return a;
+  // An empty target is the rank-0 spelling of a scalar; reduce to the
+  // canonical scalar shape [1] instead of indexing into an empty vector.
+  const Shape effective = target.empty() ? Shape{1} : target;
+  AUTOCTS_CHECK_LE(static_cast<int64_t>(effective.size()), a.ndim())
+      << "cannot reduce " << ShapeToString(a.shape()) << " to higher-rank "
+      << ShapeToString(target);
   Tensor current = a;
-  // Remove extra leading axes by summing them away.
-  while (current.ndim() > static_cast<int64_t>(target.size())) {
+  // Remove extra leading axes by summing them away. Sum never drops below
+  // rank 1, so this terminates with current.ndim() == effective.size().
+  while (current.ndim() > static_cast<int64_t>(effective.size())) {
     current = Sum(current, 0, /*keepdim=*/false);
-    if (current.ndim() == 1 && target.empty()) break;
   }
   // Sum broadcast (stretched) axes back down to size 1.
   for (int64_t i = 0; i < current.ndim(); ++i) {
-    if (target[i] == 1 && current.shape()[i] != 1) {
+    if (effective[i] == 1 && current.shape()[i] != 1) {
       current = Sum(current, i, /*keepdim=*/true);
     } else {
-      AUTOCTS_CHECK_EQ(current.shape()[i], target[i])
+      AUTOCTS_CHECK_EQ(current.shape()[i], effective[i])
           << "cannot reduce " << ShapeToString(a.shape()) << " to "
           << ShapeToString(target);
     }
@@ -445,20 +711,27 @@ void AddInPlace(Tensor* a, const Tensor& b) {
       << ShapeToString(a->shape()) << " vs " << ShapeToString(b.shape());
   double* pa = a->data();
   const double* pb = b.data();
-  const int64_t n = a->size();
-  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  ParallelFor(0, a->size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
+  });
 }
 
 void ScaleInPlace(Tensor* a, double value) {
   double* pa = a->data();
-  const int64_t n = a->size();
-  for (int64_t i = 0; i < n; ++i) pa[i] *= value;
+  ParallelFor(0, a->size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] *= value;
+  });
 }
 
-double Norm(const Tensor& a) {
-  double total = 0.0;
-  for (int64_t i = 0; i < a.size(); ++i) total += a.data()[i] * a.data()[i];
-  return std::sqrt(total);
+double SumSquares(const Tensor& a) {
+  const double* pa = a.data();
+  return ParallelSum(0, a.size(), kReduceGrain, [&](int64_t lo, int64_t hi) {
+    double total = 0.0;
+    for (int64_t i = lo; i < hi; ++i) total += pa[i] * pa[i];
+    return total;
+  });
 }
+
+double Norm(const Tensor& a) { return std::sqrt(SumSquares(a)); }
 
 }  // namespace autocts

@@ -42,8 +42,14 @@ Tensor Relu(const Tensor& a);
 Tensor Apply(const Tensor& a, const std::function<double(double)>& fn);
 
 // Batched matrix multiplication: a [..., m, k] x b [..., k, n] -> [..., m, n]
-// with broadcasting over the leading (batch) dimensions.
+// with broadcasting over the leading (batch) dimensions. Cache-blocked and
+// parallelized over batch x row blocks; bit-identical to MatMulNaive (the
+// per-element accumulation order over k is the same ascending order).
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// Unblocked serial reference implementation of MatMul, kept for parity
+// tests and benchmark baselines.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
 
 // Reductions. `axis` may be negative. With keepdim the reduced axis stays as
 // size 1; otherwise it is removed (scalars become shape [1]).
@@ -80,6 +86,10 @@ Tensor ReduceTo(const Tensor& a, const Shape& target);
 void AddInPlace(Tensor* a, const Tensor& b);
 // a *= value.
 void ScaleInPlace(Tensor* a, double value);
+
+// Sum of squared elements (== Norm(a)^2, in one pass and without the sqrt
+// round-trip).
+double SumSquares(const Tensor& a);
 
 // Frobenius / L2 norm of all elements.
 double Norm(const Tensor& a);

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "autograd/grad_check.h"
+#include "common/parallel.h"
 #include "core/derived_model.h"
 #include "core/operator_set.h"
 #include "data/scaler.h"
@@ -237,6 +238,99 @@ TEST_P(TensorAlgebraTest, MatMulIsAssociativeAndDistributive) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TensorAlgebraTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Kernel parity: the blocked parallel MatMul and the parallel reductions
+// must reproduce their naive serial references bit-for-bit on random shapes
+// (including broadcast batch dimensions), for serial and threaded pools.
+// ---------------------------------------------------------------------------
+
+class KernelParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelParityTest, BlockedMatMulMatchesNaiveOnRandomBroadcastShapes) {
+  Rng rng(6000 + GetParam());
+  const int64_t m = 1 + rng.UniformInt(12);
+  const int64_t k = 1 + rng.UniformInt(12);
+  const int64_t n = 1 + rng.UniformInt(12);
+  // Random batch ranks with random size-1 axes so broadcasting kicks in.
+  Shape a_shape, b_shape;
+  const int64_t batch_rank = rng.UniformInt(3);  // 0..2
+  for (int64_t i = 0; i < batch_rank; ++i) {
+    const int64_t extent = 1 + rng.UniformInt(3);
+    a_shape.push_back(rng.Bernoulli(0.3) ? 1 : extent);
+    b_shape.push_back(rng.Bernoulli(0.3) ? 1 : extent);
+  }
+  a_shape.push_back(m);
+  a_shape.push_back(k);
+  b_shape.push_back(k);
+  b_shape.push_back(n);
+  const Tensor a = Tensor::Randn(a_shape, &rng);
+  const Tensor b = Tensor::Randn(b_shape, &rng);
+  const Tensor naive = MatMulNaive(a, b);
+  for (const int64_t threads : {1, 4}) {
+    SetNumThreads(threads);
+    const Tensor blocked = MatMul(a, b);
+    ASSERT_EQ(blocked.shape(), naive.shape());
+    for (int64_t i = 0; i < blocked.size(); ++i) {
+      ASSERT_EQ(blocked.data()[i], naive.data()[i])
+          << ShapeToString(a_shape) << " x " << ShapeToString(b_shape)
+          << " threads=" << threads << " element " << i;
+    }
+  }
+  SetNumThreads(1);
+}
+
+TEST_P(KernelParityTest, ParallelReductionsMatchSerialReference) {
+  Rng rng(7000 + GetParam());
+  Shape shape;
+  const int64_t rank = 1 + rng.UniformInt(3);  // 1..3
+  for (int64_t i = 0; i < rank; ++i) shape.push_back(1 + rng.UniformInt(9));
+  const Tensor a = Tensor::Randn(shape, &rng);
+  const int64_t axis = rng.UniformInt(rank);
+
+  // Serial per-element references, accumulating in ascending index order —
+  // the order the parallel kernels guarantee.
+  Shape reduced_shape = shape;
+  reduced_shape[axis] = 1;
+  Tensor sum_ref(reduced_shape);
+  {
+    std::vector<int64_t> index(rank, 0);
+    for (int64_t flat = 0; flat < a.size(); ++flat) {
+      std::vector<int64_t> reduced = index;
+      reduced[axis] = 0;
+      sum_ref.At(reduced) += a.At(index);
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        if (++index[d] < shape[d]) break;
+        index[d] = 0;
+      }
+    }
+  }
+  const double* pa = a.data();
+  double sum_all_ref = 0.0;
+  double sum_sq_ref = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    sum_all_ref += pa[i];
+    sum_sq_ref += pa[i] * pa[i];
+  }
+
+  for (const int64_t threads : {1, 4}) {
+    SetNumThreads(threads);
+    const Tensor sum = Sum(a, axis, /*keepdim=*/true);
+    ASSERT_EQ(sum.shape(), sum_ref.shape());
+    for (int64_t i = 0; i < sum.size(); ++i) {
+      ASSERT_EQ(sum.data()[i], sum_ref.data()[i])
+          << ShapeToString(shape) << " axis=" << axis
+          << " threads=" << threads;
+    }
+    // Whole-tensor reductions: small tensors fit one chunk, so the chunked
+    // combination matches plain left-to-right accumulation exactly.
+    ASSERT_EQ(SumAll(a), sum_all_ref);
+    ASSERT_EQ(SumSquares(a), sum_sq_ref);
+  }
+  SetNumThreads(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelParityTest, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace autocts

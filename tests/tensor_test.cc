@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "common/random.h"
 #include "tensor/tensor.h"
@@ -278,6 +280,45 @@ TEST(SliceConcatPad, SliceBoundsChecked) {
   EXPECT_DEATH(Slice(a, 0, 2, 2), "");
 }
 
+TEST(BroadcastReduce, ReduceToScalarTargets) {
+  // Regression: an empty (rank-0) target used to index target[i] out of
+  // bounds; it must behave like the canonical scalar shape [1].
+  Rng rng(20);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor to_empty = ReduceTo(a, {});
+  EXPECT_EQ(to_empty.shape(), (Shape{1}));
+  EXPECT_NEAR(to_empty.item(), SumAll(a), 1e-9);
+  Tensor to_one = ReduceTo(a, {1});
+  EXPECT_EQ(to_one.shape(), (Shape{1}));
+  EXPECT_EQ(to_one.item(), to_empty.item());
+}
+
+TEST(BroadcastReduce, ReduceToRankMismatchDies) {
+  // A target of higher rank than the input is not a reduction; it must
+  // CHECK-fail cleanly instead of reading past the end of the target shape.
+  Tensor a = Tensor::Zeros({3});
+  EXPECT_DEATH(ReduceTo(a, {1, 1, 3}), "");
+  Tensor b = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(ReduceTo(b, {4, 3}), "");
+}
+
+TEST(BroadcastReduce, BroadcastToMatchesStridedExpansion) {
+  Rng rng(21);
+  Tensor a = Tensor::Randn({3, 1, 4}, &rng);
+  Tensor big = BroadcastTo(a, {2, 3, 5, 4});
+  EXPECT_EQ(big.shape(), (Shape{2, 3, 5, 4}));
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        for (int64_t k = 0; k < 4; ++k) {
+          EXPECT_EQ(big.At({b, i, j, k}), a.At({i, 0, k}));
+        }
+      }
+    }
+  }
+  EXPECT_DEATH(BroadcastTo(Tensor::Zeros({3}), {4}), "");
+}
+
 TEST(BroadcastReduce, ReduceToIsAdjointOfBroadcastTo) {
   // <BroadcastTo(a), b> == <a, ReduceTo(b)> for random a, b.
   Rng rng(11);
@@ -301,6 +342,36 @@ TEST(InPlace, AddAndScale) {
 TEST(Norm, MatchesDefinition) {
   Tensor a = Tensor::FromVector({2}, {3.0, 4.0});
   EXPECT_NEAR(Norm(a), 5.0, 1e-12);
+}
+
+TEST(Norm, SumSquaresIsSquaredNormWithoutSqrtRoundTrip) {
+  Tensor a = Tensor::FromVector({2}, {3.0, 4.0});
+  EXPECT_EQ(SumSquares(a), 25.0);
+  Rng rng(22);
+  Tensor r = Tensor::Randn({37, 11}, &rng);
+  EXPECT_NEAR(SumSquares(r), Norm(r) * Norm(r), 1e-9);
+  double manual = 0.0;
+  for (int64_t i = 0; i < r.size(); ++i) {
+    manual += r.data()[i] * r.data()[i];
+  }
+  EXPECT_NEAR(SumSquares(r), manual, 1e-9);
+}
+
+TEST(MatMul, BlockedKernelMatchesNaiveReference) {
+  Rng rng(23);
+  // Sizes straddling the 4x4 register tile, including tails on every edge.
+  for (const auto& [m, k, n] :
+       std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+           {1, 1, 1}, {3, 5, 2}, {4, 4, 4}, {5, 7, 9}, {16, 33, 12}}) {
+    const Tensor a = Tensor::Randn({m, k}, &rng);
+    const Tensor b = Tensor::Randn({k, n}, &rng);
+    const Tensor blocked = MatMul(a, b);
+    const Tensor naive = MatMulNaive(a, b);
+    ASSERT_EQ(blocked.shape(), naive.shape());
+    for (int64_t i = 0; i < blocked.size(); ++i) {
+      EXPECT_EQ(blocked.data()[i], naive.data()[i]) << "m=" << m;
+    }
+  }
 }
 
 TEST(TensorDeath, ScalarItemRequiresSingleElement) {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite twice —
+# once with the default pool size and once with AUTOCTS_NUM_THREADS=4 so
+# the parallel kernel code paths (src/common/parallel.*) are exercised
+# under test even on single-core machines.
+#
+# Optional: AUTOCTS_SANITIZE=thread|address ./tools/tier1_verify.sh runs
+# the same build under the matching sanitizer (separate build directory).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ -n "${AUTOCTS_SANITIZE:-}" ]]; then
+  BUILD_DIR="build-${AUTOCTS_SANITIZE}"
+  CMAKE_ARGS+=("-DAUTOCTS_SANITIZE=${AUTOCTS_SANITIZE}")
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
+cmake --build "${BUILD_DIR}" -j
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j
+AUTOCTS_NUM_THREADS=4 ctest --output-on-failure -j
