@@ -1,0 +1,94 @@
+#include "common/file_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace autocts {
+namespace {
+
+// Table-driven CRC-32 (reflected 0xEDB88320 = reversed IEEE polynomial).
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static const bool initialized = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& text) {
+  return Crc32(text.data(), text.size());
+}
+
+bool FileExists(const std::string& path) {
+  struct stat buffer;
+  return ::stat(path.c_str(), &buffer) == 0;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string content{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+  if (in.bad()) return Status::Internal("read failed: " + path);
+  return content;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       bool keep_previous) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + tmp_path + ": " +
+                            std::strerror(errno));
+  }
+  const size_t written = content.empty()
+                             ? 0
+                             : std::fwrite(content.data(), 1, content.size(),
+                                           file);
+  bool ok = written == content.size();
+  ok = std::fflush(file) == 0 && ok;
+  // fsync before rename: otherwise a power loss can surface the new name
+  // with stale (empty) contents.
+  ok = ::fsync(fileno(file)) == 0 && ok;
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("write failed: " + tmp_path);
+  }
+  if (keep_previous && FileExists(path)) {
+    const std::string prev_path = path + ".prev";
+    if (std::rename(path.c_str(), prev_path.c_str()) != 0) {
+      return Status::Internal("cannot rotate previous generation: " + path +
+                              " -> " + prev_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot publish: " + tmp_path + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace autocts

@@ -1,0 +1,37 @@
+// Durable small-file I/O for checkpoints and other crash-sensitive state:
+// CRC32 integrity checksums and an atomic write-to-temp-then-rename
+// protocol that keeps the previous generation as "<path>.prev", so a crash
+// at any instant leaves at least one loadable generation on disk.
+#ifndef AUTOCTS_COMMON_FILE_IO_H_
+#define AUTOCTS_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace autocts {
+
+// CRC-32 (IEEE 802.3 polynomial, as used by zlib/gzip) of `size` bytes.
+uint32_t Crc32(const char* data, size_t size);
+uint32_t Crc32(const std::string& text);
+
+// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+// Reads the whole file; NotFound if it cannot be opened.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Crash-safe replacement of `path` with `content`:
+//   1. write + fsync "<path>.tmp"
+//   2. if `path` exists and keep_previous, rename it to "<path>.prev"
+//   3. rename "<path>.tmp" to `path`
+// Renames are atomic on POSIX, so a reader (or a restart after a crash at
+// any point of the sequence) sees either the old generation at `path`, the
+// new one at `path`, or the old one at "<path>.prev" — never a torn file.
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       bool keep_previous = true);
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_COMMON_FILE_IO_H_

@@ -10,10 +10,24 @@
 
 namespace autocts {
 
+// The complete mutable state of an Rng: the four xoshiro256** words plus
+// the Box-Muller spare. Serializing it (see core/search_checkpoint.h)
+// allows a generator to be resumed bit-identically across process restarts.
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 // Deterministic pseudo-random generator. Not thread-safe; use one per thread.
 class Rng {
  public:
   explicit Rng(uint64_t seed);
+
+  // Snapshot / restore of the full generator state; a restored generator
+  // produces the exact draw sequence the snapshotted one would have.
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
   // Returns the next raw 64-bit value.
   uint64_t Next();

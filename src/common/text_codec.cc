@@ -1,5 +1,7 @@
 #include "common/text_codec.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -88,6 +90,22 @@ std::vector<std::string> TextReader::GetAll(const std::string& key) const {
     if (entry_key == key) values.push_back(value);
   }
   return values;
+}
+
+std::string FormatExactDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+bool ParseExactDouble(const std::string& token, double* value) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  *value = parsed;
+  return true;
 }
 
 std::vector<std::string> SplitString(const std::string& text, char delimiter) {

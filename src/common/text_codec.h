@@ -47,6 +47,16 @@ class TextReader {
   std::vector<std::pair<std::string, std::string>> entries_;
 };
 
+// Formats `value` as a C99 hexadecimal float ("%a", e.g. "0x1.999999999999ap-4"
+// for 0.1). Unlike fixed-precision decimal output, the hex form is an exact
+// image of the bits, so every finite double — including denormals — parses
+// back bit-identically via ParseExactDouble/strtod.
+std::string FormatExactDouble(double value);
+
+// Parses a decimal or hexadecimal floating-point token. Returns false unless
+// the entire token was consumed.
+bool ParseExactDouble(const std::string& token, double* value);
+
 // Splits `text` on `delimiter`, trimming surrounding whitespace per piece.
 std::vector<std::string> SplitString(const std::string& text, char delimiter);
 

@@ -115,6 +115,16 @@ std::vector<Variable> MicroDagCell::ArchParameters() const {
   return parameters;
 }
 
+std::vector<std::pair<std::string, Variable>> MicroDagCell::NamedArchParameters()
+    const {
+  std::vector<std::pair<std::string, Variable>> parameters;
+  parameters.emplace_back("alpha", alpha_);
+  for (size_t j = 0; j < betas_.size(); ++j) {
+    parameters.emplace_back("beta" + std::to_string(j + 1), betas_[j]);
+  }
+  return parameters;
+}
+
 Tensor MicroDagCell::AlphaWeights(int64_t pair) const {
   const Tensor row = Slice(alpha_.value(), 0, pair, 1);
   return Softmax(row.Reshape({op_set_.size()}), 0);

@@ -6,6 +6,8 @@
 #define AUTOCTS_CORE_MICRO_DAG_H_
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/operator_set.h"
@@ -71,6 +73,10 @@ class MicroDagCell : public nn::Module {
   Variable Forward(const Variable& input, double tau);
 
   std::vector<Variable> ArchParameters() const;
+
+  // ArchParameters() with stable names ("alpha", "beta1" .. "beta{M-1}"),
+  // in the same order; used by checkpoint serialization.
+  std::vector<std::pair<std::string, Variable>> NamedArchParameters() const;
 
   // The raw alpha parameter [num_pairs, |O|] (for cost-aware search
   // regularizers; see core/cost_model.h).

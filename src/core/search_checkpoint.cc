@@ -1,0 +1,524 @@
+#include "core/search_checkpoint.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/file_io.h"
+#include "common/text_codec.h"
+
+namespace autocts::core {
+namespace {
+
+constexpr char kFormatName[] = "autocts-search-checkpoint";
+constexpr char kCrcKey[] = "crc32 = ";
+// Sanity bound on serialized tensor extents; real checkpoints are far
+// smaller, and the bound keeps a corrupt dimension from driving a huge
+// allocation before the record is rejected.
+constexpr int64_t kMaxTensorElements = int64_t{1} << 31;
+
+void AppendTensor(std::ostringstream* out, const Tensor& tensor) {
+  *out << " " << tensor.ndim();
+  for (int64_t d : tensor.shape()) *out << " " << d;
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    *out << " " << FormatExactDouble(tensor.data()[i]);
+  }
+}
+
+Status ParseTensor(std::istringstream* stream, const std::string& label,
+                   Tensor* out) {
+  int64_t ndim = 0;
+  if (!(*stream >> ndim) || ndim < 0 || ndim > 8) {
+    return Status::InvalidArgument("bad tensor rank in record: " + label);
+  }
+  Shape shape(ndim);
+  int64_t elements = 1;
+  for (int64_t d = 0; d < ndim; ++d) {
+    if (!(*stream >> shape[d]) || shape[d] < 0 ||
+        shape[d] > kMaxTensorElements || elements * std::max<int64_t>(shape[d], 1) > kMaxTensorElements) {
+      return Status::InvalidArgument("bad tensor shape in record: " + label);
+    }
+    elements *= shape[d];
+  }
+  Tensor value(shape);
+  std::string token;
+  for (int64_t i = 0; i < value.size(); ++i) {
+    if (!(*stream >> token) || !ParseExactDouble(token, &value.data()[i])) {
+      return Status::InvalidArgument("truncated or malformed values in record: " +
+                                     label);
+    }
+  }
+  *out = value;
+  return Status::Ok();
+}
+
+Status ExpectEndOfRecord(std::istringstream* stream, const std::string& label) {
+  std::string extra;
+  if (*stream >> extra) {
+    return Status::InvalidArgument("trailing tokens in record: " + label);
+  }
+  return Status::Ok();
+}
+
+void AppendAdamState(std::ostringstream* out, const std::string& key,
+                     const optim::AdamState& state) {
+  *out << key << " = " << state.step_count << " " << state.first_moment.size()
+       << "\n";
+  for (size_t slot = 0; slot < state.first_moment.size(); ++slot) {
+    *out << key << "_m = " << slot << " "
+         << (state.first_moment[slot].defined() ? 1 : 0);
+    if (state.first_moment[slot].defined()) {
+      AppendTensor(out, state.first_moment[slot]);
+    }
+    *out << "\n";
+    *out << key << "_v = " << slot << " "
+         << (state.second_moment[slot].defined() ? 1 : 0);
+    if (state.second_moment[slot].defined()) {
+      AppendTensor(out, state.second_moment[slot]);
+    }
+    *out << "\n";
+  }
+}
+
+Status ParseMomentRecords(const TextReader& reader, const std::string& key,
+                          int64_t slots, std::vector<Tensor>* out) {
+  const std::vector<std::string> records = reader.GetAll(key);
+  if (static_cast<int64_t>(records.size()) != slots) {
+    return Status::InvalidArgument(
+        key + " record count mismatch: expected " + std::to_string(slots) +
+        ", found " + std::to_string(records.size()));
+  }
+  out->assign(slots, Tensor());
+  std::vector<bool> seen(slots, false);
+  for (const std::string& record : records) {
+    std::istringstream stream(record);
+    int64_t slot = 0;
+    int defined = 0;
+    if (!(stream >> slot >> defined) || slot < 0 || slot >= slots ||
+        (defined != 0 && defined != 1) || seen[slot]) {
+      return Status::InvalidArgument("malformed " + key + " record: " + record);
+    }
+    seen[slot] = true;
+    if (defined == 1) {
+      Status status = ParseTensor(&stream, key, &(*out)[slot]);
+      if (!status.ok()) return status;
+    }
+    Status status = ExpectEndOfRecord(&stream, key);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status ParseAdamState(const TextReader& reader, const std::string& key,
+                      optim::AdamState* out) {
+  StatusOr<std::string> header = reader.Get(key);
+  if (!header.ok()) return header.status();
+  std::istringstream stream(header.value());
+  int64_t slots = 0;
+  if (!(stream >> out->step_count >> slots) || out->step_count < 0 ||
+      slots < 0 || slots > (int64_t{1} << 20)) {
+    return Status::InvalidArgument("malformed " + key + " header: " +
+                                   header.value());
+  }
+  Status status = ExpectEndOfRecord(&stream, key);
+  if (!status.ok()) return status;
+  status = ParseMomentRecords(reader, key + "_m", slots, &out->first_moment);
+  if (!status.ok()) return status;
+  return ParseMomentRecords(reader, key + "_v", slots, &out->second_moment);
+}
+
+Status ParseNamedTensors(
+    const TextReader& reader, const std::string& key,
+    std::vector<std::pair<std::string, Tensor>>* out) {
+  StatusOr<int64_t> count = reader.GetInt(key + "_count");
+  if (!count.ok()) return count.status();
+  const std::vector<std::string> records = reader.GetAll(key);
+  if (static_cast<int64_t>(records.size()) != count.value()) {
+    return Status::InvalidArgument(
+        key + " record count mismatch: header says " +
+        std::to_string(count.value()) + ", found " +
+        std::to_string(records.size()));
+  }
+  out->clear();
+  for (const std::string& record : records) {
+    std::istringstream stream(record);
+    std::string name;
+    if (!(stream >> name)) {
+      return Status::InvalidArgument("missing name in " + key + " record");
+    }
+    Tensor value;
+    Status status = ParseTensor(&stream, key + " " + name, &value);
+    if (!status.ok()) return status;
+    status = ExpectEndOfRecord(&stream, key + " " + name);
+    if (!status.ok()) return status;
+    out->emplace_back(name, value);
+  }
+  return Status::Ok();
+}
+
+Status ParseIndexOrder(const TextReader& reader, const std::string& key,
+                       std::vector<int64_t>* out) {
+  StatusOr<std::string> record = reader.Get(key);
+  if (!record.ok()) return record.status();
+  std::istringstream stream(record.value());
+  int64_t n = 0;
+  if (!(stream >> n) || n < 0 || n > (int64_t{1} << 32)) {
+    return Status::InvalidArgument("malformed " + key + " record");
+  }
+  out->assign(n, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!(stream >> (*out)[i]) || (*out)[i] < 0) {
+      return Status::InvalidArgument("truncated " + key + " record");
+    }
+  }
+  return ExpectEndOfRecord(&stream, key);
+}
+
+// Rolls an Adam optimizer back to its freshly-constructed state (step 0,
+// all moment slots lazy-undefined); used when a multi-part restore fails
+// halfway so the caller can safely fall back to a fresh search.
+void ResetAdam(optim::Adam* optimizer, size_t slots) {
+  optim::AdamState fresh;
+  fresh.first_moment.resize(slots);
+  fresh.second_moment.resize(slots);
+  const Status status = optimizer->ImportState(fresh);
+  AUTOCTS_CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace
+
+std::string SearchConfigFingerprint(const SearchOptions& options,
+                                    int64_t num_train_samples) {
+  std::ostringstream out;
+  out << "v" << SearchCheckpoint::kFormatVersion
+      << " seed=" << options.seed << " epochs=" << options.epochs
+      << " batch=" << options.batch_size
+      << " max_batches=" << options.max_batches_per_epoch
+      << " bilevel=" << options.bilevel_order
+      << " macro=" << options.use_macro
+      << " temp=" << options.use_temperature
+      << " tau=" << FormatExactDouble(options.tau_init) << ","
+      << FormatExactDouble(options.tau_decay) << ","
+      << FormatExactDouble(options.tau_min)
+      << " theta=" << FormatExactDouble(options.theta_learning_rate) << ","
+      << FormatExactDouble(options.theta_beta1) << ","
+      << FormatExactDouble(options.theta_beta2) << ","
+      << FormatExactDouble(options.theta_weight_decay)
+      << " w=" << FormatExactDouble(options.w_learning_rate) << ","
+      << FormatExactDouble(options.w_weight_decay)
+      << " clip=" << FormatExactDouble(options.clip_norm)
+      << " cost=" << FormatExactDouble(options.cost_weight)
+      << " eps=" << FormatExactDouble(options.unrolled_epsilon)
+      << " supernet=" << options.supernet.micro_nodes << "x"
+      << options.supernet.macro_blocks << "x" << options.supernet.hidden_dim
+      << "/" << options.supernet.partial_denominator << "/"
+      << options.supernet.edges_per_node << " ops=" << options.supernet.op_set.name;
+  for (const std::string& op : options.supernet.op_set.op_names) {
+    out << "," << op;
+  }
+  out << " train_samples=" << num_train_samples;
+  return out.str();
+}
+
+std::string EncodeSearchCheckpoint(const SearchCheckpoint& checkpoint) {
+  std::ostringstream out;
+  out << "format = " << kFormatName << "\n";
+  out << "version = " << SearchCheckpoint::kFormatVersion << "\n";
+  out << "config = " << checkpoint.config_fingerprint << "\n";
+  out << "cursor = " << checkpoint.epoch << " " << checkpoint.step << "\n";
+  out << "tau = " << FormatExactDouble(checkpoint.tau) << "\n";
+  out << "val_loss = " << FormatExactDouble(checkpoint.val_loss_sum) << " "
+      << checkpoint.epoch_steps << " "
+      << FormatExactDouble(checkpoint.final_validation_loss) << "\n";
+  out << "rng = " << checkpoint.rng.words[0] << " " << checkpoint.rng.words[1]
+      << " " << checkpoint.rng.words[2] << " " << checkpoint.rng.words[3]
+      << " " << (checkpoint.rng.has_cached_normal ? 1 : 0) << " "
+      << FormatExactDouble(checkpoint.rng.cached_normal) << "\n";
+  out << "order_train = " << checkpoint.pseudo_train.size();
+  for (int64_t index : checkpoint.pseudo_train) out << " " << index;
+  out << "\n";
+  out << "order_val = " << checkpoint.pseudo_val.size();
+  for (int64_t index : checkpoint.pseudo_val) out << " " << index;
+  out << "\n";
+  out << "param_count = " << checkpoint.parameters.size() << "\n";
+  for (const auto& [name, value] : checkpoint.parameters) {
+    out << "param = " << name;
+    AppendTensor(&out, value);
+    out << "\n";
+  }
+  out << "arch_count = " << checkpoint.arch_parameters.size() << "\n";
+  for (const auto& [name, value] : checkpoint.arch_parameters) {
+    out << "arch = " << name;
+    AppendTensor(&out, value);
+    out << "\n";
+  }
+  AppendAdamState(&out, "adam_w", checkpoint.weight_optimizer);
+  AppendAdamState(&out, "adam_t", checkpoint.theta_optimizer);
+  std::string payload = out.str();
+  char trailer[32];
+  std::snprintf(trailer, sizeof(trailer), "%s%08x\n", kCrcKey, Crc32(payload));
+  payload += trailer;
+  return payload;
+}
+
+StatusOr<SearchCheckpoint> DecodeSearchCheckpoint(const std::string& text) {
+  // 1. Locate and verify the CRC trailer (the last line of the file). Any
+  // truncation or byte flip anywhere above it fails here.
+  const size_t marker = text.rfind(kCrcKey);
+  if (marker == std::string::npos ||
+      (marker != 0 && text[marker - 1] != '\n')) {
+    return Status::InvalidArgument("checkpoint missing crc32 trailer");
+  }
+  // Strict trailer: exactly eight lowercase hex digits (the encoder's %08x)
+  // plus an optional final newline. Anything else — including stray bytes
+  // after the digits — is a corrupt file.
+  std::string trailer = text.substr(marker + sizeof(kCrcKey) - 1);
+  if (!trailer.empty() && trailer.back() == '\n') trailer.pop_back();
+  if (trailer.size() != 8 ||
+      trailer.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::InvalidArgument("malformed crc32 trailer: " + trailer);
+  }
+  const uint32_t expected =
+      static_cast<uint32_t>(std::strtoul(trailer.c_str(), nullptr, 16));
+  const std::string payload = text.substr(0, marker);
+  const uint32_t actual = Crc32(payload);
+  if (actual != expected) {
+    return Status::InvalidArgument("checkpoint crc32 mismatch");
+  }
+
+  // 2. Parse the verified payload.
+  StatusOr<TextReader> parsed = TextReader::Parse(payload);
+  if (!parsed.ok()) return parsed.status();
+  const TextReader& reader = parsed.value();
+
+  StatusOr<std::string> format = reader.Get("format");
+  if (!format.ok()) return format.status();
+  if (format.value() != kFormatName) {
+    return Status::InvalidArgument("not a search checkpoint: " +
+                                   format.value());
+  }
+  StatusOr<int64_t> version = reader.GetInt("version");
+  if (!version.ok()) return version.status();
+  if (version.value() != SearchCheckpoint::kFormatVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version: " +
+                                   std::to_string(version.value()));
+  }
+
+  SearchCheckpoint checkpoint;
+  StatusOr<std::string> config = reader.Get("config");
+  if (!config.ok()) return config.status();
+  checkpoint.config_fingerprint = config.value();
+
+  StatusOr<std::string> cursor = reader.Get("cursor");
+  if (!cursor.ok()) return cursor.status();
+  {
+    std::istringstream stream(cursor.value());
+    if (!(stream >> checkpoint.epoch >> checkpoint.step) ||
+        checkpoint.epoch < 0 || checkpoint.step < 0) {
+      return Status::InvalidArgument("malformed cursor: " + cursor.value());
+    }
+    Status status = ExpectEndOfRecord(&stream, "cursor");
+    if (!status.ok()) return status;
+  }
+
+  StatusOr<std::string> tau = reader.Get("tau");
+  if (!tau.ok()) return tau.status();
+  if (!ParseExactDouble(tau.value(), &checkpoint.tau)) {
+    return Status::InvalidArgument("malformed tau: " + tau.value());
+  }
+
+  StatusOr<std::string> val_loss = reader.Get("val_loss");
+  if (!val_loss.ok()) return val_loss.status();
+  {
+    std::istringstream stream(val_loss.value());
+    std::string sum_token, final_token;
+    if (!(stream >> sum_token >> checkpoint.epoch_steps >> final_token) ||
+        checkpoint.epoch_steps < 0 ||
+        !ParseExactDouble(sum_token, &checkpoint.val_loss_sum) ||
+        !ParseExactDouble(final_token, &checkpoint.final_validation_loss)) {
+      return Status::InvalidArgument("malformed val_loss: " + val_loss.value());
+    }
+    Status status = ExpectEndOfRecord(&stream, "val_loss");
+    if (!status.ok()) return status;
+  }
+
+  StatusOr<std::string> rng = reader.Get("rng");
+  if (!rng.ok()) return rng.status();
+  {
+    std::istringstream stream(rng.value());
+    int has_cached = 0;
+    std::string cached_token;
+    if (!(stream >> checkpoint.rng.words[0] >> checkpoint.rng.words[1] >>
+          checkpoint.rng.words[2] >> checkpoint.rng.words[3] >> has_cached >>
+          cached_token) ||
+        (has_cached != 0 && has_cached != 1) ||
+        !ParseExactDouble(cached_token, &checkpoint.rng.cached_normal)) {
+      return Status::InvalidArgument("malformed rng record: " + rng.value());
+    }
+    checkpoint.rng.has_cached_normal = has_cached == 1;
+    Status status = ExpectEndOfRecord(&stream, "rng");
+    if (!status.ok()) return status;
+  }
+
+  Status status =
+      ParseIndexOrder(reader, "order_train", &checkpoint.pseudo_train);
+  if (!status.ok()) return status;
+  status = ParseIndexOrder(reader, "order_val", &checkpoint.pseudo_val);
+  if (!status.ok()) return status;
+
+  status = ParseNamedTensors(reader, "param", &checkpoint.parameters);
+  if (!status.ok()) return status;
+  status = ParseNamedTensors(reader, "arch", &checkpoint.arch_parameters);
+  if (!status.ok()) return status;
+
+  status = ParseAdamState(reader, "adam_w", &checkpoint.weight_optimizer);
+  if (!status.ok()) return status;
+  status = ParseAdamState(reader, "adam_t", &checkpoint.theta_optimizer);
+  if (!status.ok()) return status;
+  return checkpoint;
+}
+
+Status SaveSearchCheckpoint(const SearchCheckpoint& checkpoint,
+                            const std::string& path) {
+  return AtomicWriteFile(path, EncodeSearchCheckpoint(checkpoint),
+                         /*keep_previous=*/true);
+}
+
+StatusOr<SearchCheckpoint> LoadSearchCheckpoint(const std::string& path) {
+  StatusOr<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  StatusOr<SearchCheckpoint> checkpoint =
+      DecodeSearchCheckpoint(content.value());
+  if (!checkpoint.ok()) {
+    return Status(checkpoint.status().code(),
+                  path + ": " + checkpoint.status().message());
+  }
+  return checkpoint;
+}
+
+StatusOr<SearchCheckpoint> LoadSearchCheckpointOrPrev(const std::string& path,
+                                                      bool* used_prev) {
+  if (used_prev != nullptr) *used_prev = false;
+  StatusOr<SearchCheckpoint> primary = LoadSearchCheckpoint(path);
+  if (primary.ok()) return primary;
+  const std::string prev_path = path + ".prev";
+  if (!FileExists(prev_path)) return primary.status();
+  StatusOr<SearchCheckpoint> previous = LoadSearchCheckpoint(prev_path);
+  if (!previous.ok()) {
+    return Status(primary.status().code(),
+                  primary.status().message() +
+                      "; fallback also failed: " + previous.status().message());
+  }
+  if (used_prev != nullptr) *used_prev = true;
+  return previous;
+}
+
+SearchCheckpoint CaptureSearchState(const Supernet& supernet,
+                                    const optim::Adam& weight_optimizer,
+                                    const optim::Adam& theta_optimizer,
+                                    const Rng& rng,
+                                    const std::vector<int64_t>& pseudo_train,
+                                    const std::vector<int64_t>& pseudo_val) {
+  SearchCheckpoint checkpoint;
+  checkpoint.tau = supernet.temperature();
+  for (const auto& [name, parameter] : supernet.NamedParameters()) {
+    checkpoint.parameters.emplace_back(name, parameter.value().Clone());
+  }
+  for (const auto& [name, parameter] : supernet.NamedArchParameters()) {
+    checkpoint.arch_parameters.emplace_back(name, parameter.value().Clone());
+  }
+  checkpoint.weight_optimizer = weight_optimizer.ExportState();
+  checkpoint.theta_optimizer = theta_optimizer.ExportState();
+  checkpoint.rng = rng.GetState();
+  checkpoint.pseudo_train = pseudo_train;
+  checkpoint.pseudo_val = pseudo_val;
+  return checkpoint;
+}
+
+Status RestoreSearchState(const SearchCheckpoint& checkpoint,
+                          Supernet* supernet, optim::Adam* weight_optimizer,
+                          optim::Adam* theta_optimizer, Rng* rng,
+                          std::vector<int64_t>* pseudo_train,
+                          std::vector<int64_t>* pseudo_val) {
+  AUTOCTS_CHECK(supernet != nullptr);
+  std::vector<std::pair<std::string, Variable>> parameters =
+      supernet->NamedParameters();
+  std::vector<std::pair<std::string, Variable>> arch_parameters =
+      supernet->NamedArchParameters();
+
+  // Phase 1: validate everything against the live searcher before touching
+  // any state, so a rejected checkpoint leaves the fresh run intact.
+  if (checkpoint.parameters.size() != parameters.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: checkpoint has " +
+        std::to_string(checkpoint.parameters.size()) + ", supernet has " +
+        std::to_string(parameters.size()));
+  }
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    if (checkpoint.parameters[i].first != parameters[i].first) {
+      return Status::InvalidArgument(
+          "parameter name mismatch at slot " + std::to_string(i) + ": " +
+          checkpoint.parameters[i].first + " vs " + parameters[i].first);
+    }
+    if (checkpoint.parameters[i].second.shape() != parameters[i].second.shape()) {
+      return Status::InvalidArgument("parameter shape mismatch for: " +
+                                     parameters[i].first);
+    }
+  }
+  if (checkpoint.arch_parameters.size() != arch_parameters.size()) {
+    return Status::InvalidArgument(
+        "arch parameter count mismatch: checkpoint has " +
+        std::to_string(checkpoint.arch_parameters.size()) +
+        ", supernet has " + std::to_string(arch_parameters.size()));
+  }
+  for (size_t i = 0; i < arch_parameters.size(); ++i) {
+    if (checkpoint.arch_parameters[i].first != arch_parameters[i].first) {
+      return Status::InvalidArgument(
+          "arch parameter name mismatch at slot " + std::to_string(i) + ": " +
+          checkpoint.arch_parameters[i].first + " vs " +
+          arch_parameters[i].first);
+    }
+    if (checkpoint.arch_parameters[i].second.shape() !=
+        arch_parameters[i].second.shape()) {
+      return Status::InvalidArgument("arch parameter shape mismatch for: " +
+                                     arch_parameters[i].first);
+    }
+  }
+  if (checkpoint.pseudo_train.size() != pseudo_train->size() ||
+      checkpoint.pseudo_val.size() != pseudo_val->size()) {
+    return Status::InvalidArgument("pseudo-split size mismatch");
+  }
+  const int64_t total = static_cast<int64_t>(pseudo_train->size()) +
+                        static_cast<int64_t>(pseudo_val->size());
+  for (int64_t index : checkpoint.pseudo_train) {
+    if (index >= total) return Status::InvalidArgument("pseudo-train index out of range");
+  }
+  for (int64_t index : checkpoint.pseudo_val) {
+    if (index >= total) return Status::InvalidArgument("pseudo-val index out of range");
+  }
+
+  // Phase 2: apply. The optimizer imports validate their own slots; if the
+  // second import fails after the first succeeded, roll the first back to
+  // its fresh state so the caller can safely fall back to a fresh search.
+  Status status = weight_optimizer->ImportState(checkpoint.weight_optimizer);
+  if (!status.ok()) return status;
+  status = theta_optimizer->ImportState(checkpoint.theta_optimizer);
+  if (!status.ok()) {
+    ResetAdam(weight_optimizer, checkpoint.weight_optimizer.first_moment.size());
+    return status;
+  }
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    parameters[i].second.mutable_value() =
+        checkpoint.parameters[i].second.Clone();
+  }
+  for (size_t i = 0; i < arch_parameters.size(); ++i) {
+    arch_parameters[i].second.mutable_value() =
+        checkpoint.arch_parameters[i].second.Clone();
+  }
+  supernet->SetTemperature(checkpoint.tau);
+  rng->SetState(checkpoint.rng);
+  *pseudo_train = checkpoint.pseudo_train;
+  *pseudo_val = checkpoint.pseudo_val;
+  return Status::Ok();
+}
+
+}  // namespace autocts::core

@@ -1,6 +1,7 @@
 #include "core/searcher.h"
 
 #include "core/cost_model.h"
+#include "core/search_checkpoint.h"
 
 #include <algorithm>
 
@@ -165,18 +166,86 @@ SearchResult JointSearcher::Search(const models::PreparedData& data) {
   SearchResult result;
   result.supernet_parameters = supernet.NumParameters();
 
-  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    supernet.SetTemperature(
-        options_.use_temperature ? tau_schedule.At(epoch) : 1.0);
-    rng.Shuffle(&pseudo_train);
-    rng.Shuffle(&pseudo_val);
-    double val_loss_sum = 0.0;
-    int64_t steps = 0;
+  // Crash-safe resume: restore the newest loadable checkpoint generation
+  // whose configuration matches, then continue from its cursor. Everything
+  // that shapes the remaining trajectory (weights, Theta, Adam moments,
+  // Rng, tau, split orders, loss accumulator) is restored bit-for-bit, so
+  // the resumed run equals an uninterrupted one exactly.
+  const bool checkpointing = !options_.checkpoint_path.empty() &&
+                             options_.checkpoint_every_n_batches > 0;
+  const std::string fingerprint = SearchConfigFingerprint(options_, total);
+  int64_t start_epoch = 0;
+  int64_t start_step = 0;
+  double val_loss_sum = 0.0;
+  int64_t steps = 0;
+  bool resume_mid_epoch = false;
+  if (options_.resume && !options_.checkpoint_path.empty()) {
+    bool used_prev = false;
+    StatusOr<SearchCheckpoint> loaded =
+        LoadSearchCheckpointOrPrev(options_.checkpoint_path, &used_prev);
+    if (!loaded.ok()) {
+      AUTOCTS_LOG(WARNING) << "resume requested but no usable checkpoint at "
+                           << options_.checkpoint_path << " ("
+                           << loaded.status().ToString()
+                           << "); starting fresh";
+    } else if (loaded.value().config_fingerprint != fingerprint) {
+      AUTOCTS_LOG(WARNING) << "checkpoint at " << options_.checkpoint_path
+                           << " was written by a differently-configured "
+                              "search; starting fresh";
+    } else {
+      const SearchCheckpoint& checkpoint = loaded.value();
+      const Status status = RestoreSearchState(
+          checkpoint, &supernet, &weight_optimizer, &theta_optimizer, &rng,
+          &pseudo_train, &pseudo_val);
+      if (!status.ok()) {
+        AUTOCTS_LOG(WARNING) << "checkpoint restore failed ("
+                             << status.ToString() << "); starting fresh";
+      } else {
+        start_epoch = checkpoint.epoch;
+        start_step = checkpoint.step;
+        val_loss_sum = checkpoint.val_loss_sum;
+        steps = checkpoint.epoch_steps;
+        // step > 0 means the epoch preamble (temperature + shuffles)
+        // already ran before the crash; its effects were restored above.
+        resume_mid_epoch = start_step > 0;
+        // Mid-epoch the uninterrupted run still reports the last completed
+        // epoch's average (the restored accumulator is partial); at an
+        // epoch boundary the just-finished epoch's accumulator IS final.
+        result.final_validation_loss =
+            (start_step == 0 && steps > 0)
+                ? val_loss_sum / static_cast<double>(steps)
+                : checkpoint.final_validation_loss;
+        if (options_.verbose || used_prev) {
+          AUTOCTS_LOG(INFO) << "resumed search from "
+                            << (used_prev
+                                    ? options_.checkpoint_path + ".prev"
+                                    : options_.checkpoint_path)
+                            << " at epoch " << start_epoch << " step "
+                            << start_step;
+        }
+      }
+    }
+  }
+
+  int64_t batches_since_checkpoint = 0;
+  int64_t checkpoint_ordinal = 0;
+
+  for (int64_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    const bool continuing = resume_mid_epoch && epoch == start_epoch;
+    if (!continuing) {
+      supernet.SetTemperature(
+          options_.use_temperature ? tau_schedule.At(epoch) : 1.0);
+      rng.Shuffle(&pseudo_train);
+      rng.Shuffle(&pseudo_val);
+      val_loss_sum = 0.0;
+      steps = 0;
+    }
     const int64_t max_steps =
         options_.max_batches_per_epoch > 0
             ? options_.max_batches_per_epoch
             : (total / 2 + options_.batch_size - 1) / options_.batch_size;
-    for (int64_t step = 0; step < max_steps; ++step) {
+    for (int64_t step = continuing ? start_step : 0; step < max_steps;
+         ++step) {
       auto take_batch = [&](const std::vector<int64_t>& pool) {
         std::vector<int64_t> batch;
         batch.reserve(options_.batch_size);
@@ -236,6 +305,39 @@ SearchResult JointSearcher::Search(const models::PreparedData& data) {
         weight_optimizer.Step();
       }
       ++steps;
+
+      if (checkpointing &&
+          ++batches_since_checkpoint >= options_.checkpoint_every_n_batches) {
+        batches_since_checkpoint = 0;
+        SearchCheckpoint checkpoint =
+            CaptureSearchState(supernet, weight_optimizer, theta_optimizer,
+                               rng, pseudo_train, pseudo_val);
+        checkpoint.config_fingerprint = fingerprint;
+        // Cursor = the first batch the resumed run executes; a checkpoint
+        // on the last batch of an epoch rolls over to the next epoch's
+        // preamble.
+        checkpoint.epoch = epoch;
+        checkpoint.step = step + 1;
+        if (checkpoint.step >= max_steps) {
+          checkpoint.epoch = epoch + 1;
+          checkpoint.step = 0;
+        }
+        checkpoint.val_loss_sum = val_loss_sum;
+        checkpoint.epoch_steps = steps;
+        checkpoint.final_validation_loss = result.final_validation_loss;
+        const Status status =
+            SaveSearchCheckpoint(checkpoint, options_.checkpoint_path);
+        if (!status.ok()) {
+          AUTOCTS_LOG(WARNING)
+              << "checkpoint write failed: " << status.ToString();
+        } else {
+          if (options_.post_checkpoint_hook) {
+            options_.post_checkpoint_hook(checkpoint_ordinal,
+                                          options_.checkpoint_path);
+          }
+          ++checkpoint_ordinal;
+        }
+      }
     }
     result.final_validation_loss =
         steps > 0 ? val_loss_sum / static_cast<double>(steps) : 0.0;

@@ -6,6 +6,7 @@
 #define AUTOCTS_CORE_SEARCHER_H_
 
 #include <functional>
+#include <string>
 
 #include "core/supernet.h"
 #include "models/trainer.h"
@@ -62,6 +63,29 @@ struct SearchOptions {
 
   uint64_t seed = 1;
   bool verbose = false;
+
+  // Crash-safe checkpointing (core/search_checkpoint.h). When
+  // `checkpoint_path` is non-empty, every `checkpoint_every_n_batches`
+  // search batches the complete mutable search state (weights, Theta, both
+  // Adam states, Rng, tau, pseudo-split orders, epoch/batch cursor) is
+  // written atomically to `checkpoint_path`, with the previous generation
+  // kept at "<checkpoint_path>.prev". With `resume`, Search() restores the
+  // newest loadable generation whose config fingerprint matches and
+  // continues from its cursor; the resumed run's genotype and final
+  // validation loss are bit-identical to an uninterrupted run's. A missing,
+  // corrupt, or mismatched checkpoint logs a warning and starts fresh.
+  std::string checkpoint_path;
+  int64_t checkpoint_every_n_batches = 0;
+
+  bool resume = false;
+
+  // Test hook for fault injection: invoked after every successful
+  // checkpoint write with the 0-based write ordinal (counted per Search()
+  // call) and the checkpoint path. tests/checkpoint_test.cc throws from
+  // the hook to simulate a crash at an exact kill point; library code never
+  // throws itself.
+  std::function<void(int64_t ordinal, const std::string& path)>
+      post_checkpoint_hook;
 };
 
 // Preset matching the AutoSTG baseline: {1D conv, DGCN} operator set,

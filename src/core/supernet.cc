@@ -65,6 +65,20 @@ std::vector<Variable> Supernet::ArchParameters() const {
   return parameters;
 }
 
+std::vector<std::pair<std::string, Variable>> Supernet::NamedArchParameters()
+    const {
+  std::vector<std::pair<std::string, Variable>> parameters;
+  for (size_t b = 0; b < cells_.size(); ++b) {
+    for (const auto& [name, p] : cells_[b]->NamedArchParameters()) {
+      parameters.emplace_back("cell" + std::to_string(b) + "." + name, p);
+    }
+  }
+  for (size_t b = 0; b < gammas_.size(); ++b) {
+    parameters.emplace_back("gamma" + std::to_string(b), gammas_[b]);
+  }
+  return parameters;
+}
+
 Genotype Supernet::Derive() const {
   Genotype genotype;
   genotype.nodes_per_block = config_.micro_nodes;

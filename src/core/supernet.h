@@ -8,6 +8,8 @@
 #define AUTOCTS_CORE_SUPERNET_H_
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/genotype.h"
@@ -44,6 +46,12 @@ class Supernet : public models::ForecastingModel {
 
   // All architecture parameters Theta = ({alpha_i, beta_i}, gamma).
   std::vector<Variable> ArchParameters() const;
+
+  // ArchParameters() with stable dotted names ("cell0.alpha",
+  // "cell0.beta1", ..., "gamma0", ...), in the same order; the name-keyed
+  // form is what core/search_checkpoint.{h,cc} serializes so that resume
+  // can reject architecture mismatches explicitly.
+  std::vector<std::pair<std::string, Variable>> NamedArchParameters() const;
 
   // Derives the discrete architecture: per node keep the edge from its
   // immediate predecessor plus the strongest other edge by Eq. 7 (Zero

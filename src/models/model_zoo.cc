@@ -31,4 +31,9 @@ std::vector<std::string> SingleStepBaselineNames() {
   return {"LSTNet", "TPA-LSTM", "MTGNN"};
 }
 
+std::vector<std::string> AllBaselineNames() {
+  return {"DCRNN", "STGCN", "GraphWaveNet", "AGCRN",
+          "LSTNet", "TPA-LSTM", "MTGNN"};
+}
+
 }  // namespace autocts::models

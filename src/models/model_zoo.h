@@ -21,6 +21,10 @@ std::vector<std::string> MultiStepBaselineNames();
 // The single-step baselines of Table 8.
 std::vector<std::string> SingleStepBaselineNames();
 
+// Every registered baseline, each buildable via CreateBaseline; used by
+// zoo-wide property tests (e.g. the state-dict round-trip suite).
+std::vector<std::string> AllBaselineNames();
+
 }  // namespace autocts::models
 
 #endif  // AUTOCTS_MODELS_MODEL_ZOO_H_

@@ -9,12 +9,17 @@ namespace autocts::nn {
 
 std::string SaveStateDict(const Module& module) {
   std::ostringstream out;
-  out.precision(17);
   for (const auto& [name, parameter] : module.NamedParameters()) {
     const Tensor& value = parameter.value();
     out << "param = " << name << " " << value.ndim();
     for (int64_t d : value.shape()) out << " " << d;
-    for (int64_t i = 0; i < value.size(); ++i) out << " " << value.data()[i];
+    // Hex-float ("%a") output is an exact image of the bits, so every
+    // value — 0.1, denormals, extremes — reloads bit-identically. (The
+    // previous 17-significant-digit decimal form is still accepted by
+    // LoadStateDict for old files.)
+    for (int64_t i = 0; i < value.size(); ++i) {
+      out << " " << FormatExactDouble(value.data()[i]);
+    }
     out << "\n";
   }
   return out.str();
@@ -41,13 +46,15 @@ Status LoadStateDict(Module* module, const std::string& text) {
       }
     }
     Tensor value(shape);
+    // Token-wise strtod parsing: istream extraction does not accept the
+    // hex-float form SaveStateDict writes (LWG 2381).
+    std::string token;
     for (int64_t i = 0; i < value.size(); ++i) {
-      if (!(stream >> value.data()[i])) {
+      if (!(stream >> token) || !ParseExactDouble(token, &value.data()[i])) {
         return Status::InvalidArgument("truncated values for: " + name);
       }
     }
-    double extra;
-    if (stream >> extra) {
+    if (stream >> token) {
       return Status::InvalidArgument("trailing values for: " + name);
     }
     records.emplace_back(name, value);

@@ -5,6 +5,8 @@
 //
 // Format (one record per parameter):
 //   param = <name> <ndim> <dim0> ... <dimk> <v0> <v1> ... <vn>
+// Values are written as C99 hex-floats ("%a") so every double round-trips
+// bit-identically; the loader also accepts decimal values from old files.
 #ifndef AUTOCTS_NN_STATE_DICT_H_
 #define AUTOCTS_NN_STATE_DICT_H_
 

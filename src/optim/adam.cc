@@ -13,6 +13,57 @@ Adam::Adam(std::vector<Variable> parameters, Options options)
   second_moment_.resize(parameters_.size());
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step_count = step_count_;
+  state.first_moment.reserve(first_moment_.size());
+  state.second_moment.reserve(second_moment_.size());
+  for (const Tensor& m : first_moment_) {
+    state.first_moment.push_back(m.defined() ? m.Clone() : Tensor());
+  }
+  for (const Tensor& v : second_moment_) {
+    state.second_moment.push_back(v.defined() ? v.Clone() : Tensor());
+  }
+  return state;
+}
+
+Status Adam::ImportState(const AdamState& state) {
+  if (state.step_count < 0) {
+    return Status::InvalidArgument("negative Adam step count");
+  }
+  if (state.first_moment.size() != parameters_.size() ||
+      state.second_moment.size() != parameters_.size()) {
+    return Status::InvalidArgument(
+        "Adam state slot count mismatch: state has " +
+        std::to_string(state.first_moment.size()) + "/" +
+        std::to_string(state.second_moment.size()) + ", optimizer has " +
+        std::to_string(parameters_.size()));
+  }
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    // A slot must carry both moments or neither, with the parameter's shape.
+    if (state.first_moment[i].defined() != state.second_moment[i].defined()) {
+      return Status::InvalidArgument("Adam moment pair mismatch at slot " +
+                                     std::to_string(i));
+    }
+    if (state.first_moment[i].defined() &&
+        (state.first_moment[i].shape() != parameters_[i].shape() ||
+         state.second_moment[i].shape() != parameters_[i].shape())) {
+      return Status::InvalidArgument("Adam moment shape mismatch at slot " +
+                                     std::to_string(i));
+    }
+  }
+  step_count_ = state.step_count;
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    first_moment_[i] = state.first_moment[i].defined()
+                           ? state.first_moment[i].Clone()
+                           : Tensor();
+    second_moment_[i] = state.second_moment[i].defined()
+                            ? state.second_moment[i].Clone()
+                            : Tensor();
+  }
+  return Status::Ok();
+}
+
 void Adam::Step() {
   ++step_count_;
   const double bias1 =

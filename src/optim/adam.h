@@ -7,9 +7,21 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "optim/optimizer.h"
 
 namespace autocts::optim {
+
+// The complete mutable state of an Adam instance: the step counter driving
+// bias correction and the per-parameter moment estimates. Moment slots stay
+// undefined until the matching parameter first receives a gradient (lazy
+// initialization), and that defined/undefined pattern is part of the state.
+// Serialized by core/search_checkpoint.{h,cc} for crash-safe search resume.
+struct AdamState {
+  int64_t step_count = 0;
+  std::vector<Tensor> first_moment;   // slot-aligned with the parameter list
+  std::vector<Tensor> second_moment;  // undefined entry = slot never stepped
+};
 
 class Adam : public Optimizer {
  public:
@@ -24,6 +36,17 @@ class Adam : public Optimizer {
   Adam(std::vector<Variable> parameters, Options options);
 
   void Step() override;
+
+  // Deep-copies the optimizer state (moments + step count).
+  AdamState ExportState() const;
+  // Restores a previously exported state. Validates slot counts and moment
+  // shapes against the parameter list before mutating anything, so a failed
+  // import leaves the optimizer untouched. The next Step() after a
+  // successful import is bit-identical to the step the exporting optimizer
+  // would have taken (including the step-count bias correction).
+  Status ImportState(const AdamState& state);
+
+  int64_t step_count() const { return step_count_; }
 
  private:
   Options options_;

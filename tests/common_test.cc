@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
 
+#include "common/file_io.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -187,6 +192,96 @@ TEST(Logging, LevelsFilterMessages) {
   AUTOCTS_LOG(INFO) << "should be suppressed";
   SetMinLogLevel(LogLevel::kInfo);
   AUTOCTS_LOG(INFO) << "visible (smoke)";
+}
+
+TEST(TextCodec, ExactDoubleRoundTripsBitPatterns) {
+  const std::vector<double> values = {
+      0.0,
+      -0.0,
+      0.1,
+      1.0 / 3.0,
+      3.141592653589793,
+      4.9406564584124654e-324,  // Smallest positive denormal.
+      1e-310,                   // Subnormal.
+      2.2250738585072014e-308,  // DBL_MIN.
+      1.7976931348623157e308,   // DBL_MAX.
+      -6.02214076e23,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+  };
+  for (const double value : values) {
+    const std::string text = FormatExactDouble(value);
+    double parsed = 0.0;
+    ASSERT_TRUE(ParseExactDouble(text, &parsed)) << text;
+    uint64_t want = 0, got = 0;
+    std::memcpy(&want, &value, sizeof(want));
+    std::memcpy(&got, &parsed, sizeof(got));
+    EXPECT_EQ(want, got) << value << " -> " << text << " -> " << parsed;
+  }
+  // Finite values serialize as hex-floats (exact images of the bits).
+  EXPECT_EQ(FormatExactDouble(0.1).rfind("0x1.", 0), 0u);
+}
+
+TEST(TextCodec, ParseExactDoubleAcceptsDecimalAndRejectsJunk) {
+  double parsed = 0.0;
+  EXPECT_TRUE(ParseExactDouble("0.25", &parsed));  // Legacy decimal form.
+  EXPECT_EQ(parsed, 0.25);
+  EXPECT_TRUE(ParseExactDouble("-1.5e3", &parsed));
+  EXPECT_EQ(parsed, -1500.0);
+  EXPECT_FALSE(ParseExactDouble("", &parsed));
+  EXPECT_FALSE(ParseExactDouble("abc", &parsed));
+  EXPECT_FALSE(ParseExactDouble("1.5junk", &parsed));
+  EXPECT_FALSE(ParseExactDouble("0x1.8p+1x", &parsed));
+}
+
+TEST(Crc32, MatchesKnownVectorsAndDetectsChanges) {
+  // The standard CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  const std::string text = "param = w 1 2 0x1p+0 0x1p+1\n";
+  const uint32_t crc = Crc32(text);
+  for (size_t i = 0; i < text.size(); ++i) {
+    std::string mutated = text;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    EXPECT_NE(Crc32(mutated), crc) << "flip at byte " << i;
+  }
+  EXPECT_NE(Crc32(text.substr(0, text.size() - 1)), crc);
+}
+
+TEST(FileIo, AtomicWriteRotatesGenerations) {
+  const std::string path = testing::TempDir() + "common_test_atomic";
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+
+  ASSERT_TRUE(AtomicWriteFile(path, "one").ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".prev"));
+  StatusOr<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "one");
+
+  ASSERT_TRUE(AtomicWriteFile(path, "two").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "two");
+  EXPECT_EQ(ReadFileToString(path + ".prev").value(), "one");
+
+  ASSERT_TRUE(AtomicWriteFile(path, "three").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "three");
+  EXPECT_EQ(ReadFileToString(path + ".prev").value(), "two");
+
+  // keep_previous=false replaces in place without touching .prev.
+  ASSERT_TRUE(AtomicWriteFile(path, "four", /*keep_previous=*/false).ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "four");
+  EXPECT_EQ(ReadFileToString(path + ".prev").value(), "two");
+
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+}
+
+TEST(FileIo, ReadMissingFileIsNotFound) {
+  const StatusOr<std::string> result =
+      ReadFileToString(testing::TempDir() + "common_test_never_written");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

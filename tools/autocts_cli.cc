@@ -17,6 +17,10 @@
 //   --genotype F    genotype file (search output / evaluate input)
 //   --cost-weight W efficiency-aware search weight (default 0 = off)
 //   --out F         output file (generate: CSV; search: genotype text)
+//   --checkpoint F  search only: write a crash-safe checkpoint to F
+//   --checkpoint-every N   batches between checkpoints (default 1)
+//   --resume 1      restore F (or F.prev) and continue; a resumed run
+//                   reproduces the uninterrupted result bit-for-bit
 //
 // Examples:
 //   autocts_cli search --kind traffic-flow --nodes 10 --steps 1200 \
@@ -160,6 +164,9 @@ int Search(const Args& args) {
   options.cost_weight = args.GetDouble("cost-weight", 0.0);
   options.bilevel_order = args.GetInt("bilevel", 1);
   options.seed = static_cast<uint64_t>(args.GetInt("search-seed", 3));
+  options.checkpoint_path = args.Get("checkpoint", "");
+  options.checkpoint_every_n_batches = args.GetInt("checkpoint-every", 1);
+  options.resume = args.GetInt("resume", 0) != 0;
   options.verbose = true;
   const core::SearchResult result =
       core::JointSearcher(options).Search(prepared);

@@ -4,8 +4,14 @@
 # the parallel kernel code paths (src/common/parallel.*) are exercised
 # under test even on single-core machines.
 #
+# The crash-safety suite (checkpoint_test, ctest label "faultinject") is
+# additionally run under AddressSanitizer in a separate build directory:
+# its kill/resume and corruption paths are exactly where lifetime bugs
+# would hide. Set AUTOCTS_SKIP_ASAN=1 to skip that pass (e.g. on machines
+# without ASan runtimes).
+#
 # Optional: AUTOCTS_SANITIZE=thread|address ./tools/tier1_verify.sh runs
-# the same build under the matching sanitizer (separate build directory).
+# the whole build under the matching sanitizer (separate build directory).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +24,13 @@ fi
 
 cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "${BUILD_DIR}" -j
-cd "${BUILD_DIR}"
-ctest --output-on-failure -j
-AUTOCTS_NUM_THREADS=4 ctest --output-on-failure -j
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j
+AUTOCTS_NUM_THREADS=4 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j
+
+# ASan pass over the fault-injection suite (skipped when the main build is
+# already sanitized, or when explicitly disabled).
+if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
+  cmake -B build-address -S . -DAUTOCTS_SANITIZE=address
+  cmake --build build-address -j --target checkpoint_test
+  ctest --test-dir build-address -L faultinject --output-on-failure
+fi
