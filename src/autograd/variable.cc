@@ -1,10 +1,37 @@
 #include "autograd/variable.h"
 
+#include <cmath>
 #include <unordered_set>
 
 #include "tensor/tensor_ops.h"
 
 namespace autocts {
+
+namespace {
+
+// Numeric-trace globals (see variable.h). Single driver thread only.
+bool g_trace_active = false;
+int64_t g_trace_next_index = 0;
+NumericTraceReport g_trace_report;
+
+bool HasNonFinite(const Tensor& tensor) {
+  if (!tensor.defined()) return false;
+  const double* values = tensor.data();
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    if (!std::isfinite(values[i])) return true;
+  }
+  return false;
+}
+
+void RecordTraceHit(const internal::Node* node, bool in_backward) {
+  if (g_trace_report.triggered) return;
+  g_trace_report.triggered = true;
+  g_trace_report.op = node->op != nullptr ? node->op : "";
+  g_trace_report.node_index = node->trace_index;
+  g_trace_report.in_backward = in_backward;
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -102,7 +129,19 @@ void Variable::Backward(const Tensor& seed) {
   internal::AccumulateGrad(node_.get(), seed);
   for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
     internal::Node* node = *it;
-    if (node->backward && node->grad.defined()) node->backward(node);
+    if (node->backward && node->grad.defined()) {
+      node->backward(node);
+      if (g_trace_active && !g_trace_report.triggered) {
+        // The closure that just ran wrote into its inputs' grads; the first
+        // non-finite value to appear there is attributed to this node's op.
+        for (const std::shared_ptr<internal::Node>& input : node->inputs) {
+          if (HasNonFinite(input->grad)) {
+            RecordTraceHit(node, /*in_backward=*/true);
+            break;
+          }
+        }
+      }
+    }
   }
 }
 
@@ -113,9 +152,11 @@ Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
 }
 
 Variable MakeNode(Tensor value, std::vector<Variable> inputs,
-                  std::function<void(internal::Node*)> backward) {
+                  std::function<void(internal::Node*)> backward,
+                  const char* op_name) {
   auto node = std::make_shared<internal::Node>();
   node->value = std::move(value);
+  node->op = op_name;
   bool requires_grad = false;
   node->inputs.reserve(inputs.size());
   for (const Variable& input : inputs) {
@@ -125,7 +166,35 @@ Variable MakeNode(Tensor value, std::vector<Variable> inputs,
   }
   node->requires_grad = requires_grad;
   if (requires_grad) node->backward = std::move(backward);
+  if (g_trace_active) {
+    node->trace_index = g_trace_next_index++;
+    if (HasNonFinite(node->value)) {
+      RecordTraceHit(node.get(), /*in_backward=*/false);
+    }
+  }
   return Variable::FromNode(std::move(node));
 }
+
+std::string NumericTraceReport::ToString() const {
+  if (!triggered) return "no non-finite value traced";
+  std::string out = "op '";
+  out += op.empty() ? "<unnamed>" : op;
+  out += "' (node #" + std::to_string(node_index);
+  out += in_backward ? ", backward pass)" : ", forward pass)";
+  return out;
+}
+
+void BeginNumericTrace() {
+  g_trace_active = true;
+  g_trace_next_index = 0;
+  g_trace_report = NumericTraceReport();
+}
+
+NumericTraceReport EndNumericTrace() {
+  g_trace_active = false;
+  return g_trace_report;
+}
+
+bool NumericTraceActive() { return g_trace_active; }
 
 }  // namespace autocts

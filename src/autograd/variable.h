@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -28,6 +29,11 @@ struct Node {
   std::vector<std::shared_ptr<Node>> inputs;
   // Propagates this node's grad into inputs' grads. May be empty for leaves.
   std::function<void(Node*)> backward;
+  // Operation that built this node (static string; nullptr for leaves and
+  // callers that predate naming). Used by the numeric trace below.
+  const char* op = nullptr;
+  // Creation ordinal while a numeric trace is active; -1 otherwise.
+  int64_t trace_index = -1;
 };
 
 // Adds `g` (same shape as the node value) into `node`'s gradient,
@@ -83,9 +89,41 @@ class Variable {
 // Builds an interior tape node for a custom operation. `backward` receives
 // the node (whose grad is fully accumulated) and must propagate into
 // node->inputs via internal::AccumulateGrad. requires_grad is inferred from
-// the inputs.
+// the inputs. `op_name` labels the node for the numeric trace; it must
+// point to storage outliving the node (string literals).
 Variable MakeNode(Tensor value, std::vector<Variable> inputs,
-                  std::function<void(internal::Node*)> backward);
+                  std::function<void(internal::Node*)> backward,
+                  const char* op_name = nullptr);
+
+// --------------------------------------------------------------------------
+// Numeric trace (debug mode): attributes the FIRST non-finite value produced
+// anywhere on the tape to the op that produced it.
+//
+// While a trace is active, every node built by MakeNode has its forward
+// value scanned at construction, and Backward() scans the gradients written
+// by each backward closure as it runs. The first non-finite hit is recorded
+// (op name, creation ordinal, forward/backward phase); later hits are
+// ignored. The scans make every op O(size) more expensive, so the trace is
+// meant for attribution re-runs after a divergence is detected (see
+// common/numerics.h AttributeDivergence), not for steady-state training.
+// Global and not thread-safe: enable only from the single driver thread.
+// --------------------------------------------------------------------------
+
+struct NumericTraceReport {
+  bool triggered = false;
+  std::string op;          // "" when the producing node was unnamed
+  int64_t node_index = -1; // creation ordinal since BeginNumericTrace
+  bool in_backward = false;
+
+  // e.g. "op 'softmax' (node #42, backward pass)".
+  std::string ToString() const;
+};
+
+// Starts a fresh trace (resets the ordinal counter and the report).
+void BeginNumericTrace();
+// Stops tracing and returns the report of the first offender, if any.
+NumericTraceReport EndNumericTrace();
+bool NumericTraceActive();
 
 }  // namespace autocts
 

@@ -25,14 +25,14 @@ Variable Add(const Variable& a, const Variable& b) {
   return MakeNode(autocts::Add(a.value(), b.value()), {a, b}, [](Node* node) {
     AccumulateReduced(node, 0, node->grad);
     AccumulateReduced(node, 1, node->grad);
-  });
+  }, "add");
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
   return MakeNode(autocts::Sub(a.value(), b.value()), {a, b}, [](Node* node) {
     AccumulateReduced(node, 0, node->grad);
     AccumulateReduced(node, 1, autocts::Neg(node->grad));
-  });
+  }, "sub");
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
@@ -41,7 +41,7 @@ Variable Mul(const Variable& a, const Variable& b) {
   return MakeNode(autocts::Mul(va, vb), {a, b}, [va, vb](Node* node) {
     AccumulateReduced(node, 0, autocts::Mul(node->grad, vb));
     AccumulateReduced(node, 1, autocts::Mul(node->grad, va));
-  });
+  }, "mul");
 }
 
 Variable Div(const Variable& a, const Variable& b) {
@@ -52,13 +52,13 @@ Variable Div(const Variable& a, const Variable& b) {
     const Tensor db = autocts::Neg(autocts::Div(
         autocts::Mul(node->grad, va), autocts::Mul(vb, vb)));
     AccumulateReduced(node, 1, db);
-  });
+  }, "div");
 }
 
 Variable AddScalar(const Variable& a, double value) {
   return MakeNode(autocts::AddScalar(a.value(), value), {a}, [](Node* node) {
     AccumulateReduced(node, 0, node->grad);
-  });
+  }, "add_scalar");
 }
 
 Variable MulScalar(const Variable& a, double value) {
@@ -66,7 +66,7 @@ Variable MulScalar(const Variable& a, double value) {
                   [value](Node* node) {
                     AccumulateReduced(node, 0,
                                       autocts::MulScalar(node->grad, value));
-                  });
+                  }, "mul_scalar");
 }
 
 Variable Neg(const Variable& a) { return MulScalar(a, -1.0); }
@@ -75,14 +75,14 @@ Variable Exp(const Variable& a) {
   Tensor y = autocts::Exp(a.value());
   return MakeNode(y, {a}, [y](Node* node) {
     AccumulateReduced(node, 0, autocts::Mul(node->grad, y));
-  });
+  }, "exp");
 }
 
 Variable Log(const Variable& a) {
   Tensor va = a.value();
   return MakeNode(autocts::Log(va), {a}, [va](Node* node) {
     AccumulateReduced(node, 0, autocts::Div(node->grad, va));
-  });
+  }, "log");
 }
 
 Variable Sqrt(const Variable& a) {
@@ -90,7 +90,7 @@ Variable Sqrt(const Variable& a) {
   return MakeNode(y, {a}, [y](Node* node) {
     const Tensor dx = autocts::Div(autocts::MulScalar(node->grad, 0.5), y);
     AccumulateReduced(node, 0, dx);
-  });
+  }, "sqrt");
 }
 
 Variable Abs(const Variable& a) {
@@ -99,7 +99,7 @@ Variable Abs(const Variable& a) {
     const Tensor sign = autocts::Apply(
         va, [](double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
     AccumulateReduced(node, 0, autocts::Mul(node->grad, sign));
-  });
+  }, "abs");
 }
 
 Variable Tanh(const Variable& a) {
@@ -108,7 +108,7 @@ Variable Tanh(const Variable& a) {
     const Tensor one_minus_y2 =
         autocts::Apply(y, [](double v) { return 1.0 - v * v; });
     AccumulateReduced(node, 0, autocts::Mul(node->grad, one_minus_y2));
-  });
+  }, "tanh");
 }
 
 Variable Sigmoid(const Variable& a) {
@@ -116,7 +116,7 @@ Variable Sigmoid(const Variable& a) {
   return MakeNode(y, {a}, [y](Node* node) {
     const Tensor dy = autocts::Apply(y, [](double v) { return v * (1.0 - v); });
     AccumulateReduced(node, 0, autocts::Mul(node->grad, dy));
-  });
+  }, "sigmoid");
 }
 
 Variable Relu(const Variable& a) {
@@ -125,7 +125,7 @@ Variable Relu(const Variable& a) {
     const Tensor mask =
         autocts::Apply(va, [](double x) { return x > 0.0 ? 1.0 : 0.0; });
     AccumulateReduced(node, 0, autocts::Mul(node->grad, mask));
-  });
+  }, "relu");
 }
 
 Variable PowScalar(const Variable& a, double exponent) {
@@ -135,7 +135,7 @@ Variable PowScalar(const Variable& a, double exponent) {
                     const Tensor dx = autocts::MulScalar(
                         autocts::PowScalar(va, exponent - 1.0), exponent);
                     AccumulateReduced(node, 0, autocts::Mul(node->grad, dx));
-                  });
+                  }, "pow_scalar");
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
@@ -146,7 +146,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
     const Tensor at = va.Transpose(-2, -1);
     AccumulateReduced(node, 0, autocts::MatMul(node->grad, bt));
     AccumulateReduced(node, 1, autocts::MatMul(at, node->grad));
-  });
+  }, "matmul");
 }
 
 Variable Sum(const Variable& a, int64_t axis, bool keepdim) {
@@ -162,7 +162,7 @@ Variable Sum(const Variable& a, int64_t axis, bool keepdim) {
                       g = g.Reshape(keep);
                     }
                     AccumulateReduced(node, 0, BroadcastTo(g, in_shape));
-                  });
+                  }, "sum");
 }
 
 Variable Mean(const Variable& a, int64_t axis, bool keepdim) {
@@ -176,7 +176,7 @@ Variable SumAll(const Variable& a) {
                   [in_shape](Node* node) {
                     AccumulateReduced(
                         node, 0, Tensor::Full(in_shape, node->grad.item()));
-                  });
+                  }, "sum_all");
 }
 
 Variable MeanAll(const Variable& a) {
@@ -199,7 +199,7 @@ Variable SoftmaxWithTemperature(const Variable& a, int64_t axis, double tau) {
     const Tensor dx = autocts::MulScalar(
         autocts::Mul(y, autocts::Sub(node->grad, total)), 1.0 / tau);
     AccumulateReduced(node, 0, dx);
-  });
+  }, "softmax");
 }
 
 Variable Reshape(const Variable& a, Shape new_shape) {
@@ -207,7 +207,7 @@ Variable Reshape(const Variable& a, Shape new_shape) {
   return MakeNode(a.value().Reshape(std::move(new_shape)), {a},
                   [in_shape](Node* node) {
                     AccumulateReduced(node, 0, node->grad.Reshape(in_shape));
-                  });
+                  }, "reshape");
 }
 
 Variable Permute(const Variable& a, const std::vector<int64_t>& perm) {
@@ -215,7 +215,7 @@ Variable Permute(const Variable& a, const std::vector<int64_t>& perm) {
   for (size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = i;
   return MakeNode(a.value().Permute(perm), {a}, [inverse](Node* node) {
     AccumulateReduced(node, 0, node->grad.Permute(inverse));
-  });
+  }, "permute");
 }
 
 Variable Transpose(const Variable& a, int64_t axis_a, int64_t axis_b) {
@@ -246,7 +246,7 @@ Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
                       AccumulateReduced(node, i, piece);
                       offset += extents[i];
                     }
-                  });
+                  }, "concat");
 }
 
 Variable Slice(const Variable& a, int64_t axis, int64_t start,
@@ -259,7 +259,7 @@ Variable Slice(const Variable& a, int64_t axis, int64_t start,
         AccumulateReduced(node, 0,
                           autocts::Pad(node->grad, norm_axis, start,
                                        extent - start - length));
-      });
+      }, "slice");
 }
 
 Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
@@ -270,7 +270,7 @@ Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
                     AccumulateReduced(
                         node, 0,
                         autocts::Slice(node->grad, norm_axis, before, extent));
-                  });
+                  }, "pad");
 }
 
 Variable IndexSelect(const Variable& a, int64_t axis,
@@ -315,7 +315,7 @@ Variable IndexSelect(const Variable& a, int64_t axis,
                       }
                     }
                     AccumulateReduced(node, 0, grad_in);
-                  });
+                  }, "index_select");
 }
 
 Variable Constant(Tensor value) {
@@ -359,7 +359,7 @@ Variable HuberLoss(const Variable& prediction, const Variable& target,
         });
         AccumulateReduced(node, 0, dpred);
         AccumulateReduced(node, 1, autocts::Neg(dpred));
-      });
+      }, "huber_loss");
 }
 
 }  // namespace autocts::ag

@@ -25,4 +25,12 @@ models::EvalResult EvaluateGenotype(const Genotype& genotype,
   return models::TrainAndEvaluate(model.get(), data, config);
 }
 
+StatusOr<models::EvalResult> EvaluateGenotypeWithStatus(
+    const Genotype& genotype, const models::PreparedData& data,
+    int64_t hidden_dim, const models::TrainConfig& config) {
+  std::unique_ptr<DerivedModel> model =
+      BuildDerivedModel(genotype, data, hidden_dim, config.seed);
+  return models::TrainAndEvaluateWithStatus(model.get(), data, config);
+}
+
 }  // namespace autocts::core

@@ -17,10 +17,18 @@ std::unique_ptr<DerivedModel> BuildDerivedModel(
     int64_t hidden_dim, uint64_t seed);
 
 // Trains the derived model from scratch and evaluates on the test split.
+// CHECK-fails on an unrecovered numerical anomaly; callers that must
+// survive divergence use the Status-returning variant below.
 models::EvalResult EvaluateGenotype(const Genotype& genotype,
                                     const models::PreparedData& data,
                                     int64_t hidden_dim,
                                     const models::TrainConfig& config);
+
+// Like EvaluateGenotype, but routes numerical anomalies through
+// models::TrainAndEvaluateWithStatus instead of aborting.
+StatusOr<models::EvalResult> EvaluateGenotypeWithStatus(
+    const Genotype& genotype, const models::PreparedData& data,
+    int64_t hidden_dim, const models::TrainConfig& config);
 
 // Result of the full search + evaluate pipeline (used by the benches).
 struct AutoCtsResult {

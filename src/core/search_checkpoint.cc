@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/file_io.h"
+#include "common/numerics.h"
 #include "common/text_codec.h"
 
 namespace autocts::core {
@@ -410,6 +411,50 @@ StatusOr<SearchCheckpoint> LoadSearchCheckpointOrPrev(const std::string& path,
   }
   if (used_prev != nullptr) *used_prev = true;
   return previous;
+}
+
+Status CheckpointNumericHealth(const SearchCheckpoint& checkpoint) {
+  if (!numerics::IsFiniteValue(checkpoint.tau)) {
+    return Status::Internal("non-finite tau");
+  }
+  if (!numerics::IsFiniteValue(checkpoint.val_loss_sum)) {
+    return Status::Internal("non-finite val_loss_sum");
+  }
+  if (!numerics::IsFiniteValue(checkpoint.final_validation_loss)) {
+    return Status::Internal("non-finite final_validation_loss");
+  }
+  for (const auto& [name, tensor] : checkpoint.parameters) {
+    if (!numerics::IsFinite(tensor)) {
+      return Status::Internal("non-finite values in parameter '" + name + "'");
+    }
+  }
+  for (const auto& [name, tensor] : checkpoint.arch_parameters) {
+    if (!numerics::IsFinite(tensor)) {
+      return Status::Internal("non-finite values in arch parameter '" + name +
+                              "'");
+    }
+  }
+  const auto check_adam = [](const optim::AdamState& state,
+                             const char* label) -> Status {
+    for (size_t slot = 0; slot < state.first_moment.size(); ++slot) {
+      const Tensor& m = state.first_moment[slot];
+      if (m.defined() && !numerics::IsFinite(m)) {
+        return Status::Internal(std::string("non-finite first moment in ") +
+                                label + " slot " + std::to_string(slot));
+      }
+    }
+    for (size_t slot = 0; slot < state.second_moment.size(); ++slot) {
+      const Tensor& v = state.second_moment[slot];
+      if (v.defined() && !numerics::IsFinite(v)) {
+        return Status::Internal(std::string("non-finite second moment in ") +
+                                label + " slot " + std::to_string(slot));
+      }
+    }
+    return Status::Ok();
+  };
+  Status status = check_adam(checkpoint.weight_optimizer, "weight optimizer");
+  if (!status.ok()) return status;
+  return check_adam(checkpoint.theta_optimizer, "theta optimizer");
 }
 
 SearchCheckpoint CaptureSearchState(const Supernet& supernet,

@@ -115,6 +115,14 @@ SearchCheckpoint CaptureSearchState(const Supernet& supernet,
                                     const std::vector<int64_t>& pseudo_train,
                                     const std::vector<int64_t>& pseudo_val);
 
+// Scans every numeric field of a checkpoint — tau, the loss accumulators,
+// all weight and Theta tensors, and the defined Adam moment slots — and
+// returns a non-OK Status naming the first non-finite one. The searcher
+// refuses to write an unhealthy generation and refuses to resume from one
+// (falling back to "<path>.prev"), so surviving on-disk generations are
+// always last-good.
+Status CheckpointNumericHealth(const SearchCheckpoint& checkpoint);
+
 // Restores a checkpoint into live searcher state. Validates every record
 // (names, shapes, order sizes, optimizer slots) before mutating anything,
 // so a failed restore leaves the searcher in its freshly-initialized state.

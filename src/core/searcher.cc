@@ -57,7 +57,8 @@ double JointSearcher::UnrolledThetaStep(
     Supernet* supernet, optim::Adam* theta_optimizer,
     optim::Adam* weight_optimizer,
     const std::function<Variable()>& train_loss_fn,
-    const std::function<Variable()>& val_loss_fn) const {
+    const std::function<Variable()>& val_loss_fn,
+    numerics::HealthMonitor* monitor, numerics::Anomaly* anomaly) const {
   std::vector<Variable> weights = supernet->Parameters();
   std::vector<Variable> thetas = supernet->ArchParameters();
   const double xi = options_.w_learning_rate;
@@ -82,6 +83,17 @@ double JointSearcher::UnrolledThetaStep(
 
   // Undo the virtual step: back to w.
   AxpyInPlace(&weights, grad_w_train, xi);
+
+  // Bail out before the expensive Hessian-vector product when the loss is
+  // already bad; w has been restored (a NaN in grad_w_train is not undone
+  // by the Axpy pair, but the caller's parameter check catches that).
+  *anomaly = monitor->ObserveLoss(val_loss_value);
+  if (*anomaly != numerics::Anomaly::kNone) {
+    ZeroAll(&weights);
+    ZeroAll(&thetas);
+    (void)weight_optimizer;
+    return val_loss_value;
+  }
 
   // 4. Hessian-vector product by central finite differences:
   //    grad2_{Theta,w} L_train . v
@@ -116,14 +128,23 @@ double JointSearcher::UnrolledThetaStep(
     autocts::AddInPlace(&total, correction);
     thetas[i].AccumulateGrad(total);
   }
-  optim::ClipGradNorm(thetas, options_.clip_norm);
-  theta_optimizer->Step();
+  double pre_clip_norm = 0.0;
+  optim::ClipGradNormChecked(thetas, options_.clip_norm, &pre_clip_norm);
+  *anomaly = monitor->ObserveGradientNorm(pre_clip_norm);
+  if (*anomaly == numerics::Anomaly::kNone) theta_optimizer->Step();
   ZeroAll(&thetas);
   (void)weight_optimizer;
   return val_loss_value;
 }
 
 SearchResult JointSearcher::Search(const models::PreparedData& data) {
+  StatusOr<SearchResult> result = SearchWithStatus(data);
+  AUTOCTS_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+StatusOr<SearchResult> JointSearcher::SearchWithStatus(
+    const models::PreparedData& data) {
   Stopwatch timer;
   Rng rng(options_.seed);
 
@@ -183,6 +204,23 @@ SearchResult JointSearcher::Search(const models::PreparedData& data) {
     bool used_prev = false;
     StatusOr<SearchCheckpoint> loaded =
         LoadSearchCheckpointOrPrev(options_.checkpoint_path, &used_prev);
+    // Last-good generation tracking: a checkpoint that decodes cleanly but
+    // holds non-finite state (it predates the write-side health gate, or
+    // was produced elsewhere) must never be resumed; fall back to the
+    // previous generation before giving up.
+    if (loaded.ok()) {
+      Status health = CheckpointNumericHealth(loaded.value());
+      if (!health.ok() && !used_prev) {
+        AUTOCTS_LOG(WARNING)
+            << "checkpoint at " << options_.checkpoint_path
+            << " is numerically unhealthy (" << health.ToString()
+            << "); trying previous generation";
+        used_prev = true;
+        loaded = LoadSearchCheckpoint(options_.checkpoint_path + ".prev");
+        if (loaded.ok()) health = CheckpointNumericHealth(loaded.value());
+      }
+      if (loaded.ok() && !health.ok()) loaded = health;
+    }
     if (!loaded.ok()) {
       AUTOCTS_LOG(WARNING) << "resume requested but no usable checkpoint at "
                            << options_.checkpoint_path << " ("
@@ -230,6 +268,47 @@ SearchResult JointSearcher::Search(const models::PreparedData& data) {
   int64_t batches_since_checkpoint = 0;
   int64_t checkpoint_ordinal = 0;
 
+  // Numerical-health guard state. The monitor always observes; the
+  // recovery tiers only engage when options_.recovery.enabled.
+  const numerics::RecoveryOptions& recovery = options_.recovery;
+  numerics::HealthMonitor monitor(options_.health);
+  SearchCheckpoint last_good;
+  bool have_last_good = false;
+  double lr_scale = 1.0;
+  int64_t recoveries_left = recovery.max_recoveries;
+  int64_t consecutive_skips = 0;
+  int64_t healthy_steps_since_snapshot = 0;
+
+  // In-memory last-good snapshot for the rollback tier; cursor semantics
+  // match the on-disk checkpoint block (the first batch a restarted run
+  // executes, rolling over at epoch boundaries).
+  const auto capture_snapshot = [&](int64_t epoch, int64_t next_step,
+                                    int64_t max_steps, double val_loss_sum,
+                                    int64_t steps, double final_loss) {
+    last_good = CaptureSearchState(supernet, weight_optimizer,
+                                   theta_optimizer, rng, pseudo_train,
+                                   pseudo_val);
+    last_good.config_fingerprint = fingerprint;
+    last_good.epoch = epoch;
+    last_good.step = next_step;
+    if (max_steps > 0 && last_good.step >= max_steps) {
+      last_good.epoch = epoch + 1;
+      last_good.step = 0;
+    }
+    last_good.val_loss_sum = val_loss_sum;
+    last_good.epoch_steps = steps;
+    last_good.final_validation_loss = final_loss;
+    have_last_good = true;
+    healthy_steps_since_snapshot = 0;
+  };
+  if (recovery.enabled) {
+    capture_snapshot(start_epoch, start_step, /*max_steps=*/0, val_loss_sum,
+                     steps, result.final_validation_loss);
+  }
+
+  bool restart = true;
+  while (restart) {
+    restart = false;
   for (int64_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     const bool continuing = resume_mid_epoch && epoch == start_epoch;
     if (!continuing) {
@@ -274,37 +353,165 @@ SearchResult JointSearcher::Search(const models::PreparedData& data) {
       };
 
       // Line 3-4 of Algorithm 1: update Theta on a pseudo-validation batch.
+      // (take_batch is a pure function of `step`, so the w update below
+      // reuses train_batch — the same indices the original double call
+      // produced.)
       const std::vector<int64_t> val_batch = take_batch(pseudo_val);
       const std::vector<int64_t> train_batch = take_batch(pseudo_train);
+      numerics::Anomaly anomaly = numerics::Anomaly::kNone;
+      double step_val_loss = 0.0;
+      bool w_stage = false;
       if (options_.bilevel_order <= 1) {
         // First-order approximation: w is treated as constant.
         Variable loss = batch_loss(val_batch, /*with_cost=*/true);
         theta_optimizer.ZeroGrad();
         weight_optimizer.ZeroGrad();
-        loss.Backward();
-        optim::ClipGradNorm(supernet.ArchParameters(), options_.clip_norm);
-        theta_optimizer.Step();
-        val_loss_sum += loss.value().item();
+        step_val_loss = loss.value().item();
+        anomaly = monitor.ObserveLoss(step_val_loss);
+        if (anomaly == numerics::Anomaly::kNone) {
+          loss.Backward();
+          double pre_clip_norm = 0.0;
+          optim::ClipGradNormChecked(supernet.ArchParameters(),
+                                     options_.clip_norm, &pre_clip_norm);
+          anomaly = monitor.ObserveGradientNorm(pre_clip_norm);
+          if (anomaly == numerics::Anomaly::kNone) theta_optimizer.Step();
+        }
       } else {
-        val_loss_sum += UnrolledThetaStep(
+        step_val_loss = UnrolledThetaStep(
             &supernet, &theta_optimizer, &weight_optimizer,
             [&] { return batch_loss(train_batch, /*with_cost=*/false); },
-            [&] { return batch_loss(val_batch, /*with_cost=*/true); });
+            [&] { return batch_loss(val_batch, /*with_cost=*/true); },
+            &monitor, &anomaly);
       }
 
       // Line 5-6: update w on a pseudo-training batch.
-      {
+      if (anomaly == numerics::Anomaly::kNone) {
+        w_stage = true;
         Tensor x, y;
-        data.train().GetBatch(take_batch(pseudo_train), &x, &y);
+        data.train().GetBatch(train_batch, &x, &y);
         Variable loss = ag::L1Loss(supernet.Forward(ag::Constant(x)),
                                          ag::Constant(y));
         weight_optimizer.ZeroGrad();
         theta_optimizer.ZeroGrad();
-        loss.Backward();
-        optim::ClipGradNorm(supernet.Parameters(), options_.clip_norm);
-        weight_optimizer.Step();
+        anomaly = monitor.ObserveLoss(loss.value().item());
+        if (anomaly == numerics::Anomaly::kNone) {
+          loss.Backward();
+          if (options_.fault_injection_hook) {
+            options_.fault_injection_hook(epoch, step, &supernet);
+          }
+          double pre_clip_norm = 0.0;
+          optim::ClipGradNormChecked(supernet.Parameters(),
+                                     options_.clip_norm, &pre_clip_norm);
+          anomaly = monitor.ObserveGradientNorm(pre_clip_norm);
+          if (anomaly == numerics::Anomaly::kNone) weight_optimizer.Step();
+        }
       }
+      // Post-update sweep: catches an update that overflowed a parameter
+      // and a weight corrupted directly (e.g. by the fault-injection hook).
+      if (anomaly == numerics::Anomaly::kNone) {
+        anomaly = monitor.CheckParameters(supernet.Parameters());
+        if (anomaly == numerics::Anomaly::kNone) {
+          anomaly = monitor.CheckParameters(supernet.ArchParameters());
+        }
+      }
+
+      if (anomaly != numerics::Anomaly::kNone) {
+        const std::string anomaly_context =
+            "search epoch " + std::to_string(epoch) + " step " +
+            std::to_string(step) + ": " + numerics::AnomalyName(anomaly);
+        result.last_anomaly = anomaly_context;
+        weight_optimizer.ZeroGrad();
+        theta_optimizer.ZeroGrad();
+        if (!recovery.enabled) {
+          // Re-run the failing stage under the autograd numeric trace to
+          // name the first op that produced a non-finite value.
+          std::vector<std::pair<std::string, Variable>> named =
+              supernet.NamedParameters();
+          const std::vector<std::pair<std::string, Variable>> arch_named =
+              supernet.NamedArchParameters();
+          named.insert(named.end(), arch_named.begin(), arch_named.end());
+          const std::vector<int64_t>& attr_batch =
+              w_stage ? train_batch : val_batch;
+          std::function<void()> replay_hook;
+          if (w_stage && options_.fault_injection_hook) {
+            replay_hook = [&, epoch, step] {
+              options_.fault_injection_hook(epoch, step, &supernet);
+            };
+          }
+          const std::string attribution = numerics::AttributeDivergence(
+              [&] {
+                Tensor x, y;
+                data.train().GetBatch(attr_batch, &x, &y);
+                return ag::L1Loss(supernet.Forward(ag::Constant(x)),
+                                  ag::Constant(y));
+              },
+              named, replay_hook);
+          return Status::Internal(anomaly_context + "; " + attribution);
+        }
+        // Step-skip tier: dropping the poisoned update is enough while the
+        // parameters themselves are still clean (an anomaly caught before
+        // any optimizer step, e.g. a bad gradient). The unrolled Theta path
+        // can corrupt weights before its anomaly is classified, so re-check
+        // instead of trusting the anomaly kind alone.
+        const bool params_poisoned =
+            anomaly == numerics::Anomaly::kNonFiniteParameter ||
+            monitor.CheckParameters(supernet.Parameters()) !=
+                numerics::Anomaly::kNone ||
+            monitor.CheckParameters(supernet.ArchParameters()) !=
+                numerics::Anomaly::kNone;
+        if (!params_poisoned &&
+            ++consecutive_skips <= recovery.max_consecutive_skips) {
+          ++result.skipped_steps;
+          continue;
+        }
+        // Rollback tier: restore the last-good snapshot, back off both
+        // learning rates, and perturb the Rng so subsequent shuffles
+        // diverge from the poisoned trajectory.
+        if (recoveries_left <= 0 || !have_last_good) {
+          return Status::Internal(
+              anomaly_context + "; recovery budget exhausted after " +
+              std::to_string(recovery.max_recoveries) + " rollbacks");
+        }
+        --recoveries_left;
+        ++result.recoveries;
+        const Status restore_status = RestoreSearchState(
+            last_good, &supernet, &weight_optimizer, &theta_optimizer, &rng,
+            &pseudo_train, &pseudo_val);
+        AUTOCTS_CHECK(restore_status.ok()) << restore_status.ToString();
+        lr_scale *= recovery.lr_backoff;
+        weight_optimizer.SetLearningRate(options_.w_learning_rate * lr_scale);
+        theta_optimizer.SetLearningRate(options_.theta_learning_rate *
+                                        lr_scale);
+        (void)rng.Next();
+        monitor.Reset();
+        consecutive_skips = 0;
+        start_epoch = last_good.epoch;
+        start_step = last_good.step;
+        val_loss_sum = last_good.val_loss_sum;
+        steps = last_good.epoch_steps;
+        resume_mid_epoch = last_good.step > 0;
+        result.final_validation_loss =
+            (last_good.step == 0 && steps > 0)
+                ? val_loss_sum / static_cast<double>(steps)
+                : last_good.final_validation_loss;
+        if (options_.verbose) {
+          AUTOCTS_LOG(INFO) << "search recovery #" << result.recoveries
+                            << ": " << anomaly_context << "; lr scale now "
+                            << lr_scale << ", restarting from epoch "
+                            << start_epoch << " step " << start_step;
+        }
+        restart = true;
+        break;
+      }
+
+      val_loss_sum += step_val_loss;
       ++steps;
+      consecutive_skips = 0;
+      if (recovery.enabled &&
+          ++healthy_steps_since_snapshot >= recovery.snapshot_every_n_batches) {
+        capture_snapshot(epoch, step + 1, max_steps, val_loss_sum, steps,
+                         result.final_validation_loss);
+      }
 
       if (checkpointing &&
           ++batches_since_checkpoint >= options_.checkpoint_every_n_batches) {
@@ -325,8 +532,15 @@ SearchResult JointSearcher::Search(const models::PreparedData& data) {
         checkpoint.val_loss_sum = val_loss_sum;
         checkpoint.epoch_steps = steps;
         checkpoint.final_validation_loss = result.final_validation_loss;
+        // Write-side half of last-good generation tracking: never replace a
+        // healthy on-disk generation with an unhealthy one. Unreachable
+        // when the per-step checks above work, but cheap insurance for the
+        // scalar fields they do not cover.
+        const Status health = CheckpointNumericHealth(checkpoint);
         const Status status =
-            SaveSearchCheckpoint(checkpoint, options_.checkpoint_path);
+            health.ok() ? SaveSearchCheckpoint(checkpoint,
+                                               options_.checkpoint_path)
+                        : health;
         if (!status.ok()) {
           AUTOCTS_LOG(WARNING)
               << "checkpoint write failed: " << status.ToString();
@@ -339,6 +553,7 @@ SearchResult JointSearcher::Search(const models::PreparedData& data) {
         }
       }
     }
+    if (restart) break;
     result.final_validation_loss =
         steps > 0 ? val_loss_sum / static_cast<double>(steps) : 0.0;
     if (options_.verbose) {
@@ -348,6 +563,7 @@ SearchResult JointSearcher::Search(const models::PreparedData& data) {
                         << result.final_validation_loss;
     }
   }
+  }  // while (restart)
 
   result.genotype = supernet.Derive();
   if (!options_.use_macro) {

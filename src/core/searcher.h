@@ -8,6 +8,8 @@
 #include <functional>
 #include <string>
 
+#include "common/numerics.h"
+#include "common/status.h"
 #include "core/supernet.h"
 #include "models/trainer.h"
 #include "optim/adam.h"
@@ -86,6 +88,25 @@ struct SearchOptions {
   // throws itself.
   std::function<void(int64_t ordinal, const std::string& path)>
       post_checkpoint_hook;
+
+  // Numerical-health guard layer (common/numerics.h). Every search step the
+  // loss values, pre-clip gradient norms, and post-update parameters (w and
+  // Theta) are checked. With recovery enabled, a poisoned step is skipped
+  // when the parameters are still clean, or the search rolls back to the
+  // last-good in-memory snapshot (taken every recovery.snapshot_every_n_
+  // batches healthy steps) with a learning-rate backoff on both optimizers
+  // and one extra Rng draw. Without recovery, SearchWithStatus returns a
+  // non-OK Status carrying the autograd-trace attribution.
+  numerics::HealthConfig health;
+  numerics::RecoveryOptions recovery;
+
+  // Numeric fault-injection hook: invoked on every w update after the
+  // backward pass (gradients populated) and before the gradient health
+  // check, so tests can corrupt a supernet gradient or weight at an exact
+  // (epoch, step) to prove detection and recovery end-to-end. Library code
+  // never installs one.
+  std::function<void(int64_t epoch, int64_t step, Supernet* supernet)>
+      fault_injection_hook;
 };
 
 // Preset matching the AutoSTG baseline: {1D conv, DGCN} operator set,
@@ -100,6 +121,11 @@ struct SearchResult {
   double estimated_memory_mb = 0.0;
   int64_t supernet_parameters = 0;
   double final_validation_loss = 0.0;
+
+  // Numerical-health outcome (see SearchOptions::recovery).
+  int64_t recoveries = 0;      // snapshot rollbacks performed
+  int64_t skipped_steps = 0;   // poisoned optimizer steps skipped
+  std::string last_anomaly;    // "" when the search stayed healthy
 };
 
 class JointSearcher {
@@ -108,8 +134,15 @@ class JointSearcher {
 
   // Runs Algorithm 1 on `data` (its training split is divided evenly into
   // pseudo-train and pseudo-validation, as in Section 3.4) and returns the
-  // derived architecture.
+  // derived architecture. CHECK-fails on an unrecovered numerical anomaly;
+  // callers that must survive divergence use SearchWithStatus.
   SearchResult Search(const models::PreparedData& data);
+
+  // Like Search, but a numerical anomaly that recovery cannot (or may not)
+  // handle returns a non-OK Status naming the anomaly and — when it
+  // reproduces under the autograd numeric trace — the first op that
+  // produced a non-finite value. Never aborts on divergence.
+  StatusOr<SearchResult> SearchWithStatus(const models::PreparedData& data);
 
   const SearchOptions& options() const { return options_; }
 
@@ -118,12 +151,15 @@ class JointSearcher {
   // of the validation loss at the unrolled weights, finite-difference
   // Hessian-vector correction, Adam step on Theta. Weights are restored to
   // their pre-call values. Returns the validation loss at the unrolled
-  // weights.
+  // weights. `monitor` observes the validation loss and the pre-clip Theta
+  // gradient norm; on an anomaly (written to `anomaly`) the Theta step is
+  // skipped and the weights are still restored.
   double UnrolledThetaStep(
       Supernet* supernet, optim::Adam* theta_optimizer,
       optim::Adam* weight_optimizer,
       const std::function<Variable()>& train_loss_fn,
-      const std::function<Variable()>& val_loss_fn) const;
+      const std::function<Variable()>& val_loss_fn,
+      numerics::HealthMonitor* monitor, numerics::Anomaly* anomaly) const;
 
   SearchOptions options_;
 };

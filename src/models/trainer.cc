@@ -34,6 +34,14 @@ PreparedData PrepareData(const data::CtsDataset& dataset,
 
 EvalResult TrainAndEvaluate(ForecastingModel* model, const PreparedData& data,
                             const TrainConfig& config) {
+  StatusOr<EvalResult> result = TrainAndEvaluateWithStatus(model, data, config);
+  AUTOCTS_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
+                                                const PreparedData& data,
+                                                const TrainConfig& config) {
   AUTOCTS_CHECK(model != nullptr);
   EvalResult result;
   result.parameter_count = model->NumParameters();
@@ -42,61 +50,190 @@ EvalResult TrainAndEvaluate(ForecastingModel* model, const PreparedData& data,
                         {.learning_rate = config.learning_rate,
                          .weight_decay = config.weight_decay});
   Rng rng(config.seed);
+  numerics::HealthMonitor monitor(config.health);
+  const numerics::RecoveryOptions& recovery = config.recovery;
+  const std::vector<Variable> parameters = model->Parameters();
+
+  // Last-good state for the rollback tier: captured at the start of every
+  // epoch while healthy, restored wholesale when an epoch diverges beyond
+  // what step-skipping can absorb.
+  std::unique_ptr<nn::ParameterSnapshot> good_weights;
+  optim::AdamState good_optimizer_state;
+  RngState good_rng_state;
+  double good_best_validation_loss = 0.0;
+  int64_t good_epochs_without_improvement = 0;
+
+  double lr_scale = 1.0;
+  int64_t recoveries_left = recovery.max_recoveries;
+  int64_t consecutive_skips = 0;
 
   model->SetTraining(true);
   double total_train_seconds = 0.0;
   double best_validation_loss = std::numeric_limits<double>::infinity();
   int64_t epochs_without_improvement = 0;
   std::unique_ptr<nn::ParameterSnapshot> best_weights;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  bool stop_early = false;
+  for (int64_t epoch = 0; epoch < config.epochs && !stop_early; ++epoch) {
+    if (recovery.enabled) {
+      good_weights = std::make_unique<nn::ParameterSnapshot>(*model);
+      good_optimizer_state = optimizer.ExportState();
+      good_rng_state = rng.GetState();
+      good_best_validation_loss = best_validation_loss;
+      good_epochs_without_improvement = epochs_without_improvement;
+    }
+    bool rollback = false;
+    std::string anomaly_context;
     Stopwatch epoch_timer;
     double epoch_loss = 0.0;
     int64_t batches_done = 0;
+    int64_t batch_index = -1;
     for (const std::vector<int64_t>& batch :
          data.train().EpochBatches(config.batch_size, &rng)) {
+      ++batch_index;
       if (config.max_batches_per_epoch > 0 &&
           batches_done >= config.max_batches_per_epoch) {
         break;
       }
       Tensor x, y;
       data.train().GetBatch(batch, &x, &y);
-      const Variable prediction = model->Forward(ag::Constant(x));
-      Variable loss = ag::L1Loss(prediction, ag::Constant(y));
+      const auto batch_loss_fn = [&] {
+        return ag::L1Loss(model->Forward(ag::Constant(x)), ag::Constant(y));
+      };
+      Variable loss = batch_loss_fn();
       optimizer.ZeroGrad();
-      loss.Backward();
-      optim::ClipGradNorm(model->Parameters(), config.clip_norm);
-      optimizer.Step();
-      epoch_loss += loss.value().item();
-      ++batches_done;
-    }
-    total_train_seconds += epoch_timer.Seconds();
-    result.final_train_loss =
-        batches_done > 0 ? epoch_loss / static_cast<double>(batches_done)
-                         : 0.0;
-    ++result.epochs_run;
-    if (config.verbose) {
-      AUTOCTS_LOG(INFO) << model->name() << " epoch " << epoch + 1 << "/"
-                        << config.epochs << " loss "
-                        << result.final_train_loss;
-    }
-    if (config.early_stop_patience > 0) {
-      const double validation_loss = EvaluateLoss(
-          model, data, data.validation(), config.batch_size);
-      if (validation_loss < best_validation_loss - 1e-9) {
-        best_validation_loss = validation_loss;
-        epochs_without_improvement = 0;
-        if (config.restore_best_weights) {
-          best_weights = std::make_unique<nn::ParameterSnapshot>(*model);
+      const double loss_value = loss.value().item();
+      numerics::Anomaly anomaly = monitor.ObserveLoss(loss_value);
+      if (anomaly == numerics::Anomaly::kNone) {
+        loss.Backward();
+        if (config.fault_injection_hook) {
+          config.fault_injection_hook(epoch, batch_index, model);
         }
-      } else if (++epochs_without_improvement >=
-                 config.early_stop_patience) {
-        if (config.verbose) {
-          AUTOCTS_LOG(INFO) << model->name() << " early stop after epoch "
-                            << epoch + 1;
+        // A false return means a non-finite norm (gradients untouched),
+        // which ObserveGradientNorm flags from the norm value itself.
+        double pre_clip_norm = 0.0;
+        optim::ClipGradNormChecked(parameters, config.clip_norm,
+                                   &pre_clip_norm);
+        anomaly = monitor.ObserveGradientNorm(pre_clip_norm);
+        if (anomaly == numerics::Anomaly::kNone) {
+          optimizer.Step();
+          // Catches both an update that overflowed a weight and a weight
+          // corrupted directly (e.g. by the fault-injection hook).
+          anomaly = monitor.CheckParameters(parameters);
         }
-        break;
       }
+      if (anomaly == numerics::Anomaly::kNone) {
+        epoch_loss += loss_value;
+        ++batches_done;
+        consecutive_skips = 0;
+        continue;
+      }
+
+      anomaly_context = model->name() + " epoch " + std::to_string(epoch) +
+                        " batch " + std::to_string(batch_index) + ": " +
+                        numerics::AnomalyName(anomaly);
+      result.last_anomaly = anomaly_context;
+      optimizer.ZeroGrad();
+      if (!recovery.enabled) {
+        std::function<void()> replay_hook;
+        if (config.fault_injection_hook) {
+          replay_hook = [&, epoch, batch_index] {
+            config.fault_injection_hook(epoch, batch_index, model);
+          };
+        }
+        const std::string attribution = numerics::AttributeDivergence(
+            batch_loss_fn, model->NamedParameters(), replay_hook);
+        return Status::Internal(anomaly_context + "; " + attribution);
+      }
+      // Step-skip tier: the parameters are still clean, so dropping this
+      // one optimizer step is enough — unless skips pile up, which means
+      // the run itself has gone bad.
+      if (anomaly != numerics::Anomaly::kNonFiniteParameter &&
+          ++consecutive_skips <= recovery.max_consecutive_skips) {
+        ++result.skipped_steps;
+        continue;
+      }
+      rollback = true;
+      break;
+    }
+    double attempt_seconds = 0.0;
+    if (!rollback) {
+      attempt_seconds = epoch_timer.Seconds();
+      total_train_seconds += attempt_seconds;
+      result.final_train_loss =
+          batches_done > 0 ? epoch_loss / static_cast<double>(batches_done)
+                           : std::numeric_limits<double>::quiet_NaN();
+      ++result.epochs_run;
+      if (config.verbose) {
+        AUTOCTS_LOG(INFO) << model->name() << " epoch " << epoch + 1 << "/"
+                          << config.epochs << " loss "
+                          << result.final_train_loss;
+      }
+      if (config.early_stop_patience > 0) {
+        const double validation_loss = EvaluateLoss(
+            model, data, data.validation(), config.batch_size);
+        if (!numerics::IsFiniteValue(validation_loss)) {
+          // A non-finite validation loss is an immediate anomaly: it must
+          // never be compared against the best (NaN comparisons are false)
+          // or snapshotted as "best weights".
+          anomaly_context = model->name() + " epoch " + std::to_string(epoch) +
+                            ": non-finite validation loss";
+          result.last_anomaly = anomaly_context;
+          if (recovery.enabled) {
+            rollback = true;
+            // The aborted attempt's bookkeeping is undone; the retry will
+            // re-run this epoch from the last-good snapshot.
+            --result.epochs_run;
+            total_train_seconds -= attempt_seconds;
+          } else if (++epochs_without_improvement >=
+                     config.early_stop_patience) {
+            stop_early = true;
+          }
+        } else if (validation_loss < best_validation_loss - 1e-9) {
+          best_validation_loss = validation_loss;
+          epochs_without_improvement = 0;
+          if (config.restore_best_weights) {
+            best_weights = std::make_unique<nn::ParameterSnapshot>(*model);
+          }
+        } else if (++epochs_without_improvement >=
+                   config.early_stop_patience) {
+          if (config.verbose) {
+            AUTOCTS_LOG(INFO) << model->name() << " early stop after epoch "
+                              << epoch + 1;
+          }
+          stop_early = true;
+        }
+        model->SetTraining(true);
+      }
+    }
+    if (rollback) {
+      if (recoveries_left <= 0) {
+        return Status::Internal(anomaly_context +
+                                "; recovery budget exhausted after " +
+                                std::to_string(recovery.max_recoveries) +
+                                " rollbacks");
+      }
+      --recoveries_left;
+      ++result.recoveries;
+      good_weights->Restore(model);
+      const Status import_status = optimizer.ImportState(good_optimizer_state);
+      AUTOCTS_CHECK(import_status.ok()) << import_status.ToString();
+      rng.SetState(good_rng_state);
+      // One extra draw perturbs the retry's shuffle so the epoch does not
+      // replay the exact batch sequence that diverged.
+      (void)rng.Next();
+      best_validation_loss = good_best_validation_loss;
+      epochs_without_improvement = good_epochs_without_improvement;
+      lr_scale *= recovery.lr_backoff;
+      optimizer.SetLearningRate(config.learning_rate * lr_scale);
+      monitor.Reset();
+      consecutive_skips = 0;
       model->SetTraining(true);
+      if (config.verbose) {
+        AUTOCTS_LOG(INFO) << model->name() << " recovery #" << result.recoveries
+                          << ": " << anomaly_context << "; lr scaled to "
+                          << config.learning_rate * lr_scale;
+      }
+      --epoch;  // retry the same epoch index from the restored snapshot
     }
   }
   result.train_seconds_per_epoch =

@@ -3,8 +3,13 @@
 #ifndef AUTOCTS_MODELS_TRAINER_H_
 #define AUTOCTS_MODELS_TRAINER_H_
 
+#include <functional>
+#include <limits>
+#include <string>
 #include <vector>
 
+#include "common/numerics.h"
+#include "common/status.h"
 #include "data/cts_dataset.h"
 #include "data/scaler.h"
 #include "data/window_dataset.h"
@@ -54,6 +59,23 @@ struct TrainConfig {
   // With early stopping enabled, evaluate the best-validation weights
   // instead of the last ones.
   bool restore_best_weights = true;
+
+  // Numerical-health guard layer (common/numerics.h): every batch the loss
+  // value, the pre-clip gradient norm, and the post-step parameters are
+  // checked. Detected anomalies either recover (recovery.enabled: skip the
+  // poisoned step, or roll back to the epoch-start snapshot with a learning
+  // rate backoff) or fail the Status-returning entry point with an
+  // attribution message.
+  numerics::HealthConfig health;
+  numerics::RecoveryOptions recovery;
+
+  // Test hook for fault injection: invoked on every training batch after
+  // the backward pass (gradients populated) and before the gradient health
+  // check, so tests can corrupt a gradient or weight at an exact batch to
+  // prove detection and recovery end-to-end. Library code never installs
+  // one.
+  std::function<void(int64_t epoch, int64_t batch, ForecastingModel* model)>
+      fault_injection_hook;
 };
 
 // Everything the evaluation tables report.
@@ -65,14 +87,31 @@ struct EvalResult {
   double train_seconds_per_epoch = 0.0;   // Tables 27-34
   double inference_ms_per_window = 0.0;   // Tables 27-34
   int64_t parameter_count = 0;            // Tables 27-34
-  double final_train_loss = 0.0;
+  // Mean training loss of the last completed epoch; quiet_NaN when no batch
+  // ever ran (a 0.0 here used to masquerade as a perfect fit).
+  double final_train_loss = std::numeric_limits<double>::quiet_NaN();
   int64_t epochs_run = 0;  // < config.epochs when early stopping triggered
+
+  // Numerical-health outcome (see TrainConfig::recovery).
+  int64_t recoveries = 0;      // epoch rollbacks performed
+  int64_t skipped_steps = 0;   // poisoned optimizer steps skipped
+  std::string last_anomaly;    // "" when the run stayed healthy
 };
 
 // Trains with Adam + L1 loss on normalized targets, then evaluates on the
-// test split with denormalized masked metrics.
+// test split with denormalized masked metrics. CHECK-fails on an
+// unrecovered numerical anomaly; callers that must survive divergence use
+// the Status-returning variant below.
 EvalResult TrainAndEvaluate(ForecastingModel* model, const PreparedData& data,
                             const TrainConfig& config);
+
+// Like TrainAndEvaluate, but a numerical anomaly that recovery cannot (or
+// may not) handle returns a non-OK Status naming the anomaly and — when it
+// reproduces under the autograd numeric trace — the first op that produced
+// a non-finite value. Never aborts on divergence.
+StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
+                                                const PreparedData& data,
+                                                const TrainConfig& config);
 
 // Runs the model over a whole window dataset; returns denormalized
 // predictions and truths, each [num_windows, Q, N, 1].

@@ -14,6 +14,13 @@ void Optimizer::ZeroGrad() {
 }
 
 double ClipGradNorm(const std::vector<Variable>& parameters, double max_norm) {
+  double pre_clip_norm = 0.0;
+  ClipGradNormChecked(parameters, max_norm, &pre_clip_norm);
+  return pre_clip_norm;
+}
+
+bool ClipGradNormChecked(const std::vector<Variable>& parameters,
+                         double max_norm, double* pre_clip_norm) {
   AUTOCTS_CHECK_GT(max_norm, 0.0);
   double total_sq = 0.0;
   for (const Variable& parameter : parameters) {
@@ -21,6 +28,13 @@ double ClipGradNorm(const std::vector<Variable>& parameters, double max_norm) {
     total_sq += SumSquares(parameter.grad());
   }
   const double total = std::sqrt(total_sq);
+  if (pre_clip_norm != nullptr) *pre_clip_norm = total;
+  // IEEE comparisons with NaN are false, so an unguarded `total > max_norm`
+  // would pass a NaN norm through unclipped; an Inf norm is worse, scaling
+  // every gradient by max_norm/Inf == 0 and turning Inf entries into NaN
+  // (Inf * 0). Clipping cannot repair either state — leave the gradients
+  // untouched and tell the caller to skip the step.
+  if (!std::isfinite(total)) return false;
   if (total > max_norm) {
     const double scale = max_norm / (total + 1e-12);
     for (const Variable& parameter : parameters) {
@@ -30,7 +44,7 @@ double ClipGradNorm(const std::vector<Variable>& parameters, double max_norm) {
       ScaleInPlace(&grad, scale);
     }
   }
-  return total;
+  return true;
 }
 
 }  // namespace autocts::optim

@@ -31,8 +31,19 @@ class Optimizer {
 };
 
 // Rescales all gradients so their global L2 norm is at most `max_norm`.
-// Returns the pre-clipping norm.
+// Returns the pre-clipping norm. When that norm is non-finite (a NaN or
+// +-Inf gradient somewhere) the gradients are left untouched — scaling
+// cannot repair them — and the non-finite norm is returned for the caller
+// to detect; prefer ClipGradNormChecked in step loops.
 double ClipGradNorm(const std::vector<Variable>& parameters, double max_norm);
+
+// Clips like ClipGradNorm and reports whether the step is safe to apply:
+// returns true when the pre-clip norm was finite (gradients clipped as
+// usual), false when it was NaN or +-Inf (gradients untouched; the caller
+// must skip the optimizer step — see common/numerics.h for the recovery
+// policy built on top). `pre_clip_norm` (optional) receives the norm.
+bool ClipGradNormChecked(const std::vector<Variable>& parameters,
+                         double max_norm, double* pre_clip_norm = nullptr);
 
 }  // namespace autocts::optim
 

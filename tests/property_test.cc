@@ -12,6 +12,8 @@
 #include "data/scaler.h"
 #include "data/window_dataset.h"
 #include "graph/adjacency.h"
+#include "nn/batch_norm.h"
+#include "nn/layer_norm.h"
 #include "nn/state_dict.h"
 #include "ops/op_registry.h"
 #include "tensor/tensor_ops.h"
@@ -331,6 +333,86 @@ TEST_P(KernelParityTest, ParallelReductionsMatchSerialReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelParityTest, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Numerical-robustness properties: the normalizing layers must map extreme
+// but finite inputs (huge logits, zero variance, denormals) to finite
+// outputs, at 1 and 4 threads. These are the layers the health monitor
+// relies on NOT to manufacture NaN from healthy activations.
+// ---------------------------------------------------------------------------
+
+void ExpectAllFinite(const Tensor& tensor, const char* what) {
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(tensor.data()[i]))
+        << what << " element " << i << " = " << tensor.data()[i];
+  }
+}
+
+// Rows exercising the failure modes: +-1e300 logits (exp overflow without
+// max-subtraction), a constant row (zero variance), denormals (underflow),
+// and a mixed huge/tiny row (catastrophic cancellation in the variance).
+Tensor ExtremeRows() {
+  return Tensor::FromVector(
+      {5, 4},
+      {1e300, -1e300, 1e300, -1e300,  //
+       7.5, 7.5, 7.5, 7.5,            //
+       5e-324, 1e-310, -5e-324, 0.0,  //
+       1e300, 1.0, -1e-300, 0.0,      //
+       -744.0, 0.0, 744.0, 1.0});
+}
+
+TEST(ExtremeInputStability, SoftmaxStaysFiniteAndNormalized) {
+  const Tensor logits = ExtremeRows();
+  for (const int64_t threads : {1, 4}) {
+    SetNumThreads(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    for (const double temperature : {1.0, 0.1}) {
+      const Variable out = ag::SoftmaxWithTemperature(
+          Variable(logits, false), /*axis=*/1, temperature);
+      ExpectAllFinite(out.value(), "softmax");
+      for (int64_t row = 0; row < logits.dim(0); ++row) {
+        double sum = 0.0;
+        for (int64_t j = 0; j < logits.dim(1); ++j) {
+          const double p = out.value().At({row, j});
+          ASSERT_GE(p, 0.0);
+          sum += p;
+        }
+        ASSERT_NEAR(sum, 1.0, 1e-12) << "row " << row;
+      }
+    }
+  }
+  SetNumThreads(1);
+}
+
+TEST(ExtremeInputStability, LayerNormStaysFinite) {
+  nn::LayerNorm layer_norm(4);
+  for (const int64_t threads : {1, 4}) {
+    SetNumThreads(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const Variable out = layer_norm.Forward(Variable(ExtremeRows(), false));
+    ExpectAllFinite(out.value(), "layer_norm");
+  }
+  SetNumThreads(1);
+}
+
+TEST(ExtremeInputStability, BatchNormStaysFiniteInBothModes) {
+  for (const int64_t threads : {1, 4}) {
+    SetNumThreads(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    nn::BatchNorm batch_norm(4);
+    batch_norm.SetTraining(true);
+    const Variable trained =
+        batch_norm.Forward(Variable(ExtremeRows(), false));
+    ExpectAllFinite(trained.value(), "batch_norm training");
+    // Eval mode normalizes with the running statistics the extreme batch
+    // just updated; those must be usable too.
+    batch_norm.SetTraining(false);
+    const Variable evaluated =
+        batch_norm.Forward(Variable(ExtremeRows(), false));
+    ExpectAllFinite(evaluated.value(), "batch_norm eval");
+  }
+  SetNumThreads(1);
+}
 
 }  // namespace
 }  // namespace autocts

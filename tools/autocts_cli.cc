@@ -21,6 +21,17 @@
 //   --checkpoint-every N   batches between checkpoints (default 1)
 //   --resume 1      restore F (or F.prev) and continue; a resumed run
 //                   reproduces the uninterrupted result bit-for-bit
+//   --recover 1     search/evaluate: enable automatic divergence recovery
+//                   (skip poisoned optimizer steps; roll back to the last
+//                   good snapshot with a learning-rate backoff when the
+//                   parameters themselves go non-finite)
+//   --max-recoveries N     rollbacks before giving up (default 3)
+//   --lr-backoff F  learning-rate multiplier per rollback (default 0.5)
+//
+// Without --recover 1, a numerical anomaly makes search/evaluate exit with
+// status 1 and a message naming the anomaly and, when it reproduces under
+// the autograd numeric trace, the first op that produced a non-finite
+// value.
 //
 // Examples:
 //   autocts_cli search --kind traffic-flow --nodes 10 --steps 1200 \
@@ -167,13 +178,29 @@ int Search(const Args& args) {
   options.checkpoint_path = args.Get("checkpoint", "");
   options.checkpoint_every_n_batches = args.GetInt("checkpoint-every", 1);
   options.resume = args.GetInt("resume", 0) != 0;
+  options.recovery.enabled = args.GetInt("recover", 0) != 0;
+  options.recovery.max_recoveries = args.GetInt("max-recoveries", 3);
+  options.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
   options.verbose = true;
-  const core::SearchResult result =
-      core::JointSearcher(options).Search(prepared);
+  const StatusOr<core::SearchResult> search_result =
+      core::JointSearcher(options).SearchWithStatus(prepared);
+  if (!search_result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 search_result.status().ToString().c_str());
+    return 1;
+  }
+  const core::SearchResult& result = search_result.value();
   std::printf("%s", result.genotype.ToPrettyString().c_str());
   std::printf("search took %.1fs; relative architecture cost %.2f\n",
               result.search_seconds,
               core::GenotypeCost(result.genotype));
+  if (result.recoveries > 0 || result.skipped_steps > 0) {
+    std::printf("numerical recovery: %lld rollbacks, %lld skipped steps "
+                "(last anomaly: %s)\n",
+                static_cast<long long>(result.recoveries),
+                static_cast<long long>(result.skipped_steps),
+                result.last_anomaly.c_str());
+  }
   const std::string out = args.Get("out", "genotype.txt");
   std::ofstream stream(out);
   stream << result.genotype.ToText();
@@ -203,9 +230,26 @@ int Evaluate(const Args& args) {
   config.batch_size = args.GetInt("batch", 32);
   config.max_batches_per_epoch = args.GetInt("max-batches", 10);
   config.early_stop_patience = args.GetInt("patience", 0);
+  config.recovery.enabled = args.GetInt("recover", 0) != 0;
+  config.recovery.max_recoveries = args.GetInt("max-recoveries", 3);
+  config.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
   config.verbose = true;
-  const models::EvalResult result = core::EvaluateGenotype(
-      genotype.value(), prepared, args.GetInt("hidden", 16), config);
+  const StatusOr<models::EvalResult> eval_result =
+      core::EvaluateGenotypeWithStatus(genotype.value(), prepared,
+                                       args.GetInt("hidden", 16), config);
+  if (!eval_result.ok()) {
+    std::fprintf(stderr, "evaluate failed: %s\n",
+                 eval_result.status().ToString().c_str());
+    return 1;
+  }
+  const models::EvalResult& result = eval_result.value();
+  if (result.recoveries > 0 || result.skipped_steps > 0) {
+    std::printf("numerical recovery: %lld rollbacks, %lld skipped steps "
+                "(last anomaly: %s)\n",
+                static_cast<long long>(result.recoveries),
+                static_cast<long long>(result.skipped_steps),
+                result.last_anomaly.c_str());
+  }
   std::printf(
       "test: MAE %.4f  RMSE %.4f  MAPE %.2f%%  RRSE %.4f  CORR %.4f\n",
       result.average.mae, result.average.rmse, result.average.mape * 100.0,

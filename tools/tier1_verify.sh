@@ -4,14 +4,16 @@
 # the parallel kernel code paths (src/common/parallel.*) are exercised
 # under test even on single-core machines.
 #
-# The crash-safety suite (checkpoint_test, ctest label "faultinject") is
-# additionally run under AddressSanitizer in a separate build directory:
-# its kill/resume and corruption paths are exactly where lifetime bugs
-# would hide. Set AUTOCTS_SKIP_ASAN=1 to skip that pass (e.g. on machines
-# without ASan runtimes).
+# The crash/corruption suites (checkpoint_test and numerics_test, ctest
+# label "faultinject") are additionally run under AddressSanitizer in a
+# separate build directory: their kill/resume, fault-injection, and
+# rollback paths are exactly where lifetime bugs would hide. Set
+# AUTOCTS_SKIP_ASAN=1 to skip that pass (e.g. on machines without ASan
+# runtimes).
 #
-# Optional: AUTOCTS_SANITIZE=thread|address ./tools/tier1_verify.sh runs
-# the whole build under the matching sanitizer (separate build directory).
+# Optional: AUTOCTS_SANITIZE=thread|address|undefined ./tools/tier1_verify.sh
+# runs the whole build under the matching sanitizer (separate build
+# directory).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +33,6 @@ AUTOCTS_NUM_THREADS=4 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j
 # already sanitized, or when explicitly disabled).
 if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
   cmake -B build-address -S . -DAUTOCTS_SANITIZE=address
-  cmake --build build-address -j --target checkpoint_test
+  cmake --build build-address -j --target checkpoint_test --target numerics_test
   ctest --test-dir build-address -L faultinject --output-on-failure
 fi
