@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace autocts {
@@ -130,7 +131,13 @@ void Variable::Backward(const Tensor& seed) {
   for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
     internal::Node* node = *it;
     if (node->backward && node->grad.defined()) {
-      node->backward(node);
+      {
+        // Spans the node's backward closure under the forward op's label
+        // (aggregated separately as "<op>.bwd").
+        trace::Scope span(node->op != nullptr ? node->op : "unlabeled",
+                          /*backward=*/true);
+        node->backward(node);
+      }
       if (g_trace_active && !g_trace_report.triggered) {
         // The closure that just ran wrote into its inputs' grads; the first
         // non-finite value to appear there is attributed to this node's op.

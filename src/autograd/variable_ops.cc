@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace autocts::ag {
@@ -10,6 +11,49 @@ namespace {
 
 using internal::AccumulateGrad;
 using internal::Node;
+
+std::vector<std::string>& MutableOpLabels() {
+  static std::vector<std::string>* labels = new std::vector<std::string>();
+  return *labels;
+}
+
+// Registers `label` at static-initialization time so RegisteredOpLabels()
+// enumerates exactly the labels this file actually uses: adding an op via
+// the kOp* pattern below automatically enrolls it in the grad-check sweep.
+const char* RegisterOpLabel(const char* label) {
+  MutableOpLabels().push_back(label);
+  return label;
+}
+
+// Op labels double as tape-node names (numeric-trace attribution), tracer
+// span names (forward scope here, backward scope in Variable::Backward),
+// and grad-check sweep keys. The pointers are process-lifetime, as the
+// tracer requires.
+const char* const kOpAdd = RegisterOpLabel("add");
+const char* const kOpSub = RegisterOpLabel("sub");
+const char* const kOpMul = RegisterOpLabel("mul");
+const char* const kOpDiv = RegisterOpLabel("div");
+const char* const kOpAddScalar = RegisterOpLabel("add_scalar");
+const char* const kOpMulScalar = RegisterOpLabel("mul_scalar");
+const char* const kOpExp = RegisterOpLabel("exp");
+const char* const kOpLog = RegisterOpLabel("log");
+const char* const kOpSqrt = RegisterOpLabel("sqrt");
+const char* const kOpAbs = RegisterOpLabel("abs");
+const char* const kOpTanh = RegisterOpLabel("tanh");
+const char* const kOpSigmoid = RegisterOpLabel("sigmoid");
+const char* const kOpRelu = RegisterOpLabel("relu");
+const char* const kOpPowScalar = RegisterOpLabel("pow_scalar");
+const char* const kOpMatMul = RegisterOpLabel("matmul");
+const char* const kOpSum = RegisterOpLabel("sum");
+const char* const kOpSumAll = RegisterOpLabel("sum_all");
+const char* const kOpSoftmax = RegisterOpLabel("softmax");
+const char* const kOpReshape = RegisterOpLabel("reshape");
+const char* const kOpPermute = RegisterOpLabel("permute");
+const char* const kOpConcat = RegisterOpLabel("concat");
+const char* const kOpSlice = RegisterOpLabel("slice");
+const char* const kOpPad = RegisterOpLabel("pad");
+const char* const kOpIndexSelect = RegisterOpLabel("index_select");
+const char* const kOpHuberLoss = RegisterOpLabel("huber_loss");
 
 // Accumulates `g` into input slot `slot` of `node`, reducing over any
 // broadcast axes first.
@@ -21,30 +65,38 @@ void AccumulateReduced(Node* node, size_t slot, const Tensor& g) {
 
 }  // namespace
 
+const std::vector<std::string>& RegisteredOpLabels() {
+  return MutableOpLabels();
+}
+
 Variable Add(const Variable& a, const Variable& b) {
+  AUTOCTS_TRACE_SCOPE(kOpAdd);
   return MakeNode(autocts::Add(a.value(), b.value()), {a, b}, [](Node* node) {
     AccumulateReduced(node, 0, node->grad);
     AccumulateReduced(node, 1, node->grad);
-  }, "add");
+  }, kOpAdd);
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
+  AUTOCTS_TRACE_SCOPE(kOpSub);
   return MakeNode(autocts::Sub(a.value(), b.value()), {a, b}, [](Node* node) {
     AccumulateReduced(node, 0, node->grad);
     AccumulateReduced(node, 1, autocts::Neg(node->grad));
-  }, "sub");
+  }, kOpSub);
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
+  AUTOCTS_TRACE_SCOPE(kOpMul);
   Tensor va = a.value();
   Tensor vb = b.value();
   return MakeNode(autocts::Mul(va, vb), {a, b}, [va, vb](Node* node) {
     AccumulateReduced(node, 0, autocts::Mul(node->grad, vb));
     AccumulateReduced(node, 1, autocts::Mul(node->grad, va));
-  }, "mul");
+  }, kOpMul);
 }
 
 Variable Div(const Variable& a, const Variable& b) {
+  AUTOCTS_TRACE_SCOPE(kOpDiv);
   Tensor va = a.value();
   Tensor vb = b.value();
   return MakeNode(autocts::Div(va, vb), {a, b}, [va, vb](Node* node) {
@@ -52,93 +104,104 @@ Variable Div(const Variable& a, const Variable& b) {
     const Tensor db = autocts::Neg(autocts::Div(
         autocts::Mul(node->grad, va), autocts::Mul(vb, vb)));
     AccumulateReduced(node, 1, db);
-  }, "div");
+  }, kOpDiv);
 }
 
 Variable AddScalar(const Variable& a, double value) {
+  AUTOCTS_TRACE_SCOPE(kOpAddScalar);
   return MakeNode(autocts::AddScalar(a.value(), value), {a}, [](Node* node) {
     AccumulateReduced(node, 0, node->grad);
-  }, "add_scalar");
+  }, kOpAddScalar);
 }
 
 Variable MulScalar(const Variable& a, double value) {
+  AUTOCTS_TRACE_SCOPE(kOpMulScalar);
   return MakeNode(autocts::MulScalar(a.value(), value), {a},
                   [value](Node* node) {
                     AccumulateReduced(node, 0,
                                       autocts::MulScalar(node->grad, value));
-                  }, "mul_scalar");
+                  }, kOpMulScalar);
 }
 
 Variable Neg(const Variable& a) { return MulScalar(a, -1.0); }
 
 Variable Exp(const Variable& a) {
+  AUTOCTS_TRACE_SCOPE(kOpExp);
   Tensor y = autocts::Exp(a.value());
   return MakeNode(y, {a}, [y](Node* node) {
     AccumulateReduced(node, 0, autocts::Mul(node->grad, y));
-  }, "exp");
+  }, kOpExp);
 }
 
 Variable Log(const Variable& a) {
+  AUTOCTS_TRACE_SCOPE(kOpLog);
   Tensor va = a.value();
   return MakeNode(autocts::Log(va), {a}, [va](Node* node) {
     AccumulateReduced(node, 0, autocts::Div(node->grad, va));
-  }, "log");
+  }, kOpLog);
 }
 
 Variable Sqrt(const Variable& a) {
+  AUTOCTS_TRACE_SCOPE(kOpSqrt);
   Tensor y = autocts::Sqrt(a.value());
   return MakeNode(y, {a}, [y](Node* node) {
     const Tensor dx = autocts::Div(autocts::MulScalar(node->grad, 0.5), y);
     AccumulateReduced(node, 0, dx);
-  }, "sqrt");
+  }, kOpSqrt);
 }
 
 Variable Abs(const Variable& a) {
+  AUTOCTS_TRACE_SCOPE(kOpAbs);
   Tensor va = a.value();
   return MakeNode(autocts::Abs(va), {a}, [va](Node* node) {
     const Tensor sign = autocts::Apply(
         va, [](double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
     AccumulateReduced(node, 0, autocts::Mul(node->grad, sign));
-  }, "abs");
+  }, kOpAbs);
 }
 
 Variable Tanh(const Variable& a) {
+  AUTOCTS_TRACE_SCOPE(kOpTanh);
   Tensor y = autocts::Tanh(a.value());
   return MakeNode(y, {a}, [y](Node* node) {
     const Tensor one_minus_y2 =
         autocts::Apply(y, [](double v) { return 1.0 - v * v; });
     AccumulateReduced(node, 0, autocts::Mul(node->grad, one_minus_y2));
-  }, "tanh");
+  }, kOpTanh);
 }
 
 Variable Sigmoid(const Variable& a) {
+  AUTOCTS_TRACE_SCOPE(kOpSigmoid);
   Tensor y = autocts::Sigmoid(a.value());
   return MakeNode(y, {a}, [y](Node* node) {
     const Tensor dy = autocts::Apply(y, [](double v) { return v * (1.0 - v); });
     AccumulateReduced(node, 0, autocts::Mul(node->grad, dy));
-  }, "sigmoid");
+  }, kOpSigmoid);
 }
 
 Variable Relu(const Variable& a) {
+  AUTOCTS_TRACE_SCOPE(kOpRelu);
   Tensor va = a.value();
   return MakeNode(autocts::Relu(va), {a}, [va](Node* node) {
     const Tensor mask =
         autocts::Apply(va, [](double x) { return x > 0.0 ? 1.0 : 0.0; });
     AccumulateReduced(node, 0, autocts::Mul(node->grad, mask));
-  }, "relu");
+  }, kOpRelu);
 }
 
 Variable PowScalar(const Variable& a, double exponent) {
+  AUTOCTS_TRACE_SCOPE(kOpPowScalar);
   Tensor va = a.value();
   return MakeNode(autocts::PowScalar(va, exponent), {a},
                   [va, exponent](Node* node) {
                     const Tensor dx = autocts::MulScalar(
                         autocts::PowScalar(va, exponent - 1.0), exponent);
                     AccumulateReduced(node, 0, autocts::Mul(node->grad, dx));
-                  }, "pow_scalar");
+                  }, kOpPowScalar);
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  AUTOCTS_TRACE_SCOPE(kOpMatMul);
   Tensor va = a.value();
   Tensor vb = b.value();
   return MakeNode(autocts::MatMul(va, vb), {a, b}, [va, vb](Node* node) {
@@ -146,10 +209,11 @@ Variable MatMul(const Variable& a, const Variable& b) {
     const Tensor at = va.Transpose(-2, -1);
     AccumulateReduced(node, 0, autocts::MatMul(node->grad, bt));
     AccumulateReduced(node, 1, autocts::MatMul(at, node->grad));
-  }, "matmul");
+  }, kOpMatMul);
 }
 
 Variable Sum(const Variable& a, int64_t axis, bool keepdim) {
+  AUTOCTS_TRACE_SCOPE(kOpSum);
   const Shape in_shape = a.shape();
   const int64_t rank = a.ndim();
   const int64_t norm_axis = axis < 0 ? axis + rank : axis;
@@ -162,7 +226,7 @@ Variable Sum(const Variable& a, int64_t axis, bool keepdim) {
                       g = g.Reshape(keep);
                     }
                     AccumulateReduced(node, 0, BroadcastTo(g, in_shape));
-                  }, "sum");
+                  }, kOpSum);
 }
 
 Variable Mean(const Variable& a, int64_t axis, bool keepdim) {
@@ -171,12 +235,13 @@ Variable Mean(const Variable& a, int64_t axis, bool keepdim) {
 }
 
 Variable SumAll(const Variable& a) {
+  AUTOCTS_TRACE_SCOPE(kOpSumAll);
   const Shape in_shape = a.shape();
   return MakeNode(Tensor::Scalar(autocts::SumAll(a.value())), {a},
                   [in_shape](Node* node) {
                     AccumulateReduced(
                         node, 0, Tensor::Full(in_shape, node->grad.item()));
-                  }, "sum_all");
+                  }, kOpSumAll);
 }
 
 Variable MeanAll(const Variable& a) {
@@ -188,6 +253,7 @@ Variable Softmax(const Variable& a, int64_t axis) {
 }
 
 Variable SoftmaxWithTemperature(const Variable& a, int64_t axis, double tau) {
+  AUTOCTS_TRACE_SCOPE(kOpSoftmax);
   AUTOCTS_CHECK_GT(tau, 0.0);
   const Tensor scaled = autocts::MulScalar(a.value(), 1.0 / tau);
   Tensor y = autocts::Softmax(scaled, axis);
@@ -199,23 +265,25 @@ Variable SoftmaxWithTemperature(const Variable& a, int64_t axis, double tau) {
     const Tensor dx = autocts::MulScalar(
         autocts::Mul(y, autocts::Sub(node->grad, total)), 1.0 / tau);
     AccumulateReduced(node, 0, dx);
-  }, "softmax");
+  }, kOpSoftmax);
 }
 
 Variable Reshape(const Variable& a, Shape new_shape) {
+  AUTOCTS_TRACE_SCOPE(kOpReshape);
   const Shape in_shape = a.shape();
   return MakeNode(a.value().Reshape(std::move(new_shape)), {a},
                   [in_shape](Node* node) {
                     AccumulateReduced(node, 0, node->grad.Reshape(in_shape));
-                  }, "reshape");
+                  }, kOpReshape);
 }
 
 Variable Permute(const Variable& a, const std::vector<int64_t>& perm) {
+  AUTOCTS_TRACE_SCOPE(kOpPermute);
   std::vector<int64_t> inverse(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = i;
   return MakeNode(a.value().Permute(perm), {a}, [inverse](Node* node) {
     AccumulateReduced(node, 0, node->grad.Permute(inverse));
-  }, "permute");
+  }, kOpPermute);
 }
 
 Variable Transpose(const Variable& a, int64_t axis_a, int64_t axis_b) {
@@ -228,6 +296,7 @@ Variable Transpose(const Variable& a, int64_t axis_a, int64_t axis_b) {
 }
 
 Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  AUTOCTS_TRACE_SCOPE(kOpConcat);
   AUTOCTS_CHECK(!parts.empty());
   const int64_t norm_axis = axis < 0 ? axis + parts[0].ndim() : axis;
   std::vector<Tensor> values;
@@ -246,11 +315,12 @@ Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
                       AccumulateReduced(node, i, piece);
                       offset += extents[i];
                     }
-                  }, "concat");
+                  }, kOpConcat);
 }
 
 Variable Slice(const Variable& a, int64_t axis, int64_t start,
                int64_t length) {
+  AUTOCTS_TRACE_SCOPE(kOpSlice);
   const int64_t norm_axis = axis < 0 ? axis + a.ndim() : axis;
   const int64_t extent = a.dim(norm_axis);
   return MakeNode(
@@ -259,10 +329,11 @@ Variable Slice(const Variable& a, int64_t axis, int64_t start,
         AccumulateReduced(node, 0,
                           autocts::Pad(node->grad, norm_axis, start,
                                        extent - start - length));
-      }, "slice");
+      }, kOpSlice);
 }
 
 Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
+  AUTOCTS_TRACE_SCOPE(kOpPad);
   const int64_t norm_axis = axis < 0 ? axis + a.ndim() : axis;
   const int64_t extent = a.dim(norm_axis);
   return MakeNode(autocts::Pad(a.value(), norm_axis, before, after), {a},
@@ -270,11 +341,12 @@ Variable Pad(const Variable& a, int64_t axis, int64_t before, int64_t after) {
                     AccumulateReduced(
                         node, 0,
                         autocts::Slice(node->grad, norm_axis, before, extent));
-                  }, "pad");
+                  }, kOpPad);
 }
 
 Variable IndexSelect(const Variable& a, int64_t axis,
                      const std::vector<int64_t>& indices) {
+  AUTOCTS_TRACE_SCOPE(kOpIndexSelect);
   const int64_t norm_axis = axis < 0 ? axis + a.ndim() : axis;
   const Shape in_shape = a.shape();
   const int64_t mid = in_shape[norm_axis];
@@ -315,7 +387,7 @@ Variable IndexSelect(const Variable& a, int64_t axis,
                       }
                     }
                     AccumulateReduced(node, 0, grad_in);
-                  }, "index_select");
+                  }, kOpIndexSelect);
 }
 
 Variable Constant(Tensor value) {
@@ -339,6 +411,7 @@ Variable MseLoss(const Variable& prediction, const Variable& target) {
 
 Variable HuberLoss(const Variable& prediction, const Variable& target,
                    double delta) {
+  AUTOCTS_TRACE_SCOPE(kOpHuberLoss);
   AUTOCTS_CHECK(prediction.shape() == target.shape());
   const Tensor diff = autocts::Sub(prediction.value(), target.value());
   // Elementwise derivative of the Huber loss, applied via a custom node to
@@ -359,7 +432,7 @@ Variable HuberLoss(const Variable& prediction, const Variable& target,
         });
         AccumulateReduced(node, 0, dpred);
         AccumulateReduced(node, 1, autocts::Neg(dpred));
-      }, "huber_loss");
+      }, kOpHuberLoss);
 }
 
 }  // namespace autocts::ag

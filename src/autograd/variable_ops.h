@@ -5,11 +5,19 @@
 #ifndef AUTOCTS_AUTOGRAD_VARIABLE_OPS_H_
 #define AUTOCTS_AUTOGRAD_VARIABLE_OPS_H_
 
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
 
 namespace autocts::ag {
+
+// Every op label this translation unit passes to MakeNode, in registration
+// order. Labels name tape nodes for the numeric-trace attribution, tracer
+// spans (forward and backward), and the grad-check sweep in
+// tests/autograd_test.cc — which fails when a registered label has no
+// finite-difference entry, so a new labeled op cannot ship unchecked.
+const std::vector<std::string>& RegisteredOpLabels();
 
 // Elementwise binary (broadcasting).
 Variable Add(const Variable& a, const Variable& b);

@@ -6,15 +6,25 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/trace.h"
 
 namespace autocts {
 namespace {
 
 constexpr int64_t kMaxThreads = 64;
+
+// Scheduling counters for GetPoolStats(). Relaxed is enough: readers only
+// want totals across quiescent points, and each Drain adds its tallies
+// once at the end rather than per chunk.
+std::atomic<int64_t> g_stat_jobs{0};
+std::atomic<int64_t> g_stat_chunks{0};
+std::atomic<int64_t> g_stat_worker_chunks{0};
+std::atomic<int64_t> g_stat_serial_chunks{0};
 
 // Set while a thread is executing chunks, so nested ParallelFor calls run
 // serially instead of deadlocking on the pool.
@@ -82,7 +92,7 @@ class ThreadPool {
       ++job_version_;
     }
     wake_.notify_all();
-    Drain(*job);
+    Drain(*job, /*is_worker=*/false);
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] {
       return job->completed.load(std::memory_order_acquire) ==
@@ -104,17 +114,24 @@ class ThreadPool {
         seen_version = job_version_;
         job = current_job_;
       }
-      if (job != nullptr) Drain(*job);
+      if (job != nullptr) Drain(*job, /*is_worker=*/true);
     }
   }
 
-  void Drain(Job& job) {
+  void Drain(Job& job, bool is_worker) {
+    // Span worker drains only: the calling thread drains inside whatever
+    // op span dispatched the ParallelFor, and relabeling that compute as
+    // "pool/drain" would steal the op's self time in the aggregate table.
+    std::optional<trace::Scope> span;
+    if (is_worker && trace::Active()) span.emplace("pool/drain");
+    int64_t chunks_run = 0;
     t_in_parallel_region = true;
     for (;;) {
       const int64_t chunk =
           job.next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= job.num_chunks) break;
       job.RunChunk(chunk);
+      ++chunks_run;
       const int64_t finished =
           job.completed.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (finished == job.num_chunks) {
@@ -125,6 +142,10 @@ class ThreadPool {
       }
     }
     t_in_parallel_region = false;
+    g_stat_chunks.fetch_add(chunks_run, std::memory_order_relaxed);
+    if (is_worker) {
+      g_stat_worker_chunks.fetch_add(chunks_run, std::memory_order_relaxed);
+    }
   }
 
   const int64_t num_threads_;
@@ -177,8 +198,10 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
       const int64_t lo = begin + chunk * grain;
       fn(lo, std::min(end, lo + grain));
     }
+    g_stat_serial_chunks.fetch_add(num_chunks, std::memory_order_relaxed);
     return;
   }
+  g_stat_jobs.fetch_add(1, std::memory_order_relaxed);
   auto job = std::make_shared<Job>();
   job->begin = begin;
   job->end = end;
@@ -186,6 +209,15 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   job->num_chunks = num_chunks;
   job->fn = &fn;
   pool->Run(job);
+}
+
+PoolStats GetPoolStats() {
+  PoolStats stats;
+  stats.jobs = g_stat_jobs.load(std::memory_order_relaxed);
+  stats.chunks = g_stat_chunks.load(std::memory_order_relaxed);
+  stats.worker_chunks = g_stat_worker_chunks.load(std::memory_order_relaxed);
+  stats.serial_chunks = g_stat_serial_chunks.load(std::memory_order_relaxed);
+  return stats;
 }
 
 double ParallelSum(int64_t begin, int64_t end, int64_t grain,

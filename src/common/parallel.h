@@ -41,6 +41,21 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 double ParallelSum(int64_t begin, int64_t end, int64_t grain,
                    const std::function<double(int64_t, int64_t)>& chunk_sum);
 
+// Cumulative scheduling counters since process start, for the
+// observability layer's pool-occupancy metric. Counters only grow; sample
+// before and after a region and subtract to measure it.
+// worker_chunks/chunks is the fraction of pool-dispatched work actually
+// executed by pool workers (the rest ran on the calling thread);
+// serial_chunks counts chunks that took the serial path (single-thread
+// pool, nested calls, or single-chunk ranges).
+struct PoolStats {
+  int64_t jobs = 0;
+  int64_t chunks = 0;
+  int64_t worker_chunks = 0;
+  int64_t serial_chunks = 0;
+};
+PoolStats GetPoolStats();
+
 }  // namespace autocts
 
 #endif  // AUTOCTS_COMMON_PARALLEL_H_

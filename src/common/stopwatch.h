@@ -1,30 +1,51 @@
 // Wall-clock stopwatch for timing experiments and benches.
+//
+// All timing in the repo goes through the single monotonic source below:
+// std::chrono::steady_clock, enforced at compile time. system_clock (or
+// high_resolution_clock, which may alias it) is never acceptable here — a
+// wall-clock NTP/DST adjustment mid-measurement would yield negative or
+// wildly wrong durations, and the tracer (common/trace.h) requires
+// monotonically non-decreasing timestamps to nest spans correctly.
 #ifndef AUTOCTS_COMMON_STOPWATCH_H_
 #define AUTOCTS_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace autocts {
+
+// The one monotonic clock used by Stopwatch and the span tracer.
+using SteadyClock = std::chrono::steady_clock;
+static_assert(SteadyClock::is_steady,
+              "timing requires a monotonic (steady) clock");
+
+// Nanoseconds since the steady clock's (arbitrary, process-stable) epoch.
+// Non-decreasing across calls on every thread.
+inline int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
 
 // Measures elapsed wall-clock time; starts on construction.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(SteadyNowNanos()) {}
 
   // Restarts the measurement.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = SteadyNowNanos(); }
 
-  // Elapsed time in seconds since construction or the last Reset().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  // Elapsed nanoseconds since construction or the last Reset().
+  int64_t Nanos() const { return SteadyNowNanos() - start_ns_; }
+
+  // Elapsed time in seconds.
+  double Seconds() const { return static_cast<double>(Nanos()) * 1e-9; }
 
   // Elapsed time in milliseconds.
-  double Millis() const { return Seconds() * 1e3; }
+  double Millis() const { return static_cast<double>(Nanos()) * 1e-6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_ns_;
 };
 
 }  // namespace autocts

@@ -1,0 +1,348 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/file_io.h"
+#include "common/stopwatch.h"
+
+namespace autocts {
+namespace trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+constexpr int64_t kMinRingCapacity = 16;
+constexpr int64_t kMaxRingCapacity = int64_t{1} << 22;
+constexpr int64_t kDefaultRingCapacity = int64_t{1} << 16;
+
+struct OpAgg {
+  int64_t calls = 0;
+  int64_t total_ns = 0;
+  int64_t self_ns = 0;
+};
+
+// Per-thread collection state. Owned jointly by the producing thread (via
+// a thread_local shared_ptr) and the global registry, so it stays readable
+// after the thread exits. `mu` is uncontended in steady state: the owner
+// thread takes it per record, the registry only under Start/Stop/collect.
+struct ThreadLog {
+  std::mutex mu;
+  int32_t tid = 0;
+  int64_t capacity = kDefaultRingCapacity;
+  std::vector<SpanEvent> ring;   // insertion order until full, then wraps
+  int64_t next_slot = 0;         // overwrite cursor once ring is full
+  int64_t dropped = 0;           // events overwritten since Start()
+  std::unordered_map<const char*, OpAgg> fwd_agg;
+  std::unordered_map<const char*, OpAgg> bwd_agg;
+
+  void Clear(int64_t new_capacity) {
+    std::lock_guard<std::mutex> lock(mu);
+    capacity = new_capacity;
+    ring.clear();
+    next_slot = 0;
+    dropped = 0;
+    fwd_agg.clear();
+    bwd_agg.clear();
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  int64_t ring_capacity = kDefaultRingCapacity;
+  int64_t epoch_ns = 0;  // SteadyNowNanos() at Start(); JSON ts origin
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+ThreadLog& GetThreadLog() {
+  thread_local std::shared_ptr<ThreadLog> log = [] {
+    auto created = std::make_shared<ThreadLog>();
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    created->tid = static_cast<int32_t>(registry.logs.size());
+    created->capacity = registry.ring_capacity;
+    registry.logs.push_back(created);
+    return created;
+  }();
+  return *log;
+}
+
+// Open-span bookkeeping for the current thread. Touched only by the owner
+// thread, and only while a Scope constructed during an active trace is
+// alive, so it is always balanced back to empty between traces.
+struct ThreadDepth {
+  int32_t depth = 0;
+  // One slot per open span: sum of completed direct children's durations.
+  std::vector<int64_t> child_ns;
+};
+
+ThreadDepth& GetThreadDepth() {
+  thread_local ThreadDepth depth;
+  return depth;
+}
+
+void RecordSpan(const char* name, bool backward, int32_t depth,
+                int64_t start_ns, int64_t duration_ns, int64_t self_ns) {
+  ThreadLog& log = GetThreadLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  OpAgg& agg = backward ? log.bwd_agg[name] : log.fwd_agg[name];
+  agg.calls += 1;
+  agg.total_ns += duration_ns;
+  agg.self_ns += self_ns;
+
+  SpanEvent event;
+  event.name = name;
+  event.tid = log.tid;
+  event.depth = depth;
+  event.backward = backward;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.self_ns = self_ns;
+  if (static_cast<int64_t>(log.ring.size()) < log.capacity) {
+    log.ring.push_back(event);
+  } else {
+    log.ring[static_cast<size_t>(log.next_slot)] = event;
+    log.next_slot = (log.next_slot + 1) % log.capacity;
+    log.dropped += 1;
+  }
+}
+
+std::string JsonEscape(const char* text) {
+  std::string out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Start() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& log : registry.logs) {
+    log->Clear(registry.ring_capacity);
+  }
+  registry.epoch_ns = SteadyNowNanos();
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Stop() { internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+void SetRingCapacity(int64_t capacity) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.ring_capacity =
+      std::clamp(capacity, kMinRingCapacity, kMaxRingCapacity);
+}
+
+int64_t DroppedEvents() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  int64_t dropped = 0;
+  for (const auto& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    dropped += log->dropped;
+  }
+  return dropped;
+}
+
+int64_t EventCount() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  int64_t count = 0;
+  for (const auto& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    count += static_cast<int64_t>(log->ring.size());
+  }
+  return count;
+}
+
+std::vector<SpanEvent> CollectEvents() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<SpanEvent> events;
+  for (const auto& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    // Unwrap the ring into chronological (insertion) order.
+    for (int64_t i = 0; i < static_cast<int64_t>(log->ring.size()); ++i) {
+      const int64_t slot =
+          (log->next_slot + i) % static_cast<int64_t>(log->ring.size());
+      events.push_back(log->ring[static_cast<size_t>(slot)]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              // Parents start with (at worst) the same timestamp as their
+              // first child but always last longer: emit them first.
+              return a.duration_ns > b.duration_ns;
+            });
+  return events;
+}
+
+std::vector<OpStat> AggregateOps() {
+  Registry& registry = GetRegistry();
+  std::map<std::string, OpAgg> merged;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& log : registry.logs) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      for (const auto& [name, agg] : log->fwd_agg) {
+        OpAgg& out = merged[name];
+        out.calls += agg.calls;
+        out.total_ns += agg.total_ns;
+        out.self_ns += agg.self_ns;
+      }
+      for (const auto& [name, agg] : log->bwd_agg) {
+        OpAgg& out = merged[std::string(name) + ".bwd"];
+        out.calls += agg.calls;
+        out.total_ns += agg.total_ns;
+        out.self_ns += agg.self_ns;
+      }
+    }
+  }
+  std::vector<OpStat> stats;
+  stats.reserve(merged.size());
+  for (const auto& [name, agg] : merged) {
+    OpStat stat;
+    stat.name = name;
+    stat.calls = agg.calls;
+    stat.total_ns = agg.total_ns;
+    stat.self_ns = agg.self_ns;
+    stats.push_back(std::move(stat));
+  }
+  std::sort(stats.begin(), stats.end(), [](const OpStat& a, const OpStat& b) {
+    if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+    return a.name < b.name;
+  });
+  return stats;
+}
+
+double Coverage(const char* root_name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  int64_t total_ns = 0;
+  int64_t self_ns = 0;
+  for (const auto& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    for (const auto& [name, agg] : log->fwd_agg) {
+      if (std::strcmp(name, root_name) == 0) {
+        total_ns += agg.total_ns;
+        self_ns += agg.self_ns;
+      }
+    }
+  }
+  if (total_ns <= 0) return 0.0;
+  return 1.0 - static_cast<double>(self_ns) / static_cast<double>(total_ns);
+}
+
+std::string ToChromeTracingJson() {
+  const int64_t epoch_ns = [] {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    return registry.epoch_ns;
+  }();
+  const std::vector<SpanEvent> events = CollectEvents();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const SpanEvent& event : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(event.name);
+    out += "\",\"cat\":\"";
+    out += event.backward ? "bwd" : "fwd";
+    // ts/dur are microseconds by the trace-event spec; keep ns precision
+    // with three decimals.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"depth\":%d}}",
+                  static_cast<double>(event.start_ns - epoch_ns) * 1e-3,
+                  static_cast<double>(event.duration_ns) * 1e-3, event.tid,
+                  event.depth);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AggregateOpsCsv() {
+  std::string out = "op,calls,total_ns,self_ns\n";
+  char buf[96];
+  for (const OpStat& stat : AggregateOps()) {
+    out += stat.name;
+    std::snprintf(buf, sizeof(buf), ",%lld,%lld,%lld\n",
+                  static_cast<long long>(stat.calls),
+                  static_cast<long long>(stat.total_ns),
+                  static_cast<long long>(stat.self_ns));
+    out += buf;
+  }
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  return AtomicWriteFile(path, ToChromeTracingJson(), /*keep_previous=*/false)
+      .ok();
+}
+
+bool WriteAggregateCsv(const std::string& path) {
+  return AtomicWriteFile(path, AggregateOpsCsv(), /*keep_previous=*/false)
+      .ok();
+}
+
+Scope::Scope(const char* name, bool backward)
+    : name_(name), start_ns_(0), depth_(0), backward_(backward),
+      active_(internal::g_enabled.load(std::memory_order_relaxed)) {
+  if (!active_) return;
+  ThreadDepth& state = GetThreadDepth();
+  depth_ = state.depth;
+  state.depth += 1;
+  state.child_ns.push_back(0);
+  // Take the timestamp last so setup cost lands outside the span.
+  start_ns_ = SteadyNowNanos();
+}
+
+Scope::~Scope() {
+  if (!active_) return;
+  const int64_t end_ns = SteadyNowNanos();
+  ThreadDepth& state = GetThreadDepth();
+  const int64_t child_ns = state.child_ns.back();
+  state.child_ns.pop_back();
+  state.depth -= 1;
+  const int64_t duration_ns = end_ns - start_ns_;
+  if (!state.child_ns.empty()) {
+    state.child_ns.back() += duration_ns;
+  }
+  RecordSpan(name_, backward_, depth_, start_ns_, duration_ns,
+             duration_ns - child_ns);
+}
+
+}  // namespace trace
+}  // namespace autocts

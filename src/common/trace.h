@@ -1,0 +1,163 @@
+// Low-overhead scoped-span tracer.
+//
+// Usage:
+//   trace::Start();
+//   {
+//     AUTOCTS_TRACE_SCOPE("search");
+//     ...  // nested AUTOCTS_TRACE_SCOPE calls, any thread
+//   }
+//   trace::Stop();
+//   trace::WriteChromeTrace("search.trace.json");   // chrome://tracing
+//   trace::AggregateOps();                          // per-op table
+//
+// Design constraints, in priority order:
+//
+//  1. Bit-transparency. Instrumentation must never change what the
+//     instrumented program computes: the tracer only reads the steady
+//     clock and writes to its own buffers. It never allocates through,
+//     reads from, or synchronizes with the code under measurement, so an
+//     enabled run produces bit-identical results to a disabled run.
+//  2. Near-zero cost when disabled. A disabled `Scope` is one relaxed
+//     atomic load and two untaken branches; span names are string
+//     literals, so no formatting or allocation happens at the call site.
+//  3. Thread safety without hot-path locks. Each thread records into its
+//     own buffer, found via a `thread_local` pointer. Buffers register
+//     themselves in a global list on first use; a per-buffer mutex is
+//     taken only by that thread's record path and by the (rare) drain, so
+//     there is no cross-thread contention during steady-state tracing and
+//     the drain is clean under ThreadSanitizer.
+//
+// Each buffer holds (a) a bounded ring of SpanEvents — when full, the
+// oldest events are overwritten and counted in DroppedEvents(), keeping
+// the most recent window of activity for chrome://tracing — and (b) exact
+// per-op aggregates (call count, total and self nanoseconds) that are
+// never dropped, so the per-op table and the coverage ratio stay accurate
+// even when the ring wraps.
+//
+// "Self" time is a span's duration minus the summed durations of its
+// direct children on the same thread. Self times therefore telescope: for
+// any span tree, the root's duration equals the sum of self times over
+// the tree, which is what makes "fraction of the root accounted for by
+// named leaf work" (Coverage) well-defined.
+#ifndef AUTOCTS_COMMON_TRACE_H_
+#define AUTOCTS_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autocts {
+namespace trace {
+
+// One completed span. `name` points at the string literal given to the
+// Scope; it is stable for the life of the process.
+struct SpanEvent {
+  const char* name = nullptr;
+  int32_t tid = 0;       // tracer-assigned dense thread id, 0 = first seen
+  int32_t depth = 0;     // nesting depth on its thread at open time
+  bool backward = false; // autograd backward-pass span
+  int64_t start_ns = 0;  // SteadyNowNanos() at open
+  int64_t duration_ns = 0;
+  int64_t self_ns = 0;   // duration minus direct children's durations
+};
+
+// Per-op aggregate over all threads, exact even when the event ring wraps.
+struct OpStat {
+  std::string name;  // span label, suffixed ".bwd" for backward spans
+  int64_t calls = 0;
+  int64_t total_ns = 0;  // inclusive (sum of durations)
+  int64_t self_ns = 0;   // exclusive (sum of self times)
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+// True between Start() and Stop(). Scopes opened while inactive record
+// nothing (and cost almost nothing).
+inline bool Active() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Clears all previously collected events/aggregates and enables
+// collection. Must not be called while spans are open.
+void Start();
+
+// Disables collection. Collected data stays readable until the next
+// Start(). Must not be called while spans are open.
+void Stop();
+
+// Sets the per-thread event-ring capacity (clamped to [16, 1<<22]).
+// Takes effect at the next Start(). Aggregates are unaffected.
+void SetRingCapacity(int64_t capacity);
+
+// Events dropped (overwritten by ring wrap-around) since Start(), summed
+// over all threads.
+int64_t DroppedEvents();
+
+// Events currently held, summed over all threads.
+int64_t EventCount();
+
+// All retained events, merged across threads and sorted by start time
+// (ties broken by tid, then descending duration so parents precede
+// children). Call after Stop().
+std::vector<SpanEvent> CollectEvents();
+
+// Exact per-op aggregates, sorted by descending self time. Backward spans
+// aggregate separately under "<name>.bwd".
+std::vector<OpStat> AggregateOps();
+
+// Fraction of the named root span's inclusive time attributed to its
+// descendants (1 - root_self/root_total). This is the "per-op table
+// accounts for X% of wall time" number: everything outside the root's
+// self time is, by the telescoping-self property, attributed to some
+// named span. Returns 0 if the root was never recorded.
+double Coverage(const char* root_name);
+
+// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds,
+// relative to Start()). Load via chrome://tracing or https://ui.perfetto.dev.
+std::string ToChromeTracingJson();
+
+// Per-op aggregate table as CSV: op,calls,total_ns,self_ns.
+std::string AggregateOpsCsv();
+
+// Writes ToChromeTracingJson() to `path` atomically. Returns false (and
+// leaves any existing file intact) on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+// Writes AggregateOpsCsv() to `path` atomically.
+bool WriteAggregateCsv(const std::string& path);
+
+// RAII span. Records [construction, destruction) on the current thread
+// when tracing is active for the whole interval. `name` must be a string
+// literal (or otherwise outlive the process); the pointer itself is the
+// aggregation key on the hot path.
+class Scope {
+ public:
+  explicit Scope(const char* name, bool backward = false);
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+  int32_t depth_;
+  bool backward_;
+  bool active_;
+};
+
+}  // namespace trace
+}  // namespace autocts
+
+// Spans a named scope when tracing is active. `name` must be a string
+// literal or a pointer with process lifetime.
+#define AUTOCTS_TRACE_CONCAT_IMPL(a, b) a##b
+#define AUTOCTS_TRACE_CONCAT(a, b) AUTOCTS_TRACE_CONCAT_IMPL(a, b)
+#define AUTOCTS_TRACE_SCOPE(name)                                    \
+  ::autocts::trace::Scope AUTOCTS_TRACE_CONCAT(autocts_trace_scope_, \
+                                               __LINE__)(name)
+
+#endif  // AUTOCTS_COMMON_TRACE_H_

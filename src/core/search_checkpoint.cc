@@ -254,6 +254,25 @@ std::string EncodeSearchCheckpoint(const SearchCheckpoint& checkpoint) {
   }
   AppendAdamState(&out, "adam_w", checkpoint.weight_optimizer);
   AppendAdamState(&out, "adam_t", checkpoint.theta_optimizer);
+  // Metrics state rides along as repeated single-line records so the
+  // line-oriented reader (and the byte-flip corruption sweep) treat it
+  // like any other payload. Zero lines — not an absent record — is the
+  // "metrics off" encoding; absence only occurs in pre-observability
+  // files, which still decode.
+  {
+    std::vector<std::string> metric_lines;
+    if (!checkpoint.metrics_state.empty()) {
+      std::istringstream stream(checkpoint.metrics_state);
+      std::string line;
+      while (std::getline(stream, line)) {
+        if (!line.empty()) metric_lines.push_back(line);
+      }
+    }
+    out << "metrics_count = " << metric_lines.size() << "\n";
+    for (const std::string& line : metric_lines) {
+      out << "metrics = " << line << "\n";
+    }
+  }
   std::string payload = out.str();
   char trailer[32];
   std::snprintf(trailer, sizeof(trailer), "%s%08x\n", kCrcKey, Crc32(payload));
@@ -375,6 +394,25 @@ StatusOr<SearchCheckpoint> DecodeSearchCheckpoint(const std::string& text) {
   if (!status.ok()) return status;
   status = ParseAdamState(reader, "adam_t", &checkpoint.theta_optimizer);
   if (!status.ok()) return status;
+
+  // Optional metrics block: pre-observability checkpoints (still version
+  // 1, so their fingerprints remain valid) simply lack the record.
+  StatusOr<int64_t> metrics_count = reader.GetInt("metrics_count");
+  if (metrics_count.ok()) {
+    const int64_t count = metrics_count.value();
+    const std::vector<std::string> lines = reader.GetAll("metrics");
+    if (count < 0 || count > (1 << 24) ||
+        static_cast<int64_t>(lines.size()) != count) {
+      return Status::InvalidArgument(
+          "metrics_count does not match metrics records");
+    }
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (i > 0) checkpoint.metrics_state += '\n';
+      checkpoint.metrics_state += lines[i];
+    }
+  } else if (metrics_count.status().code() != StatusCode::kNotFound) {
+    return metrics_count.status();
+  }
   return checkpoint;
 }
 

@@ -82,6 +82,13 @@ struct SearchCheckpoint {
 
   optim::AdamState weight_optimizer;
   optim::AdamState theta_optimizer;
+
+  // Serialized obs::MetricsRegistry state (EncodeState) captured at the
+  // cursor, so metrics rows survive crash/resume. Optional on disk
+  // (absent in pre-observability files and when metrics are off) and
+  // excluded from CheckpointNumericHealth: it is derived telemetry, never
+  // an input to the search trajectory.
+  std::string metrics_state;
 };
 
 // Deterministic fingerprint of everything that shapes the search trajectory

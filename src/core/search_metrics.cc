@@ -1,0 +1,92 @@
+#include "core/search_metrics.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace autocts::core {
+
+void RegisterSearchMetrics(obs::MetricsRegistry* registry) {
+  registry->GetGauge(kMetricTau);
+  registry->GetCounter(kMetricStepsTotal);
+  registry->GetCounter(kMetricSkippedSteps);
+  registry->GetCounter(kMetricRecoveries);
+  registry->GetCounter(kMetricCheckpoints);
+  registry->GetGauge(kMetricTrainLoss);
+  registry->GetGauge(kMetricValLossStep);
+  registry->GetGauge(kMetricValLossEpoch);
+  registry->GetGauge(kMetricGradNormW);
+  registry->GetGauge(kMetricGradNormTheta);
+  registry->GetHistogram(kMetricGradNormWHist,
+                         {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0});
+  registry->GetGauge(kMetricAlphaEntropy);
+  registry->GetGauge(kMetricBetaEntropy);
+  registry->GetGauge(kMetricGammaEntropy);
+  registry->GetGauge(kMetricBatchesPerSec);
+  registry->GetGauge(kMetricElapsedSec);
+  registry->GetGauge(kMetricPoolOccupancy);
+}
+
+namespace {
+
+// Entropy (nats) of softmax(logits / tau) over one row, computed with the
+// usual max-subtraction so saturated logits stay finite.
+double SoftmaxRowEntropy(const double* logits, int64_t n, double tau) {
+  if (n <= 1) return 0.0;
+  double max_scaled = logits[0] / tau;
+  for (int64_t i = 1; i < n; ++i) {
+    max_scaled = std::max(max_scaled, logits[i] / tau);
+  }
+  double z = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    z += std::exp(logits[i] / tau - max_scaled);
+  }
+  double entropy = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double p = std::exp(logits[i] / tau - max_scaled) / z;
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+struct EntropyAccumulator {
+  double sum = 0.0;
+  int64_t rows = 0;
+  double Mean() const {
+    return rows > 0 ? sum / static_cast<double>(rows) : 0.0;
+  }
+};
+
+}  // namespace
+
+ArchEntropy ComputeArchEntropy(const Supernet& supernet, double tau) {
+  EntropyAccumulator alpha;
+  EntropyAccumulator beta;
+  EntropyAccumulator gamma;
+  for (const auto& [name, parameter] : supernet.NamedArchParameters()) {
+    const Tensor& value = parameter.value();
+    if (name.find(".alpha") != std::string::npos) {
+      // [num_pairs, |O|] logits; each row is a temperature-τ mixture.
+      const int64_t rows = value.dim(0);
+      const int64_t cols = value.dim(1);
+      for (int64_t r = 0; r < rows; ++r) {
+        alpha.sum += SoftmaxRowEntropy(value.data() + r * cols, cols, tau);
+        alpha.rows += 1;
+      }
+    } else if (name.find(".beta") != std::string::npos) {
+      // Flat logit vector, plain (τ=1) softmax.
+      beta.sum += SoftmaxRowEntropy(value.data(), value.size(), 1.0);
+      beta.rows += 1;
+    } else if (name.rfind("gamma", 0) == 0) {
+      gamma.sum += SoftmaxRowEntropy(value.data(), value.size(), 1.0);
+      gamma.rows += 1;
+    }
+  }
+  ArchEntropy entropy;
+  entropy.alpha = alpha.Mean();
+  entropy.beta = beta.Mean();
+  entropy.gamma = gamma.Mean();
+  return entropy;
+}
+
+}  // namespace autocts::core

@@ -1,0 +1,58 @@
+// Search-specific observability wiring on top of the generic typed
+// registry in common/metrics_registry.h: the canonical instrument set
+// recorded by JointSearcher, and the α/β/γ softmax-entropy probes that
+// summarize how far the architecture distribution has collapsed
+// (Section 3.2.2 of the AutoCTS paper: as τ anneals toward 0 the
+// mixtures approach one-hot and these entropies approach 0).
+//
+// Everything here is read-only with respect to the search: entropy is
+// computed with serial scalar loops on copies of the logits, so enabling
+// metrics cannot change a single bit of the trajectory.
+#ifndef AUTOCTS_CORE_SEARCH_METRICS_H_
+#define AUTOCTS_CORE_SEARCH_METRICS_H_
+
+#include "common/metrics_registry.h"
+#include "core/supernet.h"
+
+namespace autocts::core {
+
+// Canonical instrument names recorded per search step/epoch. Instruments
+// prefixed "wall/" are wall-clock/scheduling derived and excluded from
+// determinism comparisons (see MetricsRegistry::StripWallColumns).
+inline constexpr char kMetricTau[] = "tau";
+inline constexpr char kMetricStepsTotal[] = "steps_total";
+inline constexpr char kMetricSkippedSteps[] = "skipped_steps";
+inline constexpr char kMetricRecoveries[] = "recoveries";
+inline constexpr char kMetricCheckpoints[] = "checkpoints";
+inline constexpr char kMetricTrainLoss[] = "train_loss";
+inline constexpr char kMetricValLossStep[] = "val_loss_step";
+inline constexpr char kMetricValLossEpoch[] = "val_loss_epoch";
+inline constexpr char kMetricGradNormW[] = "grad_norm_w";
+inline constexpr char kMetricGradNormTheta[] = "grad_norm_theta";
+inline constexpr char kMetricGradNormWHist[] = "grad_norm_w_hist";
+inline constexpr char kMetricAlphaEntropy[] = "alpha_entropy";
+inline constexpr char kMetricBetaEntropy[] = "beta_entropy";
+inline constexpr char kMetricGammaEntropy[] = "gamma_entropy";
+inline constexpr char kMetricBatchesPerSec[] = "wall/batches_per_sec";
+inline constexpr char kMetricElapsedSec[] = "wall/elapsed_sec";
+inline constexpr char kMetricPoolOccupancy[] = "wall/pool_occupancy";
+
+// Registers the full search instrument set (idempotent; fixes the sink
+// column order). Called by JointSearcher before the first row and again
+// after a metrics-state restore failure.
+void RegisterSearchMetrics(obs::MetricsRegistry* registry);
+
+// Mean softmax entropies (nats) of the architecture distributions.
+struct ArchEntropy {
+  double alpha = 0.0;  // operator mixtures, temperature-τ softmax
+  double beta = 0.0;   // micro-cell input mixtures
+  double gamma = 0.0;  // macro-block input mixtures
+};
+
+// Computes ArchEntropy from the supernet's current Θ. Pure and serial:
+// reads logits, touches no RNG or parameter state.
+ArchEntropy ComputeArchEntropy(const Supernet& supernet, double tau);
+
+}  // namespace autocts::core
+
+#endif  // AUTOCTS_CORE_SEARCH_METRICS_H_

@@ -2,11 +2,16 @@
 
 #include "core/cost_model.h"
 #include "core/search_checkpoint.h"
+#include "core/search_metrics.h"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "optim/adam.h"
 #include "optim/lr_schedule.h"
 #include "tensor/tensor_ops.h"
@@ -50,6 +55,53 @@ void AxpyInPlace(std::vector<Variable>* parameters,
                autocts::MulScalar(deltas[i], scale));
   }
 }
+
+// Owns the tracer lifetime for one Search() call: starts the trace on
+// construction (when a path is given and no trace is already running) and
+// on destruction — any exit path, including error returns — closes the
+// root "search" span, stops collection, and writes the Chrome JSON plus
+// the "<path>.ops.csv" aggregate table.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& path) {
+    if (path.empty() || trace::Active()) return;
+    path_ = path;
+    trace::Start();
+    root_.emplace("search");
+  }
+  ~TraceSession() {
+    if (path_.empty()) return;
+    root_.reset();  // close the root while collection is still active
+    trace::Stop();
+    if (!trace::WriteChromeTrace(path_) ||
+        !trace::WriteAggregateCsv(path_ + ".ops.csv")) {
+      AUTOCTS_LOG(WARNING) << "failed to write trace output at " << path_;
+    }
+  }
+
+ private:
+  std::string path_;
+  std::optional<trace::Scope> root_;
+};
+
+// Writes the metrics sinks on every exit path.
+class MetricsSinkGuard {
+ public:
+  MetricsSinkGuard(const obs::MetricsRegistry* registry, std::string path)
+      : registry_(registry), path_(std::move(path)) {}
+  ~MetricsSinkGuard() {
+    if (registry_ == nullptr || path_.empty()) return;
+    const Status status = registry_->WriteSinks(path_);
+    if (!status.ok()) {
+      AUTOCTS_LOG(WARNING) << "failed to write metrics sinks: "
+                           << status.ToString();
+    }
+  }
+
+ private:
+  const obs::MetricsRegistry* registry_;
+  std::string path_;
+};
 
 }  // namespace
 
@@ -148,6 +200,24 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
   Stopwatch timer;
   Rng rng(options_.seed);
 
+  // Observability. The registry and tracer are passive recorders: every
+  // value below is read from state the search computed anyway, so the
+  // trajectory is bit-identical with or without them.
+  obs::MetricsRegistry own_registry;
+  obs::MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr && !options_.metrics_path.empty()) {
+    metrics = &own_registry;
+  }
+  if (metrics != nullptr) RegisterSearchMetrics(metrics);
+  MetricsSinkGuard metrics_sink(metrics, options_.metrics_path);
+  TraceSession trace_session(options_.trace_path);
+  // Covers everything up to the epoch loop (supernet + optimizer
+  // construction, pseudo-split shuffle, checkpoint restore), which would
+  // otherwise show up as unattributed root self-time in the aggregate
+  // table.
+  std::optional<trace::Scope> setup_span;
+  if (trace::Active()) setup_span.emplace("search/setup");
+
   // Build the supernet; the "w/o macro search" variant searches a single
   // block.
   SupernetConfig supernet_config = options_.supernet;
@@ -239,6 +309,18 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
         AUTOCTS_LOG(WARNING) << "checkpoint restore failed ("
                              << status.ToString() << "); starting fresh";
       } else {
+        if (metrics != nullptr && !checkpoint.metrics_state.empty()) {
+          const Status metrics_status =
+              metrics->DecodeState(checkpoint.metrics_state);
+          if (!metrics_status.ok()) {
+            // Telemetry only: a bad metrics block must not block resume.
+            AUTOCTS_LOG(WARNING) << "checkpoint metrics state unreadable ("
+                                 << metrics_status.ToString()
+                                 << "); metrics restart empty";
+            metrics->Reset();
+            RegisterSearchMetrics(metrics);
+          }
+        }
         start_epoch = checkpoint.epoch;
         start_step = checkpoint.step;
         val_loss_sum = checkpoint.val_loss_sum;
@@ -264,6 +346,36 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
       }
     }
   }
+
+  // Snapshots every instrument into one metrics row. Deterministic columns
+  // (losses, τ, entropies, counters) depend only on the trajectory;
+  // wall-clock columns carry the "wall/" prefix so determinism comparisons
+  // can strip them.
+  const auto emit_metrics_row = [&](const char* kind, int64_t epoch,
+                                    int64_t step) {
+    if (metrics == nullptr) return;
+    AUTOCTS_TRACE_SCOPE("search/metrics_row");
+    const double tau = supernet.temperature();
+    metrics->GetGauge(kMetricTau)->Set(tau);
+    const ArchEntropy entropy = ComputeArchEntropy(supernet, tau);
+    metrics->GetGauge(kMetricAlphaEntropy)->Set(entropy.alpha);
+    metrics->GetGauge(kMetricBetaEntropy)->Set(entropy.beta);
+    metrics->GetGauge(kMetricGammaEntropy)->Set(entropy.gamma);
+    metrics->GetGauge(kMetricValLossEpoch)
+        ->Set(steps > 0 ? val_loss_sum / static_cast<double>(steps) : 0.0);
+    const double elapsed = timer.Seconds();
+    metrics->GetGauge(kMetricElapsedSec)->Set(elapsed);
+    const double total_steps = static_cast<double>(
+        metrics->GetCounter(kMetricStepsTotal)->value());
+    metrics->GetGauge(kMetricBatchesPerSec)
+        ->Set(elapsed > 0.0 ? total_steps / elapsed : 0.0);
+    const PoolStats pool = GetPoolStats();
+    metrics->GetGauge(kMetricPoolOccupancy)
+        ->Set(pool.chunks > 0 ? static_cast<double>(pool.worker_chunks) /
+                                    static_cast<double>(pool.chunks)
+                              : 0.0);
+    metrics->AppendRow(kind, epoch, step);
+  };
 
   int64_t batches_since_checkpoint = 0;
   int64_t checkpoint_ordinal = 0;
@@ -298,6 +410,8 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
     last_good.val_loss_sum = val_loss_sum;
     last_good.epoch_steps = steps;
     last_good.final_validation_loss = final_loss;
+    last_good.metrics_state =
+        metrics != nullptr ? metrics->EncodeState() : std::string();
     have_last_good = true;
     healthy_steps_since_snapshot = 0;
   };
@@ -306,6 +420,7 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
                      steps, result.final_validation_loss);
   }
 
+  setup_span.reset();
   bool restart = true;
   while (restart) {
     restart = false;
@@ -325,6 +440,10 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
             : (total / 2 + options_.batch_size - 1) / options_.batch_size;
     for (int64_t step = continuing ? start_step : 0; step < max_steps;
          ++step) {
+      // One span per search batch: op spans nest beneath it, and its
+      // self-time attributes the per-step glue (topo sort, health scans,
+      // snapshot capture) that has no op span of its own.
+      AUTOCTS_TRACE_SCOPE("search/step");
       auto take_batch = [&](const std::vector<int64_t>& pool) {
         std::vector<int64_t> batch;
         batch.reserve(options_.batch_size);
@@ -361,6 +480,12 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
       numerics::Anomaly anomaly = numerics::Anomaly::kNone;
       double step_val_loss = 0.0;
       bool w_stage = false;
+      // Read-only taps for the metrics gauges; populated from values the
+      // step computes anyway (never recomputed, so metrics stay
+      // bit-transparent).
+      double theta_grad_norm = 0.0;
+      double w_train_loss = 0.0;
+      double w_grad_norm = 0.0;
       if (options_.bilevel_order <= 1) {
         // First-order approximation: w is treated as constant.
         Variable loss = batch_loss(val_batch, /*with_cost=*/true);
@@ -373,6 +498,7 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
           double pre_clip_norm = 0.0;
           optim::ClipGradNormChecked(supernet.ArchParameters(),
                                      options_.clip_norm, &pre_clip_norm);
+          theta_grad_norm = pre_clip_norm;
           anomaly = monitor.ObserveGradientNorm(pre_clip_norm);
           if (anomaly == numerics::Anomaly::kNone) theta_optimizer.Step();
         }
@@ -393,7 +519,8 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
                                          ag::Constant(y));
         weight_optimizer.ZeroGrad();
         theta_optimizer.ZeroGrad();
-        anomaly = monitor.ObserveLoss(loss.value().item());
+        w_train_loss = loss.value().item();
+        anomaly = monitor.ObserveLoss(w_train_loss);
         if (anomaly == numerics::Anomaly::kNone) {
           loss.Backward();
           if (options_.fault_injection_hook) {
@@ -402,6 +529,7 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
           double pre_clip_norm = 0.0;
           optim::ClipGradNormChecked(supernet.Parameters(),
                                      options_.clip_norm, &pre_clip_norm);
+          w_grad_norm = pre_clip_norm;
           anomaly = monitor.ObserveGradientNorm(pre_clip_norm);
           if (anomaly == numerics::Anomaly::kNone) weight_optimizer.Step();
         }
@@ -462,6 +590,9 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
         if (!params_poisoned &&
             ++consecutive_skips <= recovery.max_consecutive_skips) {
           ++result.skipped_steps;
+          if (metrics != nullptr) {
+            metrics->GetCounter(kMetricSkippedSteps)->Increment();
+          }
           continue;
         }
         // Rollback tier: restore the last-good snapshot, back off both
@@ -494,6 +625,22 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
             (last_good.step == 0 && steps > 0)
                 ? val_loss_sum / static_cast<double>(steps)
                 : last_good.final_validation_loss;
+        if (metrics != nullptr) {
+          // Roll the registry back with the rest of the state, then resync
+          // the outcome counters from the result fields, which deliberately
+          // are not rolled back (a recovery happened; the row log should
+          // say so).
+          const Status metrics_status =
+              last_good.metrics_state.empty()
+                  ? Status::Ok()
+                  : metrics->DecodeState(last_good.metrics_state);
+          if (last_good.metrics_state.empty() || !metrics_status.ok()) {
+            metrics->Reset();
+            RegisterSearchMetrics(metrics);
+          }
+          metrics->GetCounter(kMetricRecoveries)->Set(result.recoveries);
+          metrics->GetCounter(kMetricSkippedSteps)->Set(result.skipped_steps);
+        }
         if (options_.verbose) {
           AUTOCTS_LOG(INFO) << "search recovery #" << result.recoveries
                             << ": " << anomaly_context << "; lr scale now "
@@ -506,6 +653,29 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
 
       val_loss_sum += step_val_loss;
       ++steps;
+      if (metrics != nullptr) {
+        metrics->GetCounter(kMetricStepsTotal)->Increment();
+        metrics->GetGauge(kMetricTrainLoss)->Set(w_train_loss);
+        metrics->GetGauge(kMetricValLossStep)->Set(step_val_loss);
+        metrics->GetGauge(kMetricGradNormW)->Set(w_grad_norm);
+        metrics->GetGauge(kMetricGradNormTheta)->Set(theta_grad_norm);
+        metrics->GetHistogram(kMetricGradNormWHist, {})->Observe(w_grad_norm);
+        // Row emission precedes the snapshot and checkpoint captures below
+        // so a rolled-back or resumed run replays exactly the rows an
+        // uninterrupted run would have logged.
+        if (options_.metrics_every_n_batches > 0 &&
+            metrics->GetCounter(kMetricStepsTotal)->value() %
+                    options_.metrics_every_n_batches ==
+                0) {
+          emit_metrics_row("step", epoch, step);
+        }
+        // The epoch row is emitted here — not after the step loop — so it
+        // lands before an epoch-boundary checkpoint rolls the cursor; a run
+        // resumed from that checkpoint then has the identical row log.
+        if (step + 1 == max_steps) {
+          emit_metrics_row("epoch", epoch, step);
+        }
+      }
       consecutive_skips = 0;
       if (recovery.enabled &&
           ++healthy_steps_since_snapshot >= recovery.snapshot_every_n_batches) {
@@ -516,9 +686,17 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
       if (checkpointing &&
           ++batches_since_checkpoint >= options_.checkpoint_every_n_batches) {
         batches_since_checkpoint = 0;
+        AUTOCTS_TRACE_SCOPE("search/checkpoint");
+        if (metrics != nullptr) {
+          // Incremented before the capture so a resumed run's counter
+          // already reflects the checkpoint it restarted from.
+          metrics->GetCounter(kMetricCheckpoints)->Increment();
+        }
         SearchCheckpoint checkpoint =
             CaptureSearchState(supernet, weight_optimizer, theta_optimizer,
                                rng, pseudo_train, pseudo_val);
+        checkpoint.metrics_state =
+            metrics != nullptr ? metrics->EncodeState() : std::string();
         checkpoint.config_fingerprint = fingerprint;
         // Cursor = the first batch the resumed run executes; a checkpoint
         // on the last batch of an epoch rolls over to the next epoch's
@@ -545,6 +723,14 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
           AUTOCTS_LOG(WARNING)
               << "checkpoint write failed: " << status.ToString();
         } else {
+          if (metrics != nullptr && !options_.metrics_path.empty()) {
+            const Status sink_status =
+                metrics->WriteSinks(options_.metrics_path);
+            if (!sink_status.ok()) {
+              AUTOCTS_LOG(WARNING)
+                  << "metrics sink write failed: " << sink_status.ToString();
+            }
+          }
           if (options_.post_checkpoint_hook) {
             options_.post_checkpoint_hook(checkpoint_ordinal,
                                           options_.checkpoint_path);
@@ -565,7 +751,10 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
   }
   }  // while (restart)
 
-  result.genotype = supernet.Derive();
+  {
+    AUTOCTS_TRACE_SCOPE("search/derive");
+    result.genotype = supernet.Derive();
+  }
   if (!options_.use_macro) {
     // Replicate the single searched block into a homogeneous sequential
     // stack (the paper's "w/o macro search" evaluation protocol).

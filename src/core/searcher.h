@@ -8,6 +8,7 @@
 #include <functional>
 #include <string>
 
+#include "common/metrics_registry.h"
 #include "common/numerics.h"
 #include "common/status.h"
 #include "core/supernet.h"
@@ -107,6 +108,32 @@ struct SearchOptions {
   // never installs one.
   std::function<void(int64_t epoch, int64_t step, Supernet* supernet)>
       fault_injection_hook;
+
+  // Observability (common/trace.h + core/search_metrics.h). Both layers
+  // are bit-transparent: enabling them changes no genotype, loss, or
+  // checkpoint trajectory bit (tests/observability_test.cc asserts this at
+  // 1 and 4 threads).
+  //
+  // When `trace_path` is non-empty the whole search runs under the span
+  // tracer inside a root "search" span; on exit the Chrome trace JSON is
+  // written to `trace_path` and the per-op aggregate table to
+  // "<trace_path>.ops.csv". Ignored (with the trace left untouched) when a
+  // trace is already active.
+  std::string trace_path;
+
+  // When `metrics_path` is non-empty (or `metrics` is set), the search
+  // records the core/search_metrics.h instrument set: a row per epoch,
+  // plus a row every `metrics_every_n_batches` healthy steps (0 = epoch
+  // rows only). Sinks "<metrics_path>.csv" / "<metrics_path>.jsonl" are
+  // rewritten at every checkpoint and at exit. Metrics state is embedded
+  // in checkpoints, so a resumed run's sinks equal an uninterrupted run's
+  // up to "wall/" columns.
+  std::string metrics_path;
+  int64_t metrics_every_n_batches = 0;
+
+  // Optional external registry (not owned). Lets tests and embedding code
+  // read instruments/rows directly; `metrics_path` may be empty then.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Preset matching the AutoSTG baseline: {1D conv, DGCN} operator set,

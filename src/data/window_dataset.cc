@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace autocts::data {
 
 WindowDataset::WindowDataset(Tensor values, WindowSpec spec)
@@ -20,6 +22,7 @@ WindowDataset::WindowDataset(Tensor values, WindowSpec spec)
 
 void WindowDataset::GetBatch(const std::vector<int64_t>& indices, Tensor* x,
                              Tensor* y) const {
+  AUTOCTS_TRACE_SCOPE("data/get_batch");
   AUTOCTS_CHECK(!indices.empty());
   const int64_t batch = static_cast<int64_t>(indices.size());
   const int64_t nodes = values_.dim(1);

@@ -2,15 +2,88 @@
 
 #include <limits>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "autograd/variable_ops.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "nn/state_dict.h"
 #include "optim/adam.h"
 #include "tensor/tensor_ops.h"
 
 namespace autocts::models {
+
+namespace {
+
+// Trainer instrument set (registration order == CSV column order). Names
+// follow the "wall/" determinism convention of common/metrics_registry.h.
+constexpr char kTrainLoss[] = "train_loss";
+constexpr char kValLoss[] = "val_loss";
+constexpr char kGradNorm[] = "grad_norm";
+constexpr char kBatchesTotal[] = "batches_total";
+constexpr char kSkippedSteps[] = "skipped_steps";
+constexpr char kRecoveries[] = "recoveries";
+constexpr char kEpochSec[] = "wall/epoch_sec";
+constexpr char kBatchesPerSec[] = "wall/batches_per_sec";
+
+void RegisterTrainMetrics(obs::MetricsRegistry* registry) {
+  registry->GetGauge(kTrainLoss);
+  registry->GetGauge(kValLoss);
+  registry->GetGauge(kGradNorm);
+  registry->GetCounter(kBatchesTotal);
+  registry->GetCounter(kSkippedSteps);
+  registry->GetCounter(kRecoveries);
+  registry->GetGauge(kEpochSec);
+  registry->GetGauge(kBatchesPerSec);
+}
+
+// Same RAII shape as the searcher's TraceSession: starts the tracer when a
+// path is given and no trace is already running; on destruction writes the
+// Chrome JSON and the "<path>.ops.csv" aggregate table.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& path) {
+    if (path.empty() || trace::Active()) return;
+    path_ = path;
+    trace::Start();
+    root_.emplace("train");
+  }
+  ~TraceSession() {
+    if (path_.empty()) return;
+    root_.reset();
+    trace::Stop();
+    if (!trace::WriteChromeTrace(path_) ||
+        !trace::WriteAggregateCsv(path_ + ".ops.csv")) {
+      AUTOCTS_LOG(WARNING) << "failed to write trace output at " << path_;
+    }
+  }
+
+ private:
+  std::string path_;
+  std::optional<trace::Scope> root_;
+};
+
+class MetricsSinkGuard {
+ public:
+  MetricsSinkGuard(const obs::MetricsRegistry* registry, std::string path)
+      : registry_(registry), path_(std::move(path)) {}
+  ~MetricsSinkGuard() {
+    if (registry_ == nullptr || path_.empty()) return;
+    const Status status = registry_->WriteSinks(path_);
+    if (!status.ok()) {
+      AUTOCTS_LOG(WARNING) << "failed to write metrics sinks: "
+                           << status.ToString();
+    }
+  }
+
+ private:
+  const obs::MetricsRegistry* registry_;
+  std::string path_;
+};
+
+}  // namespace
 
 PreparedData PrepareData(const data::CtsDataset& dataset,
                          const data::WindowSpec& window,
@@ -45,6 +118,15 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
   AUTOCTS_CHECK(model != nullptr);
   EvalResult result;
   result.parameter_count = model->NumParameters();
+
+  obs::MetricsRegistry own_registry;
+  obs::MetricsRegistry* metrics = config.metrics;
+  if (metrics == nullptr && !config.metrics_path.empty()) {
+    metrics = &own_registry;
+  }
+  if (metrics != nullptr) RegisterTrainMetrics(metrics);
+  MetricsSinkGuard metrics_sink(metrics, config.metrics_path);
+  TraceSession trace_session(config.trace_path);
 
   optim::Adam optimizer(model->Parameters(),
                         {.learning_rate = config.learning_rate,
@@ -102,6 +184,7 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
       Variable loss = batch_loss_fn();
       optimizer.ZeroGrad();
       const double loss_value = loss.value().item();
+      double batch_grad_norm = 0.0;
       numerics::Anomaly anomaly = monitor.ObserveLoss(loss_value);
       if (anomaly == numerics::Anomaly::kNone) {
         loss.Backward();
@@ -113,6 +196,7 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
         double pre_clip_norm = 0.0;
         optim::ClipGradNormChecked(parameters, config.clip_norm,
                                    &pre_clip_norm);
+        batch_grad_norm = pre_clip_norm;
         anomaly = monitor.ObserveGradientNorm(pre_clip_norm);
         if (anomaly == numerics::Anomaly::kNone) {
           optimizer.Step();
@@ -125,6 +209,17 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
         epoch_loss += loss_value;
         ++batches_done;
         consecutive_skips = 0;
+        if (metrics != nullptr) {
+          metrics->GetCounter(kBatchesTotal)->Increment();
+          metrics->GetGauge(kTrainLoss)->Set(loss_value);
+          metrics->GetGauge(kGradNorm)->Set(batch_grad_norm);
+          if (config.metrics_every_n_batches > 0 &&
+              metrics->GetCounter(kBatchesTotal)->value() %
+                      config.metrics_every_n_batches ==
+                  0) {
+            metrics->AppendRow("step", epoch, batch_index);
+          }
+        }
         continue;
       }
 
@@ -150,6 +245,9 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
       if (anomaly != numerics::Anomaly::kNonFiniteParameter &&
           ++consecutive_skips <= recovery.max_consecutive_skips) {
         ++result.skipped_steps;
+        if (metrics != nullptr) {
+          metrics->GetCounter(kSkippedSteps)->Increment();
+        }
         continue;
       }
       rollback = true;
@@ -171,6 +269,9 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
       if (config.early_stop_patience > 0) {
         const double validation_loss = EvaluateLoss(
             model, data, data.validation(), config.batch_size);
+        if (metrics != nullptr && numerics::IsFiniteValue(validation_loss)) {
+          metrics->GetGauge(kValLoss)->Set(validation_loss);
+        }
         if (!numerics::IsFiniteValue(validation_loss)) {
           // A non-finite validation loss is an immediate anomaly: it must
           // never be compared against the best (NaN comparisons are false)
@@ -204,6 +305,18 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
         }
         model->SetTraining(true);
       }
+      if (metrics != nullptr && !rollback) {
+        // The aggregate gauges already hold the last batch's values; the
+        // loss gauge is re-pointed at the epoch mean, which is what the
+        // per-epoch row should report.
+        metrics->GetGauge(kTrainLoss)->Set(result.final_train_loss);
+        metrics->GetGauge(kEpochSec)->Set(attempt_seconds);
+        metrics->GetGauge(kBatchesPerSec)
+            ->Set(attempt_seconds > 0.0
+                      ? static_cast<double>(batches_done) / attempt_seconds
+                      : 0.0);
+        metrics->AppendRow("epoch", epoch, batches_done);
+      }
     }
     if (rollback) {
       if (recoveries_left <= 0) {
@@ -214,6 +327,9 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
       }
       --recoveries_left;
       ++result.recoveries;
+      if (metrics != nullptr) {
+        metrics->GetCounter(kRecoveries)->Increment();
+      }
       good_weights->Restore(model);
       const Status import_status = optimizer.ImportState(good_optimizer_state);
       AUTOCTS_CHECK(import_status.ok()) << import_status.ToString();
@@ -266,6 +382,7 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
 void Predict(ForecastingModel* model, const PreparedData& data,
              const data::WindowDataset& windows, int64_t batch_size,
              Tensor* predictions, Tensor* truths) {
+  AUTOCTS_TRACE_SCOPE("train/predict");
   const bool was_training = model->training();
   model->SetTraining(false);
   std::vector<Tensor> prediction_parts;
@@ -292,6 +409,7 @@ void Predict(ForecastingModel* model, const PreparedData& data,
 double EvaluateLoss(ForecastingModel* model, const PreparedData& data,
                     const data::WindowDataset& windows, int64_t batch_size) {
   (void)data;
+  AUTOCTS_TRACE_SCOPE("train/eval_loss");
   const bool was_training = model->training();
   model->SetTraining(false);
   double total = 0.0;

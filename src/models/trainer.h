@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/numerics.h"
 #include "common/status.h"
 #include "data/cts_dataset.h"
@@ -76,6 +77,30 @@ struct TrainConfig {
   // one.
   std::function<void(int64_t epoch, int64_t batch, ForecastingModel* model)>
       fault_injection_hook;
+
+  // Observability (common/trace.h + common/metrics_registry.h), sharing the
+  // searcher's bit-transparency contract: enabling either layer changes no
+  // loss or weight bit.
+  //
+  // When `trace_path` is non-empty the run executes under the span tracer
+  // inside a root "train" span; on exit the Chrome trace JSON is written to
+  // `trace_path` and the per-op aggregate table to "<trace_path>.ops.csv".
+  // Ignored when a trace is already active (e.g. the searcher owns it).
+  std::string trace_path;
+
+  // When `metrics_path` is non-empty (or `metrics` is set), the trainer
+  // records per-epoch rows (train/val loss, last gradient norm, batch and
+  // recovery counters, wall-clock rates) plus a row every
+  // `metrics_every_n_batches` healthy batches (0 = epoch rows only).
+  // Sinks "<metrics_path>.csv" / "<metrics_path>.jsonl" are written when
+  // training finishes. Unlike the searcher, trainer metrics are not
+  // rolled back on recovery: the row log keeps the aborted attempt's rows,
+  // which is the more useful record for a non-resumable run.
+  std::string metrics_path;
+  int64_t metrics_every_n_batches = 0;
+
+  // Optional external registry (not owned); `metrics_path` may be empty.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Everything the evaluation tables report.

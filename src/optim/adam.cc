@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace autocts::optim {
@@ -65,6 +66,7 @@ Status Adam::ImportState(const AdamState& state) {
 }
 
 void Adam::Step() {
+  AUTOCTS_TRACE_SCOPE("adam/step");
   ++step_count_;
   const double bias1 =
       1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace autocts::optim {
@@ -10,6 +11,7 @@ Optimizer::Optimizer(std::vector<Variable> parameters)
     : parameters_(std::move(parameters)) {}
 
 void Optimizer::ZeroGrad() {
+  AUTOCTS_TRACE_SCOPE("optim/zero_grad");
   for (Variable& parameter : parameters_) parameter.ClearGrad();
 }
 
@@ -21,6 +23,7 @@ double ClipGradNorm(const std::vector<Variable>& parameters, double max_norm) {
 
 bool ClipGradNormChecked(const std::vector<Variable>& parameters,
                          double max_norm, double* pre_clip_norm) {
+  AUTOCTS_TRACE_SCOPE("optim/clip_grad_norm");
   AUTOCTS_CHECK_GT(max_norm, 0.0);
   double total_sq = 0.0;
   for (const Variable& parameter : parameters) {

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "autograd/grad_check.h"
 #include "autograd/variable.h"
 #include "autograd/variable_ops.h"
@@ -312,6 +318,157 @@ TEST(BackwardDeath, NonScalarNeedsSeed) {
   EXPECT_DEATH(b.Backward(), "");
   b.Backward(Tensor::Ones({2}));  // Seeded form works.
   EXPECT_DOUBLE_EQ(a.grad().data()[0], 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Label-keyed grad-check sweep.
+//
+// Every op label registered in autograd/variable_ops.cc must have a
+// finite-difference entry in the table below, and every table entry must
+// correspond to a registered label. A new labeled op therefore cannot ship
+// without a gradient check, and a renamed label cannot silently orphan its
+// entry.
+// ---------------------------------------------------------------------------
+
+struct LabeledOpCase {
+  std::string label;
+  // Builds the op under test from the sweep inputs. The returned Variable
+  // is the op's direct output (its tape node carries `label`).
+  std::function<Variable(const std::vector<Variable>&)> build;
+  std::vector<Tensor> inputs;
+};
+
+// Weights a tensor with a fixed pseudo-random constant before reducing to
+// a scalar, so linear ops (reshape, permute, slice, ...) get a non-uniform
+// upstream gradient — a plain SumAll would send gradient 1 to every
+// coordinate and could not catch routing mistakes.
+Variable WeightedSum(const Variable& v, uint64_t seed) {
+  return ag::SumAll(ag::Mul(v, ag::Constant(RandomTensor(v.shape(), seed,
+                                                         0.5, 1.5))));
+}
+
+std::vector<LabeledOpCase> LabeledOpCases() {
+  // Inputs stay away from non-smooth points: denominators and sqrt/log
+  // arguments in [0.5, 1.5], abs/relu inputs bounded away from 0, huber
+  // residuals bounded away from |delta|.
+  const Tensor positive = RandomTensor({2, 3}, 101, 0.5, 1.5);
+  const Tensor generic = RandomTensor({2, 3}, 102);
+  const Tensor generic_b = RandomTensor({2, 3}, 103);
+  const Tensor away_from_zero = RandomTensor({2, 3}, 104, 0.25, 1.0);
+  std::vector<LabeledOpCase> cases;
+  const auto add = [&](const std::string& label,
+                       std::function<Variable(const std::vector<Variable>&)>
+                           build,
+                       std::vector<Tensor> inputs) {
+    cases.push_back({label, std::move(build), std::move(inputs)});
+  };
+
+  add("add", [](const auto& v) { return ag::Add(v[0], v[1]); },
+      {generic, generic_b});
+  add("sub", [](const auto& v) { return ag::Sub(v[0], v[1]); },
+      {generic, generic_b});
+  add("mul", [](const auto& v) { return ag::Mul(v[0], v[1]); },
+      {generic, generic_b});
+  add("div", [](const auto& v) { return ag::Div(v[0], v[1]); },
+      {generic, positive});
+  add("add_scalar", [](const auto& v) { return ag::AddScalar(v[0], 0.7); },
+      {generic});
+  add("mul_scalar", [](const auto& v) { return ag::MulScalar(v[0], -1.3); },
+      {generic});
+  add("exp", [](const auto& v) { return ag::Exp(v[0]); }, {generic});
+  add("log", [](const auto& v) { return ag::Log(v[0]); }, {positive});
+  add("sqrt", [](const auto& v) { return ag::Sqrt(v[0]); }, {positive});
+  add("abs", [](const auto& v) { return ag::Abs(v[0]); }, {away_from_zero});
+  add("tanh", [](const auto& v) { return ag::Tanh(v[0]); }, {generic});
+  add("sigmoid", [](const auto& v) { return ag::Sigmoid(v[0]); }, {generic});
+  add("relu", [](const auto& v) { return ag::Relu(v[0]); },
+      {away_from_zero});
+  add("pow_scalar", [](const auto& v) { return ag::PowScalar(v[0], 2.5); },
+      {positive});
+  add("matmul", [](const auto& v) { return ag::MatMul(v[0], v[1]); },
+      {RandomTensor({2, 3}, 105), RandomTensor({3, 4}, 106)});
+  add("sum",
+      [](const auto& v) { return ag::Sum(v[0], /*axis=*/1,
+                                         /*keepdim=*/false); },
+      {generic});
+  add("sum_all", [](const auto& v) { return ag::SumAll(v[0]); }, {generic});
+  add("softmax", [](const auto& v) { return ag::Softmax(v[0], 1); },
+      {generic});
+  add("reshape",
+      [](const auto& v) { return ag::Reshape(v[0], Shape{3, 2}); },
+      {generic});
+  add("permute",
+      [](const auto& v) { return ag::Permute(v[0], {2, 0, 1}); },
+      {RandomTensor({2, 3, 4}, 107)});
+  add("concat",
+      [](const auto& v) { return ag::Concat({v[0], v[1]}, /*axis=*/0); },
+      {generic, generic_b});
+  add("slice",
+      [](const auto& v) {
+        return ag::Slice(v[0], /*axis=*/1, /*start=*/1, /*length=*/2);
+      },
+      {generic});
+  add("pad",
+      [](const auto& v) {
+        return ag::Pad(v[0], /*axis=*/1, /*before=*/1, /*after=*/2);
+      },
+      {generic});
+  add("index_select",
+      [](const auto& v) { return ag::IndexSelect(v[0], /*axis=*/1,
+                                                 {2, 0, 0}); },
+      {generic});
+  add("huber_loss",
+      [](const auto& v) { return ag::HuberLoss(v[0], v[1], /*delta=*/10.0); },
+      {generic, generic_b});
+  return cases;
+}
+
+TEST(GradCheckSweep, EveryRegisteredLabelHasACheckedEntry) {
+  const std::vector<std::string>& labels = ag::RegisteredOpLabels();
+  ASSERT_FALSE(labels.empty());
+  // Labels are unique.
+  std::set<std::string> label_set(labels.begin(), labels.end());
+  ASSERT_EQ(label_set.size(), labels.size());
+
+  std::map<std::string, const LabeledOpCase*> table;
+  const std::vector<LabeledOpCase> cases = LabeledOpCases();
+  for (const LabeledOpCase& entry : cases) {
+    ASSERT_TRUE(table.emplace(entry.label, &entry).second)
+        << "duplicate sweep entry for label '" << entry.label << "'";
+    // Reverse direction: an entry whose label is not registered is stale.
+    EXPECT_TRUE(label_set.count(entry.label))
+        << "sweep entry '" << entry.label
+        << "' does not match any registered op label";
+  }
+  for (const std::string& label : labels) {
+    EXPECT_TRUE(table.count(label))
+        << "registered op label '" << label
+        << "' has no grad-check entry — add one to LabeledOpCases()";
+  }
+}
+
+TEST(GradCheckSweep, AllLabeledOpsPassFiniteDifferences) {
+  for (const LabeledOpCase& entry : LabeledOpCases()) {
+    SCOPED_TRACE("op label: " + entry.label);
+
+    // The built node must actually carry the label it claims to cover.
+    std::vector<Variable> probe;
+    probe.reserve(entry.inputs.size());
+    for (const Tensor& input : entry.inputs) {
+      probe.emplace_back(input.Clone(), /*requires_grad=*/true);
+    }
+    const Variable built = entry.build(probe);
+    ASSERT_NE(built.node(), nullptr);
+    ASSERT_NE(built.node()->op, nullptr);
+    EXPECT_EQ(std::string(built.node()->op), entry.label);
+
+    const GradCheckResult result = CheckGradients(
+        [&](const std::vector<Variable>& v) {
+          return WeightedSum(entry.build(v), /*seed=*/991);
+        },
+        entry.inputs, 1e-6, 1e-5);
+    EXPECT_TRUE(result.ok) << result.message;
+  }
 }
 
 }  // namespace

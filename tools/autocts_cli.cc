@@ -27,6 +27,14 @@
 //                   parameters themselves go non-finite)
 //   --max-recoveries N     rollbacks before giving up (default 3)
 //   --lr-backoff F  learning-rate multiplier per rollback (default 0.5)
+//   --trace-out F   search/evaluate: write a Chrome-tracing JSON (open at
+//                   chrome://tracing) to F and a per-op wall-time table to
+//                   F.ops.csv; bit-transparent (results are unchanged)
+//   --metrics-out F search/evaluate: write metric rows to F.csv and
+//                   F.jsonl (per-epoch losses, grad norms, tau, entropies,
+//                   recovery counters, throughput)
+//   --metrics-every N      also emit a metrics row every N healthy batches
+//                   (default 0 = per-epoch rows only)
 //
 // Without --recover 1, a numerical anomaly makes search/evaluate exit with
 // status 1 and a message naming the anomaly and, when it reproduces under
@@ -181,6 +189,9 @@ int Search(const Args& args) {
   options.recovery.enabled = args.GetInt("recover", 0) != 0;
   options.recovery.max_recoveries = args.GetInt("max-recoveries", 3);
   options.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
+  options.trace_path = args.Get("trace-out", "");
+  options.metrics_path = args.Get("metrics-out", "");
+  options.metrics_every_n_batches = args.GetInt("metrics-every", 0);
   options.verbose = true;
   const StatusOr<core::SearchResult> search_result =
       core::JointSearcher(options).SearchWithStatus(prepared);
@@ -233,6 +244,9 @@ int Evaluate(const Args& args) {
   config.recovery.enabled = args.GetInt("recover", 0) != 0;
   config.recovery.max_recoveries = args.GetInt("max-recoveries", 3);
   config.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
+  config.trace_path = args.Get("trace-out", "");
+  config.metrics_path = args.Get("metrics-out", "");
+  config.metrics_every_n_batches = args.GetInt("metrics-every", 0);
   config.verbose = true;
   const StatusOr<models::EvalResult> eval_result =
       core::EvaluateGenotypeWithStatus(genotype.value(), prepared,

@@ -11,6 +11,13 @@
 # AUTOCTS_SKIP_ASAN=1 to skip that pass (e.g. on machines without ASan
 # runtimes).
 #
+# The observability suites (observability_test and determinism_test, ctest
+# label "observability") plus parallel_test are likewise run under
+# ThreadSanitizer: the tracer's thread-local ring buffers and the metrics
+# registry are exercised by worker threads, and TSan is the tool that
+# proves the drain/aggregate paths race-free. Set AUTOCTS_SKIP_TSAN=1 to
+# skip.
+#
 # Optional: AUTOCTS_SANITIZE=thread|address|undefined ./tools/tier1_verify.sh
 # runs the whole build under the matching sanitizer (separate build
 # directory).
@@ -35,4 +42,15 @@ if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
   cmake -B build-address -S . -DAUTOCTS_SANITIZE=address
   cmake --build build-address -j --target checkpoint_test --target numerics_test
   ctest --test-dir build-address -L faultinject --output-on-failure
+fi
+
+# TSan pass over the observability suite (+ parallel_test, which drives
+# the same thread pool the tracer instruments).
+if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_TSAN:-}" ]]; then
+  cmake -B build-thread -S . -DAUTOCTS_SANITIZE=thread
+  cmake --build build-thread -j --target observability_test \
+      --target determinism_test --target parallel_test
+  AUTOCTS_NUM_THREADS=4 ctest --test-dir build-thread \
+      -R 'observability_test|determinism_test|parallel_test' \
+      --output-on-failure
 fi
