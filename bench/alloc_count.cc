@@ -1,0 +1,101 @@
+#include "alloc_count.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace autocts::bench {
+namespace {
+
+std::atomic<int64_t> g_allocations{0};
+std::atomic<int64_t> g_frees{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must not.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(alignment, ((size + alignment - 1) / alignment) * alignment);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void CountedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounts AllocCount() {
+  AllocCounts counts;
+  counts.allocations = g_allocations.load(std::memory_order_relaxed);
+  counts.frees = g_frees.load(std::memory_order_relaxed);
+  return counts;
+}
+
+}  // namespace autocts::bench
+
+// Global replacements. Every form funnels into the counted core so sized
+// and nothrow deletes stay consistent with their matching news.
+void* operator new(std::size_t size) {
+  return autocts::bench::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return autocts::bench::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return autocts::bench::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return autocts::bench::CountedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return autocts::bench::CountedAllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return autocts::bench::CountedAllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { autocts::bench::CountedFree(p); }
+void operator delete[](void* p) noexcept { autocts::bench::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  autocts::bench::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  autocts::bench::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  autocts::bench::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  autocts::bench::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  autocts::bench::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  autocts::bench::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  autocts::bench::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  autocts::bench::CountedFree(p);
+}

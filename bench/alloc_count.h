@@ -1,0 +1,40 @@
+// Process-wide heap allocation counting for the bench binaries.
+//
+// alloc_count.cc overrides the global operator new/delete family with
+// malloc/free wrappers that bump atomic counters. Linking is opt-in at the
+// binary level: the object only gets pulled out of the bench_common static
+// library when a translation unit references AllocCount(), so the table
+// benches and the test suite keep the stock allocator.
+//
+// Counting is exact for C++ allocations on this process's threads; malloc
+// calls that bypass operator new (C libraries, the runtime) are not seen.
+// That is the right scope here: tensor storage, shared_ptr control blocks,
+// and std::vector growth — the things the buffer pool exists to remove —
+// all arrive via operator new.
+#ifndef AUTOCTS_BENCH_ALLOC_COUNT_H_
+#define AUTOCTS_BENCH_ALLOC_COUNT_H_
+
+#include <cstdint>
+
+namespace autocts::bench {
+
+struct AllocCounts {
+  int64_t allocations = 0;  // operator new calls
+  int64_t frees = 0;        // operator delete calls
+};
+
+// Current process-wide totals.
+AllocCounts AllocCount();
+
+// Allocations performed while running `fn` on this thread (process-wide
+// counter delta, so keep concurrent allocation out of the measured region).
+template <typename Fn>
+int64_t CountAllocations(Fn&& fn) {
+  const int64_t before = AllocCount().allocations;
+  fn();
+  return AllocCount().allocations - before;
+}
+
+}  // namespace autocts::bench
+
+#endif  // AUTOCTS_BENCH_ALLOC_COUNT_H_

@@ -1,0 +1,119 @@
+// Heap-allocation microbench for the tensor buffer pool.
+//
+// Runs the same tiny joint search twice — pool disabled, then pool enabled
+// — counting operator-new calls via alloc_count.cc, and prints the
+// per-step allocation table plus the pool's per-bucket stats. Exits
+// non-zero (AUTOCTS_CHECK) unless the pooled run removes at least 30% of
+// the unpooled run's heap allocations: this is the bench_smoke regression
+// gate for the pool, deterministic because it counts allocations, not
+// time.
+#include <cstdio>
+
+#include "alloc_count.h"
+#include "bench_common.h"
+#include "common/buffer_pool.h"
+#include "core/searcher.h"
+#include "data/synthetic/generators.h"
+#include "models/trainer.h"
+
+namespace autocts::bench {
+namespace {
+
+models::PreparedData TinyData() {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = 4;
+  config.num_steps = Quick() ? 300 : 600;
+  config.seed = 31;
+  data::WindowSpec window;
+  window.input_length = 6;
+  window.output_length = 3;
+  return models::PrepareData(data::GenerateTrafficSpeed(config), window, 0.7,
+                             0.1);
+}
+
+core::SearchOptions TinyOptions() {
+  core::SearchOptions options;
+  options.supernet.micro_nodes = 3;
+  options.supernet.macro_blocks = 2;
+  options.supernet.hidden_dim = 8;
+  options.supernet.partial_denominator = 4;
+  options.epochs = 2;
+  options.batch_size = 8;
+  options.max_batches_per_epoch = Quick() ? 4 : 16;
+  return options;
+}
+
+struct RunResult {
+  int64_t allocations = 0;
+  int64_t steps = 0;
+  double validation_loss = 0.0;
+};
+
+RunResult RunSearch(const models::PreparedData& data, bool pool_enabled) {
+  BufferPool& pool = BufferPool::Global();
+  const bool previous = pool.enabled();
+  pool.SetEnabled(pool_enabled);
+  // Warmup pass: populates the free lists (pool on) and JITs nothing else —
+  // both runs get identical treatment so the comparison is fair.
+  (void)core::JointSearcher(TinyOptions()).Search(data);
+  RunResult result;
+  core::SearchResult search;
+  result.allocations = CountAllocations(
+      [&] { search = core::JointSearcher(TinyOptions()).Search(data); });
+  const core::SearchOptions options = TinyOptions();
+  result.steps = options.epochs * options.max_batches_per_epoch;
+  result.validation_loss = search.final_validation_loss;
+  pool.SetEnabled(previous);
+  return result;
+}
+
+int Main() {
+  const models::PreparedData data = TinyData();
+
+  PrintTitle("Heap allocations per supernet search (tiny preset)");
+  const RunResult off = RunSearch(data, /*pool_enabled=*/false);
+  BufferPool::Global().ResetStats();
+  const RunResult on = RunSearch(data, /*pool_enabled=*/true);
+
+  const double reduction =
+      off.allocations > 0
+          ? 1.0 - static_cast<double>(on.allocations) /
+                      static_cast<double>(off.allocations)
+          : 0.0;
+  std::printf("%s%s%s%s\n", Cell("config", 14).c_str(),
+              Cell("allocs", 14).c_str(), Cell("allocs/step", 14).c_str(),
+              Cell("val_loss", 14).c_str());
+  PrintRule();
+  std::printf("%s%s%s%s\n", Cell("pool off", 14).c_str(),
+              Num(static_cast<double>(off.allocations), 0, 14).c_str(),
+              Num(static_cast<double>(off.allocations) /
+                      static_cast<double>(off.steps),
+                  1, 14)
+                  .c_str(),
+              Num(off.validation_loss, 6, 14).c_str());
+  std::printf("%s%s%s%s\n", Cell("pool on", 14).c_str(),
+              Num(static_cast<double>(on.allocations), 0, 14).c_str(),
+              Num(static_cast<double>(on.allocations) /
+                      static_cast<double>(on.steps),
+                  1, 14)
+                  .c_str(),
+              Num(on.validation_loss, 6, 14).c_str());
+  PrintRule();
+  std::printf("allocation reduction: %.1f%%\n", 100.0 * reduction);
+  std::printf("%s", BufferPool::Global().StatsString().c_str());
+
+  // Pool reuse must not change a single bit of the trajectory.
+  AUTOCTS_CHECK_EQ(off.validation_loss, on.validation_loss)
+      << "pool on/off searches diverged";
+  // Acceptance gate: >= 30% fewer heap allocations in the search hot loop.
+  AUTOCTS_CHECK_LE(static_cast<double>(on.allocations),
+                   0.7 * static_cast<double>(off.allocations))
+      << "buffer pool removed only " << 100.0 * reduction
+      << "% of heap allocations (need >= 30%)";
+  return 0;
+}
+
+}  // namespace
+}  // namespace autocts::bench
+
+int main() { return autocts::bench::Main(); }

@@ -3,6 +3,8 @@
 // diffusion GCN, a full mixed edge, and one supernet forward/backward.
 #include <benchmark/benchmark.h>
 
+#include "alloc_count.h"
+#include "common/buffer_pool.h"
 #include "common/parallel.h"
 #include "core/micro_dag.h"
 #include "graph/adjacency.h"
@@ -13,17 +15,59 @@
 namespace autocts {
 namespace {
 
+// Reports heap allocations per iteration (process-wide operator-new count,
+// see alloc_count.h) as an "allocs/iter" counter. Instantiate before the
+// state loop; the destructor records the counter. With the buffer pool
+// warm the hot kernels should report ~0.
+class ScopedAllocCounter {
+ public:
+  explicit ScopedAllocCounter(benchmark::State& state)
+      : state_(state), start_(bench::AllocCount().allocations) {}
+  ~ScopedAllocCounter() {
+    const int64_t delta = bench::AllocCount().allocations - start_;
+    state_.counters["allocs/iter"] =
+        benchmark::Counter(static_cast<double>(delta) /
+                           static_cast<double>(state_.iterations()));
+  }
+
+ private:
+  benchmark::State& state_;
+  int64_t start_;
+};
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
   const Tensor a = Tensor::Rand({n, n}, &rng);
   const Tensor b = Tensor::Rand({n, n}, &rng);
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// The alloc-reduction claim measured at the op level: identical matmuls
+// with the pool force-disabled, for a side-by-side allocs/iter row.
+void BM_MatMulPoolOff(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::Rand({n, n}, &rng);
+  const Tensor b = Tensor::Rand({n, n}, &rng);
+  BufferPool& pool = BufferPool::Global();
+  const bool previous = pool.enabled();
+  pool.SetEnabled(false);
+  {
+    ScopedAllocCounter allocs(state);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(MatMul(a, b));
+    }
+  }
+  pool.SetEnabled(previous);
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulPoolOff)->Arg(32)->Arg(64)->Arg(128);
 
 // Sets the pool size for the duration of one benchmark, restoring the
 // previous value afterwards so later benchmarks see the default.
@@ -135,6 +179,7 @@ void BM_OperatorForward(benchmark::State& state, const std::string& name) {
   ops::StOperatorPtr op = ops::CreateOp(name, context);
   op->SetTraining(false);
   const Tensor x = Tensor::Rand({8, 12, 12, 16}, &rng, -1.0, 1.0);
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(op->Forward(Variable(x, false)));
   }
@@ -150,6 +195,7 @@ void BM_OperatorBackward(benchmark::State& state, const std::string& name) {
   ops::OpContext context = BenchContext(&rng);
   ops::StOperatorPtr op = ops::CreateOp(name, context);
   const Tensor x = Tensor::Rand({8, 12, 12, 16}, &rng, -1.0, 1.0);
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     Variable input(x, true);
     Variable loss = ag::SumAll(op->Forward(input));
@@ -170,6 +216,7 @@ void BM_MixedEdgeForward(benchmark::State& state) {
   edge.SetTraining(false);
   const Tensor x = Tensor::Rand({8, 12, 12, 16}, &rng, -1.0, 1.0);
   const Tensor w = Softmax(Tensor::Rand({6}, &rng), 0);
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         edge.Forward(Variable(x, false), Variable(w, false)));
@@ -185,6 +232,7 @@ void BM_MicroDagCellForward(benchmark::State& state) {
   core::MicroDagCell cell(5, core::CompactOperatorSet(), context, 4, &rng);
   cell.SetTraining(false);
   const Tensor x = Tensor::Rand({8, 12, 12, 16}, &rng, -1.0, 1.0);
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cell.Forward(Variable(x, false), 1.0));
   }

@@ -1,14 +1,115 @@
 #include "autograd/variable.h"
 
 #include <cmath>
-#include <unordered_set>
+#include <mutex>
+#include <new>
 
+#include "common/buffer_pool.h"
 #include "common/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace autocts {
 
 namespace {
+
+// ----------------------------------------------------------------------
+// Tape-node chunk freelist. MakeNode runs a few thousand times per search
+// step, and each make_shared<Node> was one heap allocation of the same
+// fixed size (control block + Node fused). Recycling those chunks through
+// an intrusive freelist makes a warmed-up step allocate nothing for the
+// tape skeleton. Keyed by chunk size so the allocate_shared rebind below
+// gets its own list; obeys the AUTOCTS_TENSOR_POOL kill switch so pool-off
+// runs keep full allocator-level debugging precision (ASan use-after-free
+// on freed nodes).
+// ----------------------------------------------------------------------
+
+template <size_t kSize>
+class ChunkFreeList {
+ public:
+  static void* Get() {
+    if (BufferPool::Global().enabled()) {
+      std::lock_guard<std::mutex> lock(Mutex());
+      if (head_ != nullptr) {
+        FreeChunk* chunk = head_;
+        head_ = chunk->next;
+        --cached_;
+        return chunk;
+      }
+    }
+    return ::operator new(kSize);
+  }
+
+  static void Put(void* p) {
+    if (BufferPool::Global().enabled()) {
+      std::lock_guard<std::mutex> lock(Mutex());
+      if (cached_ < kMaxCached) {
+        auto* chunk = static_cast<FreeChunk*>(p);
+        chunk->next = head_;
+        head_ = chunk;
+        ++cached_;
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  // The freed chunk itself stores the link, so the list costs no memory
+  // beyond the parked chunks.
+  struct FreeChunk {
+    FreeChunk* next;
+  };
+  static_assert(kSize >= sizeof(FreeChunk));
+
+  // A LIFO freelist caches at most the peak number of simultaneously live
+  // nodes — one search step's tape — so the cap is a backstop, not a
+  // steady-state limit.
+  static constexpr int64_t kMaxCached = int64_t{1} << 16;
+
+  // Leaked, like BufferPool::Global(): nodes held by objects with static
+  // storage duration may release after normal static destruction.
+  static std::mutex& Mutex() {
+    static std::mutex* mutex = new std::mutex();
+    return *mutex;
+  }
+
+  inline static FreeChunk* head_ = nullptr;
+  inline static int64_t cached_ = 0;
+};
+
+// std::allocate_shared adaptor: single-object allocations (the fused
+// control-block+Node chunk) go through the freelist; anything else falls
+// back to the global allocator.
+template <typename T>
+struct TapeAllocator {
+  using value_type = T;
+
+  TapeAllocator() = default;
+  template <typename U>
+  TapeAllocator(const TapeAllocator<U>&) noexcept {}  // NOLINT: rebind
+
+  T* allocate(size_t n) {
+    if (n == 1) return static_cast<T*>(ChunkFreeList<sizeof(T)>::Get());
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    if (n == 1) {
+      ChunkFreeList<sizeof(T)>::Put(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const TapeAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+std::shared_ptr<internal::Node> AllocateNode() {
+  return std::allocate_shared<internal::Node>(
+      TapeAllocator<internal::Node>());
+}
 
 // Numeric-trace globals (see variable.h). Single driver thread only.
 bool g_trace_active = false;
@@ -42,7 +143,14 @@ void AccumulateGrad(Node* node, const Tensor& g) {
       << " does not match value shape "
       << ShapeToString(node->value.shape());
   if (!node->grad.defined()) {
-    node->grad = g.Clone();
+    if (node->grad_scratch.defined() &&
+        node->grad_scratch.shape() == g.shape()) {
+      node->grad = std::move(node->grad_scratch);
+      node->grad.CopyFrom(g);
+    } else {
+      node->grad = g.Clone();
+    }
+    node->grad_scratch = Tensor();
   } else {
     AddInPlace(&node->grad, g);
   }
@@ -53,7 +161,7 @@ void AccumulateGrad(Node* node, const Tensor& g) {
 Variable::Variable() = default;
 
 Variable::Variable(Tensor value, bool requires_grad) {
-  node_ = std::make_shared<internal::Node>();
+  node_ = AllocateNode();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
 }
@@ -83,6 +191,9 @@ bool Variable::has_grad() const { return defined() && node_->grad.defined(); }
 
 void Variable::ClearGrad() {
   AUTOCTS_CHECK(defined());
+  // Park the buffer for the next accumulation (see Node::grad_scratch)
+  // rather than bouncing it through the buffer pool.
+  node_->grad_scratch = std::move(node_->grad);
   node_->grad = Tensor();
 }
 
@@ -101,9 +212,15 @@ void Variable::Backward(const Tensor& seed) {
   AUTOCTS_CHECK(seed.shape() == shape());
 
   // Iterative post-order DFS to get a topological order of the reachable
-  // subgraph restricted to nodes that require grad.
+  // subgraph restricted to nodes that require grad. Visitation is tracked
+  // by stamping Node::visit_epoch with a fresh per-traversal epoch — a
+  // pointer hash set here would heap-allocate once per tape node per step.
+  static uint64_t backward_epoch = 0;  // driver thread only, like the tape
+  const uint64_t epoch = ++backward_epoch;
+  const auto visited = [epoch](const internal::Node* node) {
+    return node->visit_epoch == epoch;
+  };
   std::vector<internal::Node*> topo_order;
-  std::unordered_set<internal::Node*> visited;
   struct Frame {
     internal::Node* node;
     size_t next_input;
@@ -112,17 +229,20 @@ void Variable::Backward(const Tensor& seed) {
   if (node_->requires_grad) stack.push_back({node_.get(), 0});
   while (!stack.empty()) {
     Frame& frame = stack.back();
-    if (frame.next_input == 0 && visited.count(frame.node) > 0) {
+    if (frame.next_input == 0 && visited(frame.node)) {
       stack.pop_back();
       continue;
     }
     if (frame.next_input < frame.node->inputs.size()) {
       internal::Node* child = frame.node->inputs[frame.next_input++].get();
-      if (child->requires_grad && visited.count(child) == 0) {
+      if (child->requires_grad && !visited(child)) {
         stack.push_back({child, 0});
       }
     } else {
-      if (visited.insert(frame.node).second) topo_order.push_back(frame.node);
+      if (!visited(frame.node)) {
+        frame.node->visit_epoch = epoch;
+        topo_order.push_back(frame.node);
+      }
       stack.pop_back();
     }
   }
@@ -161,7 +281,7 @@ Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
 Variable MakeNode(Tensor value, std::vector<Variable> inputs,
                   std::function<void(internal::Node*)> backward,
                   const char* op_name) {
-  auto node = std::make_shared<internal::Node>();
+  std::shared_ptr<internal::Node> node = AllocateNode();
   node->value = std::move(value);
   node->op = op_name;
   bool requires_grad = false;

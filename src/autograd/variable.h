@@ -25,6 +25,10 @@ namespace internal {
 struct Node {
   Tensor value;
   Tensor grad;  // Undefined until first accumulation.
+  // Grad buffer parked by Variable::ClearGrad; the next AccumulateGrad
+  // first-use overwrites it in place instead of allocating. Long-lived
+  // parameter nodes therefore keep one grad buffer across training steps.
+  Tensor grad_scratch;
   bool requires_grad = false;
   std::vector<std::shared_ptr<Node>> inputs;
   // Propagates this node's grad into inputs' grads. May be empty for leaves.
@@ -34,6 +38,11 @@ struct Node {
   const char* op = nullptr;
   // Creation ordinal while a numeric trace is active; -1 otherwise.
   int64_t trace_index = -1;
+  // Visitation stamp for Backward()'s topological sort: the node counts as
+  // visited when this equals the current traversal's epoch. Replaces a
+  // per-Backward hash set (one heap allocation per tape node per step).
+  // Driver-thread only, like the rest of the tape.
+  uint64_t visit_epoch = 0;
 };
 
 // Adds `g` (same shape as the node value) into `node`'s gradient,

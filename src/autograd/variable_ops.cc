@@ -359,7 +359,7 @@ Variable IndexSelect(const Variable& a, int64_t axis,
   }
   Shape out_shape = in_shape;
   out_shape[norm_axis] = static_cast<int64_t>(indices.size());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const double* src = a.value().data();
   double* dst = out.data();
   const int64_t k = static_cast<int64_t>(indices.size());
@@ -375,6 +375,7 @@ Variable IndexSelect(const Variable& a, int64_t axis,
   }
   return MakeNode(out, {a},
                   [in_shape, indices, outer, mid, inner, k](Node* node) {
+                    // Zero-initialized: repeated indices accumulate.
                     Tensor grad_in(in_shape);
                     double* gdst = grad_in.data();
                     const double* gsrc = node->grad.data();

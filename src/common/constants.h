@@ -1,0 +1,15 @@
+// Shared numeric constants used across layers.
+#ifndef AUTOCTS_COMMON_CONSTANTS_H_
+#define AUTOCTS_COMMON_CONSTANTS_H_
+
+namespace autocts {
+
+// Tolerance for matching a value against the masked-null sentinel
+// (data::StandardScaler's mask_null fit and metrics::ComputeMetrics's
+// null_value masking). One constant so a value the scaler passes through
+// as "null" is the same value the masked metrics later skip.
+inline constexpr double kNullMatchTolerance = 1e-6;
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_COMMON_CONSTANTS_H_

@@ -51,14 +51,14 @@ struct Job {
   int64_t end = 0;
   int64_t grain = 1;
   int64_t num_chunks = 0;
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  internal::FunctionRef<void(int64_t, int64_t)> fn;
   std::atomic<int64_t> next_chunk{0};
   std::atomic<int64_t> completed{0};
 
   void RunChunk(int64_t chunk) const {
     const int64_t lo = begin + chunk * grain;
     const int64_t hi = std::min(end, lo + grain);
-    (*fn)(lo, hi);
+    fn(lo, hi);
   }
 };
 
@@ -185,7 +185,7 @@ void SetNumThreads(int64_t n) {
 }
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn) {
+                 internal::FunctionRef<void(int64_t, int64_t)> fn) {
   if (begin >= end) return;
   AUTOCTS_CHECK_GE(grain, 1);
   const int64_t num_chunks = (end - begin + grain - 1) / grain;
@@ -207,7 +207,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   job->end = end;
   job->grain = grain;
   job->num_chunks = num_chunks;
-  job->fn = &fn;
+  job->fn = fn;
   pool->Run(job);
 }
 
@@ -221,16 +221,28 @@ PoolStats GetPoolStats() {
 }
 
 double ParallelSum(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<double(int64_t, int64_t)>& chunk_sum) {
+                   internal::FunctionRef<double(int64_t, int64_t)> chunk_sum) {
   if (begin >= end) return 0.0;
   AUTOCTS_CHECK_GE(grain, 1);
   const int64_t num_chunks = (end - begin + grain - 1) / grain;
-  std::vector<double> partials(num_chunks, 0.0);
+  // Partials live on the stack for the common small-reduction case; heap
+  // only when a reduction spans more than kInlinePartials chunks.
+  constexpr int64_t kInlinePartials = 64;
+  double inline_partials[kInlinePartials];
+  std::vector<double> heap_partials;
+  double* partials = inline_partials;
+  if (num_chunks > kInlinePartials) {
+    heap_partials.resize(static_cast<size_t>(num_chunks));
+    partials = heap_partials.data();
+  }
+  std::fill(partials, partials + num_chunks, 0.0);
   ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
     partials[(lo - begin) / grain] = chunk_sum(lo, hi);
   });
   double total = 0.0;
-  for (const double partial : partials) total += partial;
+  for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+    total += partials[chunk];
+  }
   return total;
 }
 

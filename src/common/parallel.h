@@ -11,9 +11,52 @@
 #define AUTOCTS_COMMON_PARALLEL_H_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace autocts {
+
+namespace internal {
+
+// Non-owning callable reference: two raw pointers, trivially copyable,
+// never allocates. ParallelFor/ParallelSum take their kernels through this
+// instead of std::function because a captureful lambda rarely fits
+// std::function's small buffer, and the conversion at every kernel
+// invocation was one heap allocation per tensor op in the search inner
+// loop (bench/bench_alloc.cc counts them). The referent must outlive the
+// call — trivially true here, since both primitives block until done.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<Fn>>,
+                                FunctionRef>>>
+  FunctionRef(Fn&& fn)  // NOLINT: implicit so call sites keep passing lambdas
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(fn)))),
+        call_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<Fn>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(object_, std::forward<Args>(args)...);
+  }
+
+  bool defined() const { return call_ != nullptr; }
+
+ private:
+  void* object_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace internal
 
 // Number of threads ParallelFor spreads work across. Initialized on first
 // use from AUTOCTS_NUM_THREADS (clamped to [1, 64]); defaults to the
@@ -30,16 +73,17 @@ void SetNumThreads(int64_t n);
 // be short), spread across the pool. The calling thread participates, so a
 // serial environment degrades to an in-order loop over the same chunks.
 // `fn` must be safe to run concurrently on disjoint chunks. Nested calls
-// from inside a chunk run serially on the calling worker.
+// from inside a chunk run serially on the calling worker. Blocks until
+// every chunk has run, so `fn` is borrowed, never copied.
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn);
+                 internal::FunctionRef<void(int64_t, int64_t)> fn);
 
 // Deterministic parallel sum reduction: evaluates chunk_sum over every
 // fixed `grain`-sized chunk of [begin, end) and adds the partial results in
 // chunk-index order, so the floating-point association is independent of
 // the thread count.
 double ParallelSum(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<double(int64_t, int64_t)>& chunk_sum);
+                   internal::FunctionRef<double(int64_t, int64_t)> chunk_sum);
 
 // Cumulative scheduling counters since process start, for the
 // observability layer's pool-occupancy metric. Counters only grow; sample

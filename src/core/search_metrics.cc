@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
+
 namespace autocts::core {
 
 void RegisterSearchMetrics(obs::MetricsRegistry* registry) {
@@ -25,6 +27,9 @@ void RegisterSearchMetrics(obs::MetricsRegistry* registry) {
   registry->GetGauge(kMetricBatchesPerSec);
   registry->GetGauge(kMetricElapsedSec);
   registry->GetGauge(kMetricPoolOccupancy);
+  // Tensor buffer pool columns (all "wall/tensor_pool/..."): per-process
+  // cumulative counters, hence wall-prefixed like the thread-pool gauge.
+  RegisterBufferPoolMetrics(registry);
 }
 
 namespace {

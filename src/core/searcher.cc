@@ -8,6 +8,7 @@
 #include <limits>
 #include <optional>
 
+#include "common/buffer_pool.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
@@ -374,6 +375,7 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
         ->Set(pool.chunks > 0 ? static_cast<double>(pool.worker_chunks) /
                                     static_cast<double>(pool.chunks)
                               : 0.0);
+    UpdateBufferPoolMetrics(metrics);
     metrics->AppendRow(kind, epoch, step);
   };
 

@@ -20,6 +20,11 @@ struct CtsDataset {
   int64_t target_feature = 0;
   // Timestamps per day (5-min traffic: 288; hourly electricity: 24, ...).
   int64_t steps_per_day = 288;
+  // True when a zero reading encodes a missing observation (traffic-sensor
+  // dropouts in METR-LA-style data) rather than a real value. Drives the
+  // scaler's mask_null fit and the masked evaluation metrics; solar's
+  // genuine nighttime zeros, for example, must NOT set this.
+  bool zero_is_missing = false;
 
   int64_t num_steps() const { return values.dim(0); }
   int64_t num_nodes() const { return values.dim(1); }

@@ -2,7 +2,17 @@
 
 #include <cmath>
 
+#include "common/constants.h"
+
 namespace autocts::data {
+
+namespace {
+
+bool IsNullSentinel(double v, double null_value) {
+  return std::abs(v - null_value) < kNullMatchTolerance;
+}
+
+}  // namespace
 
 void StandardScaler::Fit(const Tensor& values, bool mask_null,
                          double null_value) {
@@ -17,7 +27,7 @@ void StandardScaler::Fit(const Tensor& values, bool mask_null,
     int64_t count = 0;
     for (int64_t r = 0; r < rows; ++r) {
       const double v = values.data()[r * features + f];
-      if (mask_null && std::abs(v - null_value) < 1e-9) continue;
+      if (mask_null && IsNullSentinel(v, null_value)) continue;
       sum += v;
       sum_sq += v * v;
       ++count;
@@ -30,6 +40,8 @@ void StandardScaler::Fit(const Tensor& values, bool mask_null,
     stddevs_[f] = std::max(1e-8, std::sqrt(variance));
   }
   fitted_ = true;
+  mask_null_ = mask_null;
+  null_value_ = null_value;
 }
 
 Tensor StandardScaler::Transform(const Tensor& values) const {
@@ -41,6 +53,10 @@ Tensor StandardScaler::Transform(const Tensor& values) const {
   for (int64_t r = 0; r < rows; ++r) {
     for (int64_t f = 0; f < features; ++f) {
       double& v = result.data()[r * features + f];
+      // Null sentinels were excluded from the fitted statistics; rescaling
+      // them would turn failed-sensor markers into fake readings that the
+      // masked metrics can no longer recognize.
+      if (mask_null_ && IsNullSentinel(v, null_value_)) continue;
       v = (v - means_[f]) / stddevs_[f];
     }
   }
@@ -54,7 +70,9 @@ Tensor StandardScaler::InverseTransformFeature(const Tensor& values,
   AUTOCTS_CHECK_LT(feature, static_cast<int64_t>(means_.size()));
   Tensor result = values.Clone();
   for (int64_t i = 0; i < result.size(); ++i) {
-    result.data()[i] = result.data()[i] * stddevs_[feature] + means_[feature];
+    double& v = result.data()[i];
+    if (mask_null_ && IsNullSentinel(v, null_value_)) continue;
+    v = v * stddevs_[feature] + means_[feature];
   }
   return result;
 }

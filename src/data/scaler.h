@@ -13,16 +13,20 @@ class StandardScaler {
   StandardScaler() = default;
 
   // Computes per-feature mean/stddev over [T, N, F] training data. When
-  // `mask_null` is true, entries equal to `null_value` (within 1e-9) are
-  // excluded from the statistics.
+  // `mask_null` is true, entries equal to `null_value` (within
+  // kNullMatchTolerance) are excluded from the statistics, and
+  // Transform/InverseTransformFeature pass such entries through unchanged
+  // so downstream masked metrics still recognize them.
   void Fit(const Tensor& values, bool mask_null = false,
            double null_value = 0.0);
 
-  // (x - mean) / std per feature; input [T, N, F] or [B, T, N, F].
+  // (x - mean) / std per feature; input [T, N, F] or [B, T, N, F]. Null
+  // sentinels are preserved when fitted with mask_null.
   Tensor Transform(const Tensor& values) const;
 
   // Inverse transform of the target feature only; input of any shape whose
-  // values are normalized target readings.
+  // values are normalized target readings (null sentinels preserved when
+  // fitted with mask_null).
   Tensor InverseTransformFeature(const Tensor& values,
                                  int64_t feature) const;
 
@@ -31,6 +35,8 @@ class StandardScaler {
 
  private:
   bool fitted_ = false;
+  bool mask_null_ = false;
+  double null_value_ = 0.0;
   std::vector<double> means_;
   std::vector<double> stddevs_;
 };

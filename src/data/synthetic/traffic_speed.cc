@@ -50,6 +50,8 @@ CtsDataset GenerateTrafficSpeed(const TrafficSpeedConfig& config) {
   dataset.adjacency = adjacency;
   dataset.target_feature = 0;
   dataset.steps_per_day = config.steps_per_day;
+  // Zero speeds below are injected sensor failures, not real readings.
+  dataset.zero_is_missing = true;
   dataset.values = Tensor({t_total, n, 2});
   double* out = dataset.values.data();
 

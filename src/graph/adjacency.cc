@@ -59,7 +59,7 @@ Tensor SymNormalize(const Tensor& adjacency) {
     for (int64_t j = 0; j < n; ++j) degree += adjacency.data()[i * n + j];
     inv_sqrt_degree[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
   }
-  Tensor result({n, n});
+  Tensor result = Tensor::Uninitialized({n, n});
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < n; ++j) {
       result.data()[i * n + j] = inv_sqrt_degree[i] *

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/constants.h"
 #include "tensor/tensor_ops.h"
 
 namespace autocts::metrics {
@@ -19,7 +20,7 @@ PointMetrics ComputeMetrics(const Tensor& prediction, const Tensor& truth,
   const double* p = prediction.data();
   const double* y = truth.data();
   for (int64_t i = 0; i < prediction.size(); ++i) {
-    if (masked && std::abs(y[i] - null_value) < 1e-6) continue;
+    if (masked && std::abs(y[i] - null_value) < kNullMatchTolerance) continue;
     const double error = p[i] - y[i];
     abs_sum += std::abs(error);
     sq_sum += error * error;
@@ -49,6 +50,7 @@ PointMetrics ComputeHorizonMetrics(const Tensor& prediction,
 
 double Rrse(const Tensor& prediction, const Tensor& truth) {
   AUTOCTS_CHECK(prediction.shape() == truth.shape());
+  if (prediction.size() == 0) return 0.0;
   const double mean = MeanAll(truth);
   double numerator = 0.0;
   double denominator = 0.0;
@@ -58,13 +60,25 @@ double Rrse(const Tensor& prediction, const Tensor& truth) {
     numerator += (p[i] - y[i]) * (p[i] - y[i]);
     denominator += (y[i] - mean) * (y[i] - mean);
   }
-  if (denominator < 1e-12) return 0.0;
+  if (denominator < 1e-12) {
+    // Constant truth: the relative denominator degenerates. Returning 0
+    // regardless of the errors (the old behavior) would score a wrong
+    // prediction as perfect; fall back to plain RMSE, which is finite,
+    // deterministic, and still ranks worse predictions higher.
+    if (numerator < 1e-12) return 0.0;
+    return std::sqrt(numerator / static_cast<double>(prediction.size()));
+  }
   return std::sqrt(numerator / denominator);
 }
 
 double Corr(const Tensor& prediction, const Tensor& truth) {
   AUTOCTS_CHECK(prediction.shape() == truth.shape());
   AUTOCTS_CHECK_GE(prediction.ndim(), 2);
+  // Degenerate extents: no samples (or a zero-sized trailing axis) leave
+  // nothing to correlate — and would otherwise divide by dim(0) == 0 below.
+  // Single-sample input always has zero variance per series, so every
+  // series would be skipped anyway; return the same deterministic 0.
+  if (prediction.size() == 0 || prediction.dim(0) <= 1) return 0.0;
   // View as [samples, series]: the product of all leading axes are samples;
   // the trailing axes after the sample axis collapse into series columns.
   const int64_t series = prediction.size() / prediction.dim(0);

@@ -17,7 +17,8 @@ struct PointMetrics {
 };
 
 // Computes MAE/RMSE/MAPE between equally shaped tensors, ignoring entries
-// whose TRUE value equals `null_value` (within 1e-6) when `masked` is set.
+// whose TRUE value equals `null_value` (within kNullMatchTolerance, shared
+// with data::StandardScaler's mask_null fit) when `masked` is set.
 PointMetrics ComputeMetrics(const Tensor& prediction, const Tensor& truth,
                             bool masked = true, double null_value = 0.0);
 
@@ -31,11 +32,16 @@ PointMetrics ComputeHorizonMetrics(const Tensor& prediction,
 
 // Root relative squared error over all elements:
 //   sqrt(sum (p - y)^2) / sqrt(sum (y - mean(y))^2).
+// Degenerate truth (constant series, denominator ~ 0) falls back to plain
+// RMSE instead of returning 0, so wrong predictions never score perfect
+// and no NaN/Inf can reach the search validation loss.
 double Rrse(const Tensor& prediction, const Tensor& truth);
 
 // Empirical correlation coefficient: the mean over series (the last
 // meaningful axis is flattened so inputs are viewed as [samples, series])
 // of the Pearson correlation between predicted and true trajectories.
+// Zero-variance series are skipped; empty or single-sample input returns
+// a deterministic 0 rather than dividing by zero.
 double Corr(const Tensor& prediction, const Tensor& truth);
 
 }  // namespace autocts::metrics

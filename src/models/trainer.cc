@@ -94,10 +94,14 @@ PreparedData PrepareData(const data::CtsDataset& dataset,
   prepared.in_features = dataset.num_features();
   prepared.target_feature = window.target_feature;
   prepared.adjacency = dataset.adjacency;
+  prepared.zero_is_missing = dataset.zero_is_missing;
 
   const data::DataSplit raw = data::ChronologicalSplit(
       dataset.values, train_fraction, validation_fraction);
-  prepared.scaler.Fit(raw.train, /*mask_null=*/true);
+  // Masking is a per-dataset property: traffic-speed zeros are sensor
+  // dropouts (mask and pass through unscaled), solar nighttime zeros are
+  // real values (scale like everything else).
+  prepared.scaler.Fit(raw.train, /*mask_null=*/dataset.zero_is_missing);
   prepared.splits.emplace_back(prepared.scaler.Transform(raw.train), window);
   prepared.splits.emplace_back(prepared.scaler.Transform(raw.validation),
                                window);

@@ -29,15 +29,20 @@ struct PreparedData {
   int64_t in_features = 0;
   int64_t target_feature = 0;
   Tensor adjacency;  // undefined when the graph must be learned
+  // Copied from CtsDataset: zero readings are missing-data sentinels that
+  // the scaler passed through unscaled (see data/scaler.h).
+  bool zero_is_missing = false;
 
   const data::WindowDataset& train() const { return splits[0]; }
   const data::WindowDataset& validation() const { return splits[1]; }
   const data::WindowDataset& test() const { return splits[2]; }
 };
 
-// Normalizes a dataset (z-score fitted on the training portion, masking
-// zero readings) and slices it into window datasets. Fractions follow
-// Table 4 (0.7/0.1 for METR-LA style, 0.6/0.2 for the others).
+// Normalizes a dataset (z-score fitted on the training portion; zero
+// readings are excluded from the fit and pass through unscaled only when
+// the dataset marks them as missing via zero_is_missing) and slices it
+// into window datasets. Fractions follow Table 4 (0.7/0.1 for METR-LA
+// style, 0.6/0.2 for the others).
 PreparedData PrepareData(const data::CtsDataset& dataset,
                          const data::WindowSpec& window,
                          double train_fraction, double validation_fraction);

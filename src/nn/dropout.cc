@@ -9,7 +9,7 @@ Dropout::Dropout(double rate, uint64_t seed) : rate_(rate), rng_(seed) {
 
 Variable Dropout::Forward(const Variable& x) {
   if (!training() || rate_ == 0.0) return x;
-  Tensor mask(x.shape());
+  Tensor mask = Tensor::Uninitialized(x.shape());
   const double keep = 1.0 - rate_;
   const double scale = 1.0 / keep;
   for (int64_t i = 0; i < mask.size(); ++i) {

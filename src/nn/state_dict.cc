@@ -45,7 +45,7 @@ Status LoadStateDict(Module* module, const std::string& text) {
         return Status::InvalidArgument("bad shape in record: " + name);
       }
     }
-    Tensor value(shape);
+    Tensor value = Tensor::Uninitialized(shape);
     // Token-wise strtod parsing: istream extraction does not accept the
     // hex-float form SaveStateDict writes (LWG 2381).
     std::string token;

@@ -97,6 +97,8 @@ Variable AttentionOpBase::SparseAttention(const Variable& q, const Variable& k,
 
   // Lazy queries output mean(V); scatter the active rows on top using a
   // constant one-hot selection matrix S [L, u] and a lazy-row mask [L, 1].
+  // Zero-initialized on purpose (sparse one-hot scatter below); not a
+  // candidate for Tensor::Uninitialized.
   Tensor select({length, u});
   Tensor lazy_mask = Tensor::Ones({length, 1});
   for (int64_t j = 0; j < u; ++j) {

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 namespace autocts {
@@ -37,7 +38,15 @@ Tensor::Tensor() = default;
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   size_ = NumElements(shape_);
-  buffer_ = std::make_shared<std::vector<double>>(size_, 0.0);
+  buffer_ = BufferPool::Global().Acquire(size_);
+}
+
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.size_ = NumElements(t.shape_);
+  t.buffer_ = BufferPool::Global().AcquireUninitialized(t.size_);
+  return t;
 }
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -45,7 +54,7 @@ Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0); }
 
 Tensor Tensor::Full(Shape shape, double value) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   t.Fill(value);
   return t;
 }
@@ -57,18 +66,18 @@ Tensor Tensor::FromVector(Shape shape, std::vector<double> values) {
   Tensor t;
   t.shape_ = std::move(shape);
   t.size_ = static_cast<int64_t>(values.size());
-  t.buffer_ = std::make_shared<std::vector<double>>(std::move(values));
+  t.buffer_ = BufferPool::Global().Adopt(std::move(values));
   return t;
 }
 
 Tensor Tensor::Rand(Shape shape, Rng* rng, double lo, double hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   for (int64_t i = 0; i < t.size_; ++i) t.data()[i] = rng->Uniform(lo, hi);
   return t;
 }
 
 Tensor Tensor::Randn(Shape shape, Rng* rng, double mean, double stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   for (int64_t i = 0; i < t.size_; ++i) t.data()[i] = rng->Normal(mean, stddev);
   return t;
 }
@@ -80,7 +89,7 @@ Tensor Tensor::Eye(int64_t n) {
 }
 
 Tensor Tensor::Arange(int64_t n) {
-  Tensor t({n});
+  Tensor t = Uninitialized({n});
   for (int64_t i = 0; i < n; ++i) t.data()[i] = static_cast<double>(i);
   return t;
 }
@@ -115,7 +124,21 @@ double Tensor::item() const {
 
 Tensor Tensor::Clone() const {
   AUTOCTS_CHECK(defined());
-  return FromVector(shape_, *buffer_);
+  Tensor copy = Uninitialized(shape_);
+  if (size_ > 0) {
+    std::memcpy(copy.data(), data(), static_cast<size_t>(size_) * sizeof(double));
+  }
+  return copy;
+}
+
+void Tensor::CopyFrom(const Tensor& other) {
+  AUTOCTS_CHECK(defined());
+  AUTOCTS_CHECK(shape_ == other.shape_)
+      << "CopyFrom " << ShapeToString(other.shape_) << " into "
+      << ShapeToString(shape_);
+  if (size_ > 0 && data() != other.data()) {
+    std::memcpy(data(), other.data(), static_cast<size_t>(size_) * sizeof(double));
+  }
 }
 
 Tensor Tensor::Reshape(Shape new_shape) const {
@@ -157,7 +180,7 @@ Tensor Tensor::Permute(const std::vector<int64_t>& perm) const {
     seen[perm[i]] = true;
     out_shape[i] = shape_[perm[i]];
   }
-  Tensor out(out_shape);
+  Tensor out = Uninitialized(out_shape);
   const std::vector<int64_t> in_strides = RowMajorStrides(shape_);
   const std::vector<int64_t> out_strides = RowMajorStrides(out_shape);
   const int64_t rank = ndim();

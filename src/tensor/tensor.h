@@ -4,16 +4,22 @@
 //  - Storage is a shared, contiguous buffer; Reshape shares the buffer,
 //    every other shape-changing operation copies. This keeps aliasing rules
 //    trivial for the autograd layer built on top.
+//  - Buffers come from the size-bucketed recycling pool in
+//    common/buffer_pool.h (AUTOCTS_TENSOR_POOL=0 falls back to plain heap
+//    allocation). The default constructor zero-fills like a fresh
+//    allocation; Uninitialized() skips the fill for kernels that overwrite
+//    every element, and such kernels must honor that contract or pooled
+//    and unpooled runs diverge.
 //  - `double` is used throughout so finite-difference gradient checks in the
 //    test suite are numerically stable (see DESIGN.md).
 #ifndef AUTOCTS_TENSOR_TENSOR_H_
 #define AUTOCTS_TENSOR_TENSOR_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/macros.h"
 #include "common/random.h"
 
@@ -39,6 +45,11 @@ class Tensor {
   // Zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape);
 
+  // Tensor of the given shape with UNSPECIFIED contents (pooled storage
+  // keeps its recycled values). Only for callers that write every element
+  // before any read; everyone else wants Tensor(shape) / Zeros().
+  static Tensor Uninitialized(Shape shape);
+
   static Tensor Zeros(Shape shape);
   static Tensor Ones(Shape shape);
   static Tensor Full(Shape shape, double value);
@@ -56,14 +67,14 @@ class Tensor {
   // 1-D tensor [0, 1, ..., n-1].
   static Tensor Arange(int64_t n);
 
-  bool defined() const { return buffer_ != nullptr; }
+  bool defined() const { return buffer_.defined(); }
   const Shape& shape() const { return shape_; }
   int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
   int64_t dim(int64_t axis) const;
   int64_t size() const { return size_; }
 
-  double* data() { return buffer_->data(); }
-  const double* data() const { return buffer_->data(); }
+  double* data() { return buffer_.data(); }
+  const double* data() const { return buffer_.data(); }
 
   // Element access by multi-index (slow; intended for tests and setup code).
   double& At(const std::vector<int64_t>& index);
@@ -74,6 +85,10 @@ class Tensor {
 
   // Deep copy.
   Tensor Clone() const;
+
+  // Overwrites this tensor's elements with `other`'s (shapes must match).
+  // Reuses this tensor's buffer — the in-place counterpart of Clone().
+  void CopyFrom(const Tensor& other);
 
   // Returns a tensor viewing the same buffer with a new shape.
   // Requires NumElements(new_shape) == size(). One dim may be -1 (inferred).
@@ -95,7 +110,7 @@ class Tensor {
   std::string ToString() const;
 
  private:
-  std::shared_ptr<std::vector<double>> buffer_;
+  BufferRef buffer_;
   Shape shape_;
   int64_t size_ = 0;
 };

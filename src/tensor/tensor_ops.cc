@@ -15,14 +15,49 @@ constexpr int64_t kElementwiseGrain = 16384;
 constexpr int64_t kReduceGrain = 8192;
 constexpr int64_t kCopyGrain = 16384;
 
+// Zero-initialized per-axis scratch (strides, multi-indices) for the kernel
+// hot paths. Inline storage covers every rank this codebase produces; a
+// hypothetical deeper tensor spills to the heap rather than corrupting the
+// stack, so correctness never depends on the inline bound.
+class AxisScratch {
+ public:
+  explicit AxisScratch(int64_t size) : size_(size) {
+    if (size_ > kInlineRank) {
+      heap_.resize(static_cast<size_t>(size_));
+      ptr_ = heap_.data();
+    }
+    std::fill(ptr_, ptr_ + size_, int64_t{0});
+  }
+  AxisScratch(const AxisScratch&) = delete;
+  AxisScratch& operator=(const AxisScratch&) = delete;
+
+  int64_t* data() { return ptr_; }
+  const int64_t* data() const { return ptr_; }
+  int64_t& operator[](int64_t i) { return ptr_[i]; }
+  int64_t operator[](int64_t i) const { return ptr_[i]; }
+  int64_t size() const { return size_; }
+
+ private:
+  static constexpr int64_t kInlineRank = 8;
+  int64_t inline_[kInlineRank];
+  std::vector<int64_t> heap_;
+  int64_t* ptr_ = inline_;
+  int64_t size_;
+};
+
 // Strides of `shape` expanded to broadcast against `out_shape`: axes of size
-// 1 (or missing on the left) get stride 0.
-std::vector<int64_t> BroadcastStrides(const Shape& shape,
-                                      const Shape& out_shape) {
-  const std::vector<int64_t> strides = RowMajorStrides(shape);
+// 1 (or missing on the left) get stride 0. Writes into `result`, which must
+// hold out_shape.size() zeroed entries (an AxisScratch).
+void BroadcastStridesInto(const Shape& shape, const Shape& out_shape,
+                          int64_t* result) {
   const int64_t out_rank = static_cast<int64_t>(out_shape.size());
   const int64_t rank = static_cast<int64_t>(shape.size());
-  std::vector<int64_t> result(out_rank, 0);
+  AxisScratch strides(rank);
+  int64_t stride = 1;
+  for (int64_t i = rank - 1; i >= 0; --i) {
+    strides[i] = stride;
+    stride *= shape[i];
+  }
   for (int64_t i = 0; i < rank; ++i) {
     const int64_t out_axis = out_rank - rank + i;
     if (shape[i] != 1) {
@@ -32,7 +67,6 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape,
       result[out_axis] = strides[i];
     }
   }
-  return result;
 }
 
 // Walks flat indices [lo, hi) of a tensor of shape `out_shape`, maintaining
@@ -40,12 +74,10 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape,
 // emit(flat, oa, ob) for each element. Seeking to `lo` is O(rank), so
 // chunked parallel execution pays no per-chunk rescan.
 template <typename Emit>
-void ForEachBroadcast(const Shape& out_shape,
-                      const std::vector<int64_t>& sa,
-                      const std::vector<int64_t>& sb, int64_t lo, int64_t hi,
-                      Emit emit) {
+void ForEachBroadcast(const Shape& out_shape, const int64_t* sa,
+                      const int64_t* sb, int64_t lo, int64_t hi, Emit emit) {
   const int64_t rank = static_cast<int64_t>(out_shape.size());
-  std::vector<int64_t> index(rank, 0);
+  AxisScratch index(rank);
   int64_t oa = 0;
   int64_t ob = 0;
   int64_t rem = lo;
@@ -72,7 +104,7 @@ void ForEachBroadcast(const Shape& out_shape,
 template <typename Fn>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
   if (a.shape() == b.shape()) {  // Fast path: no broadcasting.
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const double* pa = a.data();
     const double* pb = b.data();
     double* po = out.data();
@@ -82,14 +114,17 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
-  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
-  const std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
+  const int64_t out_rank = static_cast<int64_t>(out_shape.size());
+  AxisScratch sa(out_rank);
+  AxisScratch sb(out_rank);
+  BroadcastStridesInto(a.shape(), out_shape, sa.data());
+  BroadcastStridesInto(b.shape(), out_shape, sb.data());
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
   ParallelFor(0, out.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
-    ForEachBroadcast(out_shape, sa, sb, lo, hi,
+    ForEachBroadcast(out_shape, sa.data(), sb.data(), lo, hi,
                      [&](int64_t flat, int64_t oa, int64_t ob) {
                        po[flat] = fn(pa[oa], pb[ob]);
                      });
@@ -99,7 +134,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fn fn) {
 
 template <typename Fn>
 Tensor UnaryOp(const Tensor& a, Fn fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const double* pa = a.data();
   double* po = out.data();
   ParallelFor(0, a.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
@@ -262,12 +297,14 @@ MatMulPlan PlanMatMul(const Tensor& a, const Tensor& b) {
   plan.out_shape.push_back(plan.m);
   plan.out_shape.push_back(plan.n);
   plan.num_batches = NumElements(batch);
-  const std::vector<int64_t> sa = BroadcastStrides(a_batch, batch);
-  const std::vector<int64_t> sb = BroadcastStrides(b_batch, batch);
+  const int64_t batch_rank = static_cast<int64_t>(batch.size());
+  AxisScratch sa(batch_rank);
+  AxisScratch sb(batch_rank);
+  BroadcastStridesInto(a_batch, batch, sa.data());
+  BroadcastStridesInto(b_batch, batch, sb.data());
   plan.a_offset.resize(plan.num_batches);
   plan.b_offset.resize(plan.num_batches);
-  const int64_t batch_rank = static_cast<int64_t>(batch.size());
-  std::vector<int64_t> index(batch_rank, 0);
+  AxisScratch index(batch_rank);
   int64_t oa = 0;
   int64_t ob = 0;
   for (int64_t batch_idx = 0; batch_idx < plan.num_batches; ++batch_idx) {
@@ -361,7 +398,7 @@ inline void MicroKernel(const double* __restrict__ ma,
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   const MatMulPlan plan = PlanMatMul(a, b);
-  Tensor out(plan.out_shape);
+  Tensor out(plan.out_shape);  // zero-initialized: MicroKernel accumulates
   const int64_t m = plan.m;
   const int64_t k = plan.k;
   const int64_t n = plan.n;
@@ -447,7 +484,7 @@ Tensor Max(const Tensor& a, int64_t axis, bool keepdim) {
   int64_t outer, mid, inner;
   AxisExtents(a.shape(), axis, &outer, &mid, &inner);
   AUTOCTS_CHECK_GT(mid, 0);
-  Tensor out(ReducedShape(a.shape(), axis, keepdim));
+  Tensor out = Tensor::Uninitialized(ReducedShape(a.shape(), axis, keepdim));
   const double* pa = a.data();
   double* po = out.data();
   ParallelOverReducedOutput(
@@ -469,7 +506,8 @@ Tensor ArgMax(const Tensor& a, int64_t axis) {
   axis = NormalizeAxis(axis, a.ndim());
   int64_t outer, mid, inner;
   AxisExtents(a.shape(), axis, &outer, &mid, &inner);
-  Tensor out(ReducedShape(a.shape(), axis, /*keepdim=*/false));
+  Tensor out =
+      Tensor::Uninitialized(ReducedShape(a.shape(), axis, /*keepdim=*/false));
   const double* pa = a.data();
   double* po = out.data();
   ParallelOverReducedOutput(
@@ -504,19 +542,51 @@ double MeanAll(const Tensor& a) {
   return SumAll(a) / static_cast<double>(a.size());
 }
 
+namespace {
+
+// Per-chunk partials for the full-tensor min/max reductions, stack-backed
+// for the common case (mirrors ParallelSum's inline partials).
+class PartialsScratch {
+ public:
+  PartialsScratch(int64_t size, double fill) : size_(size) {
+    if (size_ > kInlineChunks) {
+      heap_.resize(static_cast<size_t>(size_));
+      ptr_ = heap_.data();
+    }
+    std::fill(ptr_, ptr_ + size_, fill);
+  }
+  PartialsScratch(const PartialsScratch&) = delete;
+  PartialsScratch& operator=(const PartialsScratch&) = delete;
+
+  double& operator[](int64_t i) { return ptr_[i]; }
+  double operator[](int64_t i) const { return ptr_[i]; }
+  int64_t size() const { return size_; }
+
+ private:
+  static constexpr int64_t kInlineChunks = 64;
+  double inline_[kInlineChunks];
+  std::vector<double> heap_;
+  double* ptr_ = inline_;
+  int64_t size_;
+};
+
+}  // namespace
+
 double MaxAll(const Tensor& a) {
   AUTOCTS_CHECK_GT(a.size(), 0);
   const double* pa = a.data();
   double best = pa[0];
   const int64_t n = a.size();
   const int64_t num_chunks = (n + kReduceGrain - 1) / kReduceGrain;
-  std::vector<double> partials(num_chunks, pa[0]);
+  PartialsScratch partials(num_chunks, pa[0]);
   ParallelFor(0, n, kReduceGrain, [&](int64_t lo, int64_t hi) {
     double local = pa[lo];
     for (int64_t i = lo; i < hi; ++i) local = std::max(local, pa[i]);
     partials[lo / kReduceGrain] = local;
   });
-  for (const double partial : partials) best = std::max(best, partial);
+  for (int64_t i = 0; i < partials.size(); ++i) {
+    best = std::max(best, partials[i]);
+  }
   return best;
 }
 
@@ -526,13 +596,15 @@ double MinAll(const Tensor& a) {
   double best = pa[0];
   const int64_t n = a.size();
   const int64_t num_chunks = (n + kReduceGrain - 1) / kReduceGrain;
-  std::vector<double> partials(num_chunks, pa[0]);
+  PartialsScratch partials(num_chunks, pa[0]);
   ParallelFor(0, n, kReduceGrain, [&](int64_t lo, int64_t hi) {
     double local = pa[lo];
     for (int64_t i = lo; i < hi; ++i) local = std::min(local, pa[i]);
     partials[lo / kReduceGrain] = local;
   });
-  for (const double partial : partials) best = std::min(best, partial);
+  for (int64_t i = 0; i < partials.size(); ++i) {
+    best = std::min(best, partials[i]);
+  }
   return best;
 }
 
@@ -540,7 +612,7 @@ Tensor Softmax(const Tensor& a, int64_t axis) {
   axis = NormalizeAxis(axis, a.ndim());
   int64_t outer, mid, inner;
   AxisExtents(a.shape(), axis, &outer, &mid, &inner);
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const double* pa = a.data();
   double* po = out.data();
   // Fused max/exp-sum/divide per (outer, inner) lane; one pass over memory
@@ -585,7 +657,9 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t axis) {
     total_axis += t.shape()[axis];
   }
   out_shape[axis] = total_axis;
-  Tensor out(out_shape);
+  // Every output element is covered by exactly one input copy (the axis
+  // segments partition the output), so uninitialized storage is safe.
+  Tensor out = Tensor::Uninitialized(out_shape);
   int64_t outer, mid, inner;
   AxisExtents(out_shape, axis, &outer, &mid, &inner);
   (void)mid;
@@ -615,7 +689,7 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
   AUTOCTS_CHECK_LE(start + length, a.shape()[axis]);
   Shape out_shape = a.shape();
   out_shape[axis] = length;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   int64_t outer, mid, inner;
   AxisExtents(a.shape(), axis, &outer, &mid, &inner);
   const double* pa = a.data();
@@ -639,7 +713,7 @@ Tensor Pad(const Tensor& a, int64_t axis, int64_t before, int64_t after) {
   AUTOCTS_CHECK_GE(after, 0);
   Shape out_shape = a.shape();
   out_shape[axis] += before + after;
-  Tensor out(out_shape);
+  Tensor out(out_shape);  // zero-initialized: the padding is never written
   int64_t outer, mid, inner;
   AxisExtents(a.shape(), axis, &outer, &mid, &inner);
   const int64_t out_mid = out_shape[axis];
@@ -665,13 +739,15 @@ Tensor BroadcastTo(const Tensor& a, const Shape& target) {
       << "cannot broadcast " << ShapeToString(a.shape()) << " to "
       << ShapeToString(target);
   if (a.shape() == target) return a;
-  Tensor out(target);
-  const std::vector<int64_t> sa = BroadcastStrides(a.shape(), target);
-  const std::vector<int64_t> zero(target.size(), 0);
+  Tensor out = Tensor::Uninitialized(target);
+  const int64_t out_rank = static_cast<int64_t>(target.size());
+  AxisScratch sa(out_rank);
+  AxisScratch zero(out_rank);
+  BroadcastStridesInto(a.shape(), target, sa.data());
   const double* pa = a.data();
   double* po = out.data();
   ParallelFor(0, out.size(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
-    ForEachBroadcast(target, sa, zero, lo, hi,
+    ForEachBroadcast(target, sa.data(), zero.data(), lo, hi,
                      [&](int64_t flat, int64_t oa, int64_t /*ob*/) {
                        po[flat] = pa[oa];
                      });

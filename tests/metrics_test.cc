@@ -82,6 +82,42 @@ TEST(Rrse, ScalesWithErrorMagnitude) {
   EXPECT_LT(Rrse(small, truth), Rrse(large, truth));
 }
 
+TEST(Rrse, ConstantTruthFallsBackToRmseInsteadOfScoringPerfect) {
+  // Degenerate denominator: every truth entry equals the mean. The old
+  // behavior returned 0 — scoring an arbitrarily wrong prediction as
+  // perfect. The fallback is plain RMSE, so errors still rank.
+  const Tensor truth = Tensor::Full({6, 1}, 5.0);
+  const Tensor perfect = Tensor::Full({6, 1}, 5.0);
+  const Tensor wrong = Tensor::Full({6, 1}, 8.0);
+  const Tensor worse = Tensor::Full({6, 1}, 15.0);
+  EXPECT_EQ(Rrse(perfect, truth), 0.0);
+  EXPECT_NEAR(Rrse(wrong, truth), 3.0, 1e-12);   // RMSE of a constant error
+  EXPECT_NEAR(Rrse(worse, truth), 10.0, 1e-12);
+  EXPECT_LT(Rrse(wrong, truth), Rrse(worse, truth));
+}
+
+TEST(Rrse, EmptyInputIsDeterministicZero) {
+  const Tensor empty({0, 1});
+  EXPECT_EQ(Rrse(empty, empty), 0.0);
+}
+
+TEST(Corr, DegenerateExtentsReturnZero) {
+  // No samples, or a single sample (zero variance in every series): the
+  // correlation is undefined; the deterministic fallback is 0, not NaN.
+  const Tensor empty({0, 2});
+  EXPECT_EQ(Corr(empty, empty), 0.0);
+  const Tensor single = Tensor::Full({1, 3}, 4.0);
+  EXPECT_EQ(Corr(single, single), 0.0);
+}
+
+TEST(Corr, AllConstantSeriesReturnZeroNotNan) {
+  const Tensor pred = Tensor::Full({8, 2}, 1.0);
+  const Tensor truth = Tensor::Full({8, 2}, 2.0);
+  const double c = Corr(pred, truth);
+  EXPECT_EQ(c, 0.0);
+  EXPECT_FALSE(std::isnan(c));
+}
+
 TEST(Corr, PerfectAndAntiCorrelation) {
   Tensor truth({10, 1});
   Tensor flipped({10, 1});

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "autograd/grad_check.h"
+#include "common/constants.h"
 #include "common/parallel.h"
 #include "core/derived_model.h"
 #include "core/operator_set.h"
@@ -207,6 +208,49 @@ TEST_P(RandomDataTest, ScalerRoundTripAndWindowCoverage) {
     // The last window's final target must be the final timestamp.
     EXPECT_EQ(y.At({0, spec.output_length - 1, nodes - 1, 0}),
               values.At({steps - 1, nodes - 1, 0}));
+  }
+}
+
+TEST_P(RandomDataTest, MaskedScalerRoundTripsAndPreservesNullSentinels) {
+  Rng rng(4100 + GetParam());
+  const int64_t steps = 30 + rng.UniformInt(40);
+  const int64_t nodes = 1 + rng.UniformInt(5);
+  const int64_t features = 1 + rng.UniformInt(3);
+  const double null_value = 0.0;
+  // Strictly positive readings, so a zero is unambiguously a sentinel.
+  Tensor values = Tensor::Rand({steps, nodes, features}, &rng, 5.0, 80.0);
+  for (int64_t i = 0; i < values.size(); ++i) {
+    if (rng.Bernoulli(0.2)) values.data()[i] = null_value;
+  }
+
+  data::StandardScaler scaler;
+  scaler.Fit(values, /*mask_null=*/true, null_value);
+  const Tensor transformed = scaler.Transform(values);
+  for (int64_t i = 0; i < values.size(); ++i) {
+    if (values.data()[i] == null_value) {
+      // Failed-sensor markers ride through the transform bit-exactly.
+      ASSERT_EQ(transformed.data()[i], null_value) << "sentinel scaled at " << i;
+    }
+  }
+
+  const Tensor raw0 = Slice(values, 2, 0, 1);
+  const Tensor back =
+      scaler.InverseTransformFeature(Slice(transformed, 2, 0, 1), 0);
+  const Tensor scaled0 = Slice(transformed, 2, 0, 1);
+  ASSERT_TRUE(back.shape() == raw0.shape());
+  for (int64_t i = 0; i < back.size(); ++i) {
+    if (raw0.data()[i] == null_value) {
+      ASSERT_EQ(back.data()[i], null_value) << "sentinel rescaled at " << i;
+      continue;
+    }
+    // A real value whose z-score happens to land within the null-match
+    // tolerance of the sentinel is genuinely ambiguous for the inverse;
+    // skip those rare collisions instead of asserting either outcome.
+    if (std::abs(scaled0.data()[i] - null_value) < 10 * kNullMatchTolerance) {
+      continue;
+    }
+    ASSERT_NEAR(back.data()[i], raw0.data()[i], 1e-8)
+        << "round trip broke at " << i;
   }
 }
 

@@ -4,19 +4,25 @@
 # the parallel kernel code paths (src/common/parallel.*) are exercised
 # under test even on single-core machines.
 #
+# A third targeted pass re-runs the allocation-sensitive suites with
+# AUTOCTS_TENSOR_POOL=0 (tensor buffer pool disabled, see
+# src/common/buffer_pool.h) so the unpooled fallback path stays green and
+# the pooled/unpooled parity guarantee is checked from both sides.
+#
 # The crash/corruption suites (checkpoint_test and numerics_test, ctest
-# label "faultinject") are additionally run under AddressSanitizer in a
-# separate build directory: their kill/resume, fault-injection, and
-# rollback paths are exactly where lifetime bugs would hide. Set
+# label "faultinject") plus the buffer-pool suite (label "pool") are
+# additionally run under AddressSanitizer in a separate build directory:
+# their kill/resume, fault-injection, rollback, and storage-recycling
+# paths are exactly where lifetime bugs would hide. Set
 # AUTOCTS_SKIP_ASAN=1 to skip that pass (e.g. on machines without ASan
 # runtimes).
 #
 # The observability suites (observability_test and determinism_test, ctest
-# label "observability") plus parallel_test are likewise run under
-# ThreadSanitizer: the tracer's thread-local ring buffers and the metrics
-# registry are exercised by worker threads, and TSan is the tool that
-# proves the drain/aggregate paths race-free. Set AUTOCTS_SKIP_TSAN=1 to
-# skip.
+# label "observability") plus parallel_test and buffer_pool_test are
+# likewise run under ThreadSanitizer: the tracer's thread-local ring
+# buffers, the metrics registry, and the pool's per-bucket free lists are
+# exercised by worker threads, and TSan is the tool that proves those
+# paths race-free. Set AUTOCTS_SKIP_TSAN=1 to skip.
 #
 # Optional: AUTOCTS_SANITIZE=thread|address|undefined ./tools/tier1_verify.sh
 # runs the whole build under the matching sanitizer (separate build
@@ -36,21 +42,35 @@ cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j
 AUTOCTS_NUM_THREADS=4 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j
 
-# ASan pass over the fault-injection suite (skipped when the main build is
-# already sanitized, or when explicitly disabled).
+# Pool-off parity pass: the kill switch must leave every result unchanged.
+# Scoped to the suites that exercise tensor storage hardest; bench_alloc is
+# excluded (its whole point is comparing pool on vs off internally).
+AUTOCTS_TENSOR_POOL=0 ctest --test-dir "${BUILD_DIR}" \
+    -R 'tensor_test|autograd_test|buffer_pool_test|core_search_test|determinism_test' \
+    --output-on-failure
+
+# ASan pass over the fault-injection + pool suites (skipped when the main
+# build is already sanitized, or when explicitly disabled).
 if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
   cmake -B build-address -S . -DAUTOCTS_SANITIZE=address
-  cmake --build build-address -j --target checkpoint_test --target numerics_test
-  ctest --test-dir build-address -L faultinject --output-on-failure
+  cmake --build build-address -j --target checkpoint_test \
+      --target numerics_test --target buffer_pool_test
+  ctest --test-dir build-address -L 'faultinject|pool' --output-on-failure
+  # With the pool disabled every release is a real free, restoring ASan's
+  # use-after-free precision on tensor storage.
+  AUTOCTS_TENSOR_POOL=0 ctest --test-dir build-address -L pool \
+      --output-on-failure
 fi
 
 # TSan pass over the observability suite (+ parallel_test, which drives
-# the same thread pool the tracer instruments).
+# the same thread pool the tracer instruments, and buffer_pool_test for
+# the pool's cross-thread acquire/release paths).
 if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_TSAN:-}" ]]; then
   cmake -B build-thread -S . -DAUTOCTS_SANITIZE=thread
   cmake --build build-thread -j --target observability_test \
-      --target determinism_test --target parallel_test
+      --target determinism_test --target parallel_test \
+      --target buffer_pool_test
   AUTOCTS_NUM_THREADS=4 ctest --test-dir build-thread \
-      -R 'observability_test|determinism_test|parallel_test' \
+      -R 'observability_test|determinism_test|parallel_test|buffer_pool_test' \
       --output-on-failure
 fi
