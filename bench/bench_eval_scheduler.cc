@@ -1,0 +1,145 @@
+// Parallel top-K evaluation scheduler: throughput and bit-identity.
+//
+// Two claims from DESIGN.md ("Candidate evaluation") are checked here:
+//   1. Transparency: evaluating K candidates with 4 workers produces
+//      bit-identical per-candidate metrics to evaluating them with 1
+//      (exact hex-float comparison, always enforced).
+//   2. Throughput: with >= 4 hardware threads, the 4-worker batch finishes
+//      >= 2x faster than the sequential one. Candidate-level parallelism
+//      cannot beat 1 worker on a single core (the kernels already serialize
+//      on the tensor pool there), so the speedup gate only arms when
+//      std::thread::hardware_concurrency() >= 4 and the run is full-scale;
+//      otherwise both times are reported without a verdict.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/text_codec.h"
+#include "core/eval_scheduler.h"
+#include "core/genotype.h"
+#include "core/operator_set.h"
+
+namespace autocts {
+namespace {
+
+// K structurally distinct derived genotypes (2 blocks x 3 nodes), rotating
+// through the compact operator set so every candidate trains a different
+// parameter census — mirroring what DeriveTopK's runner-up substitutions
+// produce without paying for a supernet search inside the bench.
+std::vector<core::Genotype> MakeCandidates(int64_t k) {
+  const std::vector<std::string> ops = {"identity", "gdcc", "inf_s", "dgcn",
+                                        "inf_t"};
+  std::vector<core::Genotype> candidates;
+  for (int64_t variant = 0; variant < k; ++variant) {
+    core::Genotype genotype;
+    genotype.nodes_per_block = 3;
+    for (int64_t b = 0; b < 2; ++b) {
+      core::BlockGenotype block;
+      int64_t cursor = variant + b;
+      for (const auto& [from, to] : std::vector<std::pair<int64_t, int64_t>>{
+               {0, 1}, {1, 2}, {0, 2}}) {
+        block.edges.push_back(
+            {from, to, ops[static_cast<size_t>(cursor++ % ops.size())]});
+      }
+      genotype.blocks.push_back(block);
+      genotype.block_inputs.push_back(b == 0 ? 0 : 1);
+    }
+    candidates.push_back(genotype);
+  }
+  return candidates;
+}
+
+struct TimedBatch {
+  double seconds = 0.0;
+  std::string exact_image;  // hex-float metric tokens, candidate order
+};
+
+TimedBatch RunBatch(const std::vector<core::Genotype>& candidates,
+                    const models::PreparedData& prepared, int64_t workers) {
+  core::EvalSchedulerOptions options;
+  options.workers = workers;
+  options.hidden_dim = 8;
+  options.train = bench::EvalTrainConfig();
+  options.train.epochs = 1;
+  options.train.max_batches_per_epoch = bench::Quick() ? 2 : 6;
+  options.train.seed = 17;
+  options.train.verbose = false;
+  Stopwatch timer;
+  StatusOr<core::EvalBatchResult> batch =
+      core::EvalScheduler(options).Evaluate(candidates, prepared);
+  TimedBatch timed;
+  timed.seconds = timer.Seconds();
+  if (!batch.ok()) {
+    std::printf("FAIL: batch with %lld workers: %s\n",
+                static_cast<long long>(workers),
+                batch.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (const core::CandidateOutcome& outcome : batch.value().candidates) {
+    if (!outcome.status.ok()) {
+      timed.exact_image += "FAILED " + outcome.status.ToString() + "\n";
+      continue;
+    }
+    timed.exact_image += FormatExactDouble(outcome.result.average.mae) + " " +
+                         FormatExactDouble(outcome.result.average.rmse) + " " +
+                         FormatExactDouble(outcome.result.final_train_loss) +
+                         "\n";
+  }
+  return timed;
+}
+
+void Run() {
+  bench::PrintTitle("Parallel top-K evaluation scheduler");
+  const bench::DatasetPreset preset = bench::MakePreset("pems08");
+  const models::PreparedData prepared = bench::Prepare(preset);
+  const std::vector<core::Genotype> candidates =
+      MakeCandidates(bench::Quick() ? 4 : 6);
+
+  const TimedBatch sequential = RunBatch(candidates, prepared, 1);
+  const TimedBatch parallel = RunBatch(candidates, prepared, 4);
+
+  const double speedup =
+      parallel.seconds > 0.0 ? sequential.seconds / parallel.seconds : 0.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("candidates            %8zu\n", candidates.size());
+  std::printf("1 worker              %8.3f s\n", sequential.seconds);
+  std::printf("4 workers             %8.3f s\n", parallel.seconds);
+  std::printf("speedup               %8.2f x   (hardware threads: %u)\n",
+              speedup, cores);
+
+  const bool identical = sequential.exact_image == parallel.exact_image;
+  std::printf("bit-identical         %s\n", identical ? "yes" : "NO");
+  if (!identical) {
+    std::printf("\nFAIL: worker count changed candidate metrics\n"
+                "--- 1 worker ---\n%s--- 4 workers ---\n%s",
+                sequential.exact_image.c_str(), parallel.exact_image.c_str());
+    std::exit(1);
+  }
+
+  // The >= 2x gate needs real cores to schedule onto.
+  if (cores >= 4 && !bench::Quick()) {
+    if (speedup < 2.0) {
+      std::printf("\nFAIL: speedup %.2fx below the 2x budget on %u threads\n",
+                  speedup, cores);
+      std::exit(1);
+    }
+    std::printf("speedup budget        passed (>= 2x)\n");
+  } else {
+    std::printf("speedup budget        skipped (needs >= 4 hardware "
+                "threads and a full-scale run)\n");
+  }
+}
+
+}  // namespace
+}  // namespace autocts
+
+int main() {
+  autocts::Stopwatch timer;
+  autocts::Run();
+  std::printf("[bench_eval_scheduler done in %.1fs]\n", timer.Seconds());
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "autograd/variable.h"
 
+#include <atomic>
 #include <cmath>
 #include <mutex>
 #include <new>
@@ -111,10 +112,16 @@ std::shared_ptr<internal::Node> AllocateNode() {
       TapeAllocator<internal::Node>());
 }
 
-// Numeric-trace globals (see variable.h). Single driver thread only.
-bool g_trace_active = false;
-int64_t g_trace_next_index = 0;
-NumericTraceReport g_trace_report;
+// Numeric-trace state (see variable.h). thread_local so that concurrent
+// training loops — e.g. the eval scheduler's candidate workers — can each
+// attribute their own divergence without seeing (or corrupting) another
+// thread's trace. A traced computation must run entirely on the thread
+// that called BeginNumericTrace, which holds everywhere: attribution
+// re-runs the loss closure synchronously on the caller (ParallelFor
+// worker chunks never call MakeNode; kernels run below the tape).
+thread_local bool g_trace_active = false;
+thread_local int64_t g_trace_next_index = 0;
+thread_local NumericTraceReport g_trace_report;
 
 bool HasNonFinite(const Tensor& tensor) {
   if (!tensor.defined()) return false;
@@ -215,8 +222,13 @@ void Variable::Backward(const Tensor& seed) {
   // subgraph restricted to nodes that require grad. Visitation is tracked
   // by stamping Node::visit_epoch with a fresh per-traversal epoch — a
   // pointer hash set here would heap-allocate once per tape node per step.
-  static uint64_t backward_epoch = 0;  // driver thread only, like the tape
-  const uint64_t epoch = ++backward_epoch;
+  // Atomic so concurrent Backward() calls on disjoint graphs (one per
+  // eval-scheduler worker) draw globally unique epochs: tape nodes recycle
+  // across threads through the freelist, so a stale visit_epoch stamp must
+  // never collide with a live traversal's epoch.
+  static std::atomic<uint64_t> backward_epoch{0};
+  const uint64_t epoch =
+      backward_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   const auto visited = [epoch](const internal::Node* node) {
     return node->visit_epoch == epoch;
   };

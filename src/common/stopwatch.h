@@ -9,6 +9,7 @@
 #ifndef AUTOCTS_COMMON_STOPWATCH_H_
 #define AUTOCTS_COMMON_STOPWATCH_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -19,13 +20,72 @@ using SteadyClock = std::chrono::steady_clock;
 static_assert(SteadyClock::is_steady,
               "timing requires a monotonic (steady) clock");
 
+namespace internal {
+// Fake-clock seam (tests only; see FakeClock below). `g_fake_clock_active`
+// is checked with one relaxed load on every SteadyNowNanos() call, which
+// is in the measurement noise of the real clock read it guards.
+inline std::atomic<bool> g_fake_clock_active{false};
+inline std::atomic<int64_t> g_fake_clock_nanos{0};
+}  // namespace internal
+
 // Nanoseconds since the steady clock's (arbitrary, process-stable) epoch.
-// Non-decreasing across calls on every thread.
+// Non-decreasing across calls on every thread. While a FakeClock is
+// installed, returns the fake time instead (still non-decreasing: the fake
+// clock only ever advances).
 inline int64_t SteadyNowNanos() {
+  if (internal::g_fake_clock_active.load(std::memory_order_relaxed)) {
+    return internal::g_fake_clock_nanos.load(std::memory_order_relaxed);
+  }
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              SteadyClock::now().time_since_epoch())
       .count();
 }
+
+// Test-only deterministic clock source. While installed, every
+// SteadyNowNanos() reader in the process — Stopwatch, the span tracer, the
+// wall/ metric gauges — sees a manually-advanced virtual time, so timing
+// assertions can check exact values instead of sleeping and hoping the
+// scheduler cooperates. Advance() is atomic and may be called from any
+// thread (e.g. an eval-scheduler worker hook). Never installed by library
+// code.
+class FakeClock {
+ public:
+  // Installs the fake clock seeded at `start_nanos`. Nesting is not
+  // supported; install once per test scope.
+  static void Install(int64_t start_nanos = 0) {
+    internal::g_fake_clock_nanos.store(start_nanos,
+                                       std::memory_order_relaxed);
+    internal::g_fake_clock_active.store(true, std::memory_order_relaxed);
+  }
+
+  // Advances the virtual time; returns the new now. `delta_nanos` must be
+  // non-negative to preserve the monotonic-clock contract.
+  static int64_t Advance(int64_t delta_nanos) {
+    return internal::g_fake_clock_nanos.fetch_add(
+               delta_nanos, std::memory_order_relaxed) +
+           delta_nanos;
+  }
+
+  // Restores the real steady clock.
+  static void Uninstall() {
+    internal::g_fake_clock_active.store(false, std::memory_order_relaxed);
+  }
+
+  static bool Installed() {
+    return internal::g_fake_clock_active.load(std::memory_order_relaxed);
+  }
+};
+
+// RAII installer for test scopes.
+class ScopedFakeClock {
+ public:
+  explicit ScopedFakeClock(int64_t start_nanos = 0) {
+    FakeClock::Install(start_nanos);
+  }
+  ~ScopedFakeClock() { FakeClock::Uninstall(); }
+  ScopedFakeClock(const ScopedFakeClock&) = delete;
+  ScopedFakeClock& operator=(const ScopedFakeClock&) = delete;
+};
 
 // Measures elapsed wall-clock time; starts on construction.
 class Stopwatch {

@@ -1,0 +1,863 @@
+#include "core/eval_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/file_io.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/text_codec.h"
+#include "common/trace.h"
+#include "core/evaluator.h"
+
+namespace autocts::core {
+namespace {
+
+constexpr char kCheckpointFormat[] = "autocts-eval-checkpoint";
+constexpr char kCandidateSetFormat[] = "autocts-candidate-set";
+constexpr int64_t kCandidateSetVersion = 1;
+// Shared with core/search_checkpoint.cc: the trailer is the last line of the
+// document and checksums every preceding byte.
+constexpr char kCrcKey[] = "crc32 = ";
+
+// SplitMix64 step (Vigna 2015), the same generator common/random.cc uses to
+// expand seeds. Local copy: random.cc keeps it in an anonymous namespace.
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Status/anomaly messages travel on one "key = value" line; embedded
+// newlines would tear the record.
+std::string SanitizeLine(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+void AppendCrcTrailer(std::string* payload) {
+  char trailer[24];
+  std::snprintf(trailer, sizeof(trailer), "%s%08x\n", kCrcKey,
+                Crc32(*payload));
+  payload->append(trailer);
+}
+
+// Locates and verifies the crc32 trailer; returns the preceding payload.
+StatusOr<std::string> StripAndVerifyCrc(const std::string& text) {
+  const size_t pos = text.rfind(kCrcKey);
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument("missing crc32 trailer");
+  }
+  if (pos != 0 && text[pos - 1] != '\n') {
+    return Status::InvalidArgument("crc32 trailer not on its own line");
+  }
+  std::string digits = text.substr(pos + std::strlen(kCrcKey));
+  if (!digits.empty() && digits.back() == '\n') digits.pop_back();
+  if (digits.size() != 8 ||
+      digits.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::InvalidArgument("malformed crc32 trailer");
+  }
+  const uint32_t expected =
+      static_cast<uint32_t>(std::strtoul(digits.c_str(), nullptr, 16));
+  std::string payload = text.substr(0, pos);
+  const uint32_t actual = Crc32(payload);
+  if (expected != actual) {
+    char message[64];
+    std::snprintf(message, sizeof(message),
+                  "crc32 mismatch: expected %08x, computed %08x", expected,
+                  actual);
+    return Status::InvalidArgument(message);
+  }
+  return payload;
+}
+
+// One completed candidate on a single line, every double as an exact
+// hex-float image:
+//   <index> <epochs_run> <parameter_count> <recoveries> <skipped_steps>
+//   <mae> <rmse> <mape> <rrse> <corr> <final_train_loss>
+//   <train_seconds_per_epoch> <inference_ms_per_window>
+//   <num_horizons> [<mae> <rmse> <mape>]*
+std::string EncodeResultRecord(int64_t index, const models::EvalResult& r) {
+  std::ostringstream out;
+  out << index << " " << r.epochs_run << " " << r.parameter_count << " "
+      << r.recoveries << " " << r.skipped_steps << " "
+      << FormatExactDouble(r.average.mae) << " "
+      << FormatExactDouble(r.average.rmse) << " "
+      << FormatExactDouble(r.average.mape) << " "
+      << FormatExactDouble(r.rrse) << " " << FormatExactDouble(r.corr) << " "
+      << FormatExactDouble(r.final_train_loss) << " "
+      << FormatExactDouble(r.train_seconds_per_epoch) << " "
+      << FormatExactDouble(r.inference_ms_per_window) << " "
+      << r.per_horizon.size();
+  for (const metrics::PointMetrics& h : r.per_horizon) {
+    out << " " << FormatExactDouble(h.mae) << " "
+        << FormatExactDouble(h.rmse) << " " << FormatExactDouble(h.mape);
+  }
+  return out.str();
+}
+
+Status ParseResultRecord(const std::string& text, int64_t* index,
+                         models::EvalResult* result) {
+  std::istringstream in(text);
+  const auto fail = [&text]() {
+    return Status::InvalidArgument("malformed result record: " + text);
+  };
+  const auto read_int = [&in](int64_t* value) -> bool {
+    return static_cast<bool>(in >> *value);
+  };
+  const auto read_double = [&in](double* value) -> bool {
+    std::string token;
+    if (!(in >> token)) return false;
+    return ParseExactDouble(token, value);
+  };
+  if (!read_int(index) || !read_int(&result->epochs_run) ||
+      !read_int(&result->parameter_count) ||
+      !read_int(&result->recoveries) || !read_int(&result->skipped_steps) ||
+      !read_double(&result->average.mae) ||
+      !read_double(&result->average.rmse) ||
+      !read_double(&result->average.mape) || !read_double(&result->rrse) ||
+      !read_double(&result->corr) ||
+      !read_double(&result->final_train_loss) ||
+      !read_double(&result->train_seconds_per_epoch) ||
+      !read_double(&result->inference_ms_per_window)) {
+    return fail();
+  }
+  int64_t horizons = 0;
+  if (!read_int(&horizons) || horizons < 0 || horizons > (1 << 20)) {
+    return fail();
+  }
+  result->per_horizon.resize(horizons);
+  for (int64_t h = 0; h < horizons; ++h) {
+    if (!read_double(&result->per_horizon[h].mae) ||
+        !read_double(&result->per_horizon[h].rmse) ||
+        !read_double(&result->per_horizon[h].mape)) {
+      return fail();
+    }
+  }
+  std::string trailing;
+  if (in >> trailing) {
+    return Status::InvalidArgument("trailing tokens in result record: " +
+                                   text);
+  }
+  return Status::Ok();
+}
+
+// "<index> <free text>" records (anomaly attributions, failure messages).
+Status ParseIndexedText(const std::string& record, int64_t* index,
+                        std::string* text) {
+  std::istringstream in(record);
+  if (!(in >> *index)) {
+    return Status::InvalidArgument("malformed record: " + record);
+  }
+  std::getline(in, *text);
+  *text = StripWhitespace(*text);
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// RNG stream splitting.
+// --------------------------------------------------------------------------
+
+uint64_t CandidateSeed(uint64_t base_seed, int64_t index) {
+  // Injective in `index` for a fixed base seed (xor with a distinct word,
+  // then the bijective SplitMix64 output function), and never a function of
+  // scheduling. Candidate 0 still gets a seed different from the base, so
+  // evaluation training does not replay the search's RNG stream.
+  uint64_t state =
+      base_seed ^ (static_cast<uint64_t>(index) * 0xd1342543de82ef95ULL);
+  return SplitMix64Next(&state);
+}
+
+// --------------------------------------------------------------------------
+// Candidate-set codec.
+// --------------------------------------------------------------------------
+
+std::string EncodeCandidateSet(const std::vector<Genotype>& candidates) {
+  AUTOCTS_CHECK(!candidates.empty());
+  std::ostringstream out;
+  out << "format = " << kCandidateSetFormat << "\n";
+  out << "version = " << kCandidateSetVersion << "\n";
+  out << "count = " << candidates.size() << "\n";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out << "candidate = " << i << "\n" << candidates[i].ToText();
+  }
+  return out.str();
+}
+
+StatusOr<std::vector<Genotype>> DecodeCandidateSet(const std::string& text) {
+  // Split into a header (everything before the first "candidate" marker)
+  // and one text chunk per candidate.
+  std::string header;
+  std::vector<std::pair<int64_t, std::string>> chunks;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::string stripped = StripWhitespace(line);
+    std::string key;
+    if (!stripped.empty() && stripped[0] != '#') {
+      const size_t eq = stripped.find('=');
+      if (eq != std::string::npos) {
+        key = StripWhitespace(stripped.substr(0, eq));
+      }
+    }
+    if (key == "candidate") {
+      const std::string value = StripWhitespace(
+          stripped.substr(stripped.find('=') + 1));
+      char* end = nullptr;
+      const int64_t index = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("malformed candidate marker: " +
+                                       stripped);
+      }
+      chunks.emplace_back(index, std::string());
+      continue;
+    }
+    std::string* sink = chunks.empty() ? &header : &chunks.back().second;
+    sink->append(line);
+    sink->push_back('\n');
+  }
+
+  StatusOr<TextReader> reader = TextReader::Parse(header);
+  if (!reader.ok()) return reader.status();
+  const StatusOr<std::string> format = reader.value().Get("format");
+  if (!format.ok()) {
+    // Bare single-genotype document (e.g. a plain `search --out` file).
+    if (!chunks.empty()) {
+      return Status::InvalidArgument(
+          "candidate markers without a candidate-set format header");
+    }
+    StatusOr<Genotype> genotype = Genotype::FromText(text);
+    if (!genotype.ok()) return genotype.status();
+    return std::vector<Genotype>{std::move(genotype).value()};
+  }
+  if (format.value() != kCandidateSetFormat) {
+    return Status::InvalidArgument("not a candidate set: format = " +
+                                   format.value());
+  }
+  const StatusOr<int64_t> version = reader.value().GetInt("version");
+  if (!version.ok()) return version.status();
+  if (version.value() != kCandidateSetVersion) {
+    return Status::InvalidArgument(
+        "unsupported candidate-set version " +
+        std::to_string(version.value()) + " (expected " +
+        std::to_string(kCandidateSetVersion) + ")");
+  }
+  const StatusOr<int64_t> count = reader.value().GetInt("count");
+  if (!count.ok()) return count.status();
+  if (count.value() <= 0 ||
+      count.value() != static_cast<int64_t>(chunks.size())) {
+    return Status::InvalidArgument(
+        "candidate count mismatch: header says " +
+        std::to_string(count.value()) + ", found " +
+        std::to_string(chunks.size()));
+  }
+  std::vector<Genotype> candidates;
+  candidates.reserve(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (chunks[i].first != static_cast<int64_t>(i)) {
+      return Status::InvalidArgument("candidate indices out of order");
+    }
+    StatusOr<Genotype> genotype = Genotype::FromText(chunks[i].second);
+    if (!genotype.ok()) {
+      return Status::InvalidArgument("candidate " + std::to_string(i) + ": " +
+                                     genotype.status().message());
+    }
+    candidates.push_back(std::move(genotype).value());
+  }
+  return candidates;
+}
+
+Status SaveCandidateSet(const std::vector<Genotype>& candidates,
+                        const std::string& path) {
+  return AtomicWriteFile(path, EncodeCandidateSet(candidates),
+                         /*keep_previous=*/false);
+}
+
+StatusOr<std::vector<Genotype>> LoadCandidateSet(const std::string& path) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return DecodeCandidateSet(text.value());
+}
+
+// --------------------------------------------------------------------------
+// Metrics.
+// --------------------------------------------------------------------------
+
+void RegisterEvalMetrics(obs::MetricsRegistry* registry) {
+  AUTOCTS_CHECK(registry != nullptr);
+  registry->GetCounter(kEvalMetricCandidatesTotal);
+  registry->GetCounter(kEvalMetricCandidatesDone);
+  registry->GetCounter(kEvalMetricCandidatesFailed);
+  registry->GetCounter(kEvalMetricCandidatesResumed);
+  registry->GetGauge(kEvalMetricTrainLoss);
+  registry->GetGauge(kEvalMetricMae);
+  registry->GetGauge(kEvalMetricRmse);
+  registry->GetGauge(kEvalMetricStatusOk);
+  registry->GetGauge(kEvalMetricWorkers);
+  registry->GetGauge(kEvalMetricQueueDepth);
+  registry->GetGauge(kEvalMetricCandidateSec);
+  registry->GetGauge(kEvalMetricOccupancy);
+  registry->GetGauge(kEvalMetricBatchSec);
+}
+
+// --------------------------------------------------------------------------
+// Eval checkpoint codec.
+// --------------------------------------------------------------------------
+
+std::string EvalConfigFingerprint(const std::vector<Genotype>& candidates,
+                                  const models::PreparedData& data,
+                                  int64_t hidden_dim,
+                                  const models::TrainConfig& config) {
+  std::string genotype_text;
+  for (const Genotype& genotype : candidates) {
+    genotype_text += genotype.ToText();
+  }
+  char genotype_crc[12];
+  std::snprintf(genotype_crc, sizeof(genotype_crc), "%08x",
+                Crc32(genotype_text));
+  std::ostringstream out;
+  out << "v" << EvalCheckpoint::kFormatVersion
+      << " candidates=" << candidates.size() << "/" << genotype_crc
+      << " data=" << data.num_nodes << "x" << data.in_features << "/"
+      << data.target_feature << " window=" << data.window.input_length << "/"
+      << data.window.output_length << "/" << data.window.horizon
+      << " splits=" << data.train().NumSamples() << "/"
+      << data.validation().NumSamples() << "/" << data.test().NumSamples()
+      << " zero_missing=" << data.zero_is_missing
+      << " hidden=" << hidden_dim << " seed=" << config.seed
+      << " epochs=" << config.epochs << " batch=" << config.batch_size
+      << " lr=" << FormatExactDouble(config.learning_rate)
+      << " wd=" << FormatExactDouble(config.weight_decay)
+      << " clip=" << FormatExactDouble(config.clip_norm)
+      << " max_batches=" << config.max_batches_per_epoch
+      << " patience=" << config.early_stop_patience
+      << " restore_best=" << config.restore_best_weights
+      << " health=" << config.health.loss_window << ","
+      << FormatExactDouble(config.health.loss_spike_factor) << ","
+      << config.health.min_loss_samples << ","
+      << FormatExactDouble(config.health.max_grad_norm)
+      << " recovery=" << config.recovery.enabled << ","
+      << config.recovery.max_recoveries << ","
+      << config.recovery.max_consecutive_skips << ","
+      << FormatExactDouble(config.recovery.lr_backoff);
+  // Deliberately excluded: worker count (any value is bit-identical) and
+  // observability paths (bit-transparent).
+  return out.str();
+}
+
+std::string EncodeEvalCheckpoint(const EvalCheckpoint& checkpoint) {
+  std::ostringstream out;
+  out << "format = " << kCheckpointFormat << "\n";
+  out << "version = " << EvalCheckpoint::kFormatVersion << "\n";
+  out << "config = " << checkpoint.config_fingerprint << "\n";
+  out << "candidates = " << checkpoint.candidate_count << "\n";
+  out << "completed = " << checkpoint.completed.size() << "\n";
+  out << "failures = " << checkpoint.failed.size() << "\n";
+  for (const auto& [index, result] : checkpoint.completed) {
+    out << "result = " << EncodeResultRecord(index, result) << "\n";
+    if (!result.last_anomaly.empty()) {
+      out << "anomaly = " << index << " " << SanitizeLine(result.last_anomaly)
+          << "\n";
+    }
+  }
+  for (const auto& [index, message] : checkpoint.failed) {
+    out << "failed = " << index << " " << SanitizeLine(message) << "\n";
+  }
+  std::string payload = out.str();
+  AppendCrcTrailer(&payload);
+  return payload;
+}
+
+StatusOr<EvalCheckpoint> DecodeEvalCheckpoint(const std::string& text) {
+  StatusOr<std::string> payload = StripAndVerifyCrc(text);
+  if (!payload.ok()) return payload.status();
+  StatusOr<TextReader> reader = TextReader::Parse(payload.value());
+  if (!reader.ok()) return reader.status();
+
+  const StatusOr<std::string> format = reader.value().Get("format");
+  if (!format.ok()) return format.status();
+  if (format.value() != kCheckpointFormat) {
+    return Status::InvalidArgument("not an eval checkpoint: format = " +
+                                   format.value());
+  }
+  const StatusOr<int64_t> version = reader.value().GetInt("version");
+  if (!version.ok()) return version.status();
+  if (version.value() != EvalCheckpoint::kFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported eval-checkpoint version " +
+        std::to_string(version.value()) + " (expected " +
+        std::to_string(EvalCheckpoint::kFormatVersion) + ")");
+  }
+
+  EvalCheckpoint checkpoint;
+  const StatusOr<std::string> config = reader.value().Get("config");
+  if (!config.ok()) return config.status();
+  checkpoint.config_fingerprint = config.value();
+  const StatusOr<int64_t> count = reader.value().GetInt("candidates");
+  if (!count.ok()) return count.status();
+  if (count.value() <= 0) {
+    return Status::InvalidArgument("non-positive candidate count");
+  }
+  checkpoint.candidate_count = count.value();
+  const StatusOr<int64_t> completed = reader.value().GetInt("completed");
+  const StatusOr<int64_t> failures = reader.value().GetInt("failures");
+  if (!completed.ok()) return completed.status();
+  if (!failures.ok()) return failures.status();
+
+  const auto check_index = [&checkpoint](int64_t index) {
+    return index >= 0 && index < checkpoint.candidate_count;
+  };
+
+  for (const std::string& record : reader.value().GetAll("result")) {
+    int64_t index = -1;
+    models::EvalResult result;
+    Status parsed = ParseResultRecord(record, &index, &result);
+    if (!parsed.ok()) return parsed;
+    if (!check_index(index)) {
+      return Status::InvalidArgument("result index out of range: " +
+                                     std::to_string(index));
+    }
+    if (!checkpoint.completed.empty() &&
+        index <= checkpoint.completed.back().first) {
+      return Status::InvalidArgument("result records not strictly ascending");
+    }
+    checkpoint.completed.emplace_back(index, std::move(result));
+  }
+  if (static_cast<int64_t>(checkpoint.completed.size()) != completed.value()) {
+    return Status::InvalidArgument("completed count mismatch");
+  }
+
+  for (const std::string& record : reader.value().GetAll("anomaly")) {
+    int64_t index = -1;
+    std::string message;
+    Status parsed = ParseIndexedText(record, &index, &message);
+    if (!parsed.ok()) return parsed;
+    const auto it = std::find_if(
+        checkpoint.completed.begin(), checkpoint.completed.end(),
+        [index](const auto& entry) { return entry.first == index; });
+    if (it == checkpoint.completed.end()) {
+      return Status::InvalidArgument(
+          "anomaly record without a matching result: " + record);
+    }
+    it->second.last_anomaly = message;
+  }
+
+  for (const std::string& record : reader.value().GetAll("failed")) {
+    int64_t index = -1;
+    std::string message;
+    Status parsed = ParseIndexedText(record, &index, &message);
+    if (!parsed.ok()) return parsed;
+    if (!check_index(index)) {
+      return Status::InvalidArgument("failure index out of range: " +
+                                     std::to_string(index));
+    }
+    if (!checkpoint.failed.empty() &&
+        index <= checkpoint.failed.back().first) {
+      return Status::InvalidArgument(
+          "failure records not strictly ascending");
+    }
+    const bool also_completed = std::any_of(
+        checkpoint.completed.begin(), checkpoint.completed.end(),
+        [index](const auto& entry) { return entry.first == index; });
+    if (also_completed) {
+      return Status::InvalidArgument("candidate " + std::to_string(index) +
+                                     " both completed and failed");
+    }
+    checkpoint.failed.emplace_back(index, std::move(message));
+  }
+  if (static_cast<int64_t>(checkpoint.failed.size()) != failures.value()) {
+    return Status::InvalidArgument("failure count mismatch");
+  }
+  return checkpoint;
+}
+
+Status SaveEvalCheckpoint(const EvalCheckpoint& checkpoint,
+                          const std::string& path) {
+  return AtomicWriteFile(path, EncodeEvalCheckpoint(checkpoint));
+}
+
+StatusOr<EvalCheckpoint> LoadEvalCheckpoint(const std::string& path) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return DecodeEvalCheckpoint(text.value());
+}
+
+StatusOr<EvalCheckpoint> LoadEvalCheckpointOrPrev(const std::string& path,
+                                                  bool* used_prev) {
+  if (used_prev != nullptr) *used_prev = false;
+  StatusOr<EvalCheckpoint> primary = LoadEvalCheckpoint(path);
+  if (primary.ok()) return primary;
+  const std::string prev_path = path + ".prev";
+  if (!FileExists(prev_path)) return primary.status();
+  StatusOr<EvalCheckpoint> previous = LoadEvalCheckpoint(prev_path);
+  if (!previous.ok()) {
+    return Status(primary.status().code(),
+                  primary.status().message() +
+                      "; fallback also failed: " + previous.status().message());
+  }
+  if (used_prev != nullptr) *used_prev = true;
+  return previous;
+}
+
+// --------------------------------------------------------------------------
+// The scheduler.
+// --------------------------------------------------------------------------
+
+EvalScheduler::EvalScheduler(EvalSchedulerOptions options)
+    : options_(std::move(options)) {
+  AUTOCTS_CHECK_GE(options_.hidden_dim, 1);
+  // Per-candidate observability belongs to the scheduler (workers must not
+  // share the driver's registry or the global tracer session).
+  AUTOCTS_CHECK(options_.train.metrics == nullptr)
+      << "set EvalSchedulerOptions::metrics, not train.metrics";
+  AUTOCTS_CHECK(options_.train.metrics_path.empty())
+      << "set EvalSchedulerOptions::metrics_path, not train.metrics_path";
+  AUTOCTS_CHECK(options_.train.trace_path.empty())
+      << "per-candidate trace paths are not supported";
+}
+
+StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
+    const std::vector<Genotype>& candidates,
+    const models::PreparedData& data) {
+  const int64_t count = static_cast<int64_t>(candidates.size());
+  if (count == 0) {
+    return Status::InvalidArgument("no candidates to evaluate");
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    Status valid = candidates[i].Validate();
+    if (!valid.ok()) {
+      return Status::InvalidArgument("candidate " + std::to_string(i) +
+                                     " invalid: " + valid.message());
+    }
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> owned_registry;
+  obs::MetricsRegistry* registry = options_.metrics;
+  if (registry == nullptr && !options_.metrics_path.empty()) {
+    owned_registry = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry.get();
+  }
+  if (registry != nullptr) RegisterEvalMetrics(registry);
+
+  const std::string fingerprint =
+      EvalConfigFingerprint(candidates, data, options_.hidden_dim,
+                            options_.train);
+
+  EvalBatchResult batch;
+  batch.candidates.resize(count);
+  std::vector<bool> done(count, false);
+
+  EvalCheckpoint checkpoint;
+  checkpoint.config_fingerprint = fingerprint;
+  checkpoint.candidate_count = count;
+
+  // ---- Resume ----
+  if (!options_.checkpoint_path.empty() &&
+      (FileExists(options_.checkpoint_path) ||
+       FileExists(options_.checkpoint_path + ".prev"))) {
+    bool used_prev = false;
+    StatusOr<EvalCheckpoint> loaded =
+        LoadEvalCheckpointOrPrev(options_.checkpoint_path, &used_prev);
+    if (!loaded.ok()) {
+      AUTOCTS_LOG(WARNING) << "eval checkpoint at "
+                           << options_.checkpoint_path << " unusable ("
+                           << loaded.status().message()
+                           << "); starting fresh";
+    } else if (loaded.value().config_fingerprint != fingerprint ||
+               loaded.value().candidate_count != count) {
+      AUTOCTS_LOG(WARNING) << "eval checkpoint at "
+                           << options_.checkpoint_path
+                           << " fingerprints a different batch; "
+                              "starting fresh";
+    } else {
+      checkpoint = std::move(loaded).value();
+      for (const auto& [index, result] : checkpoint.completed) {
+        CandidateOutcome& outcome = batch.candidates[index];
+        outcome.result = result;
+        outcome.resumed = true;
+        done[index] = true;
+        ++batch.resumed;
+      }
+      for (const auto& [index, message] : checkpoint.failed) {
+        CandidateOutcome& outcome = batch.candidates[index];
+        outcome.status = Status::Internal(message);
+        outcome.resumed = true;
+        done[index] = true;
+        ++batch.resumed;
+        ++batch.failed;
+      }
+      if (options_.verbose || used_prev) {
+        AUTOCTS_LOG(INFO) << "resumed eval batch: " << batch.resumed << "/"
+                          << count << " candidates from "
+                          << options_.checkpoint_path
+                          << (used_prev ? " (.prev generation)" : "");
+      }
+    }
+  }
+
+  std::vector<int64_t> pending;
+  for (int64_t i = 0; i < count; ++i) {
+    if (!done[i]) pending.push_back(i);
+  }
+  const int64_t workers = std::max<int64_t>(
+      1, std::min<int64_t>(options_.workers,
+                           static_cast<int64_t>(pending.size())));
+
+  // ---- Driver-side metrics state ----
+  obs::Counter* total_counter = nullptr;
+  obs::Counter* done_counter = nullptr;
+  obs::Counter* failed_counter = nullptr;
+  obs::Counter* resumed_counter = nullptr;
+  if (registry != nullptr) {
+    total_counter = registry->GetCounter(kEvalMetricCandidatesTotal);
+    done_counter = registry->GetCounter(kEvalMetricCandidatesDone);
+    failed_counter = registry->GetCounter(kEvalMetricCandidatesFailed);
+    resumed_counter = registry->GetCounter(kEvalMetricCandidatesResumed);
+    total_counter->Set(count);
+    registry->GetGauge(kEvalMetricWorkers)->Set(static_cast<double>(workers));
+  }
+
+  // Rows are appended strictly in candidate order: the cursor advances over
+  // the longest done-prefix, so the deterministic columns depend only on
+  // candidate order, never on completion order.
+  int64_t row_cursor = 0;
+  int64_t outstanding = static_cast<int64_t>(pending.size());
+  const auto append_ready_rows = [&]() {
+    if (registry == nullptr) return;
+    while (row_cursor < count && done[row_cursor]) {
+      const CandidateOutcome& outcome = batch.candidates[row_cursor];
+      const bool ok = outcome.status.ok();
+      done_counter->Increment();
+      if (!ok) failed_counter->Increment();
+      if (outcome.resumed) resumed_counter->Increment();
+      registry->GetGauge(kEvalMetricTrainLoss)
+          ->Set(ok ? outcome.result.final_train_loss : 0.0);
+      registry->GetGauge(kEvalMetricMae)
+          ->Set(ok ? outcome.result.average.mae : 0.0);
+      registry->GetGauge(kEvalMetricRmse)
+          ->Set(ok ? outcome.result.average.rmse : 0.0);
+      registry->GetGauge(kEvalMetricStatusOk)->Set(ok ? 1.0 : 0.0);
+      registry->GetGauge(kEvalMetricCandidateSec)->Set(outcome.wall_seconds);
+      registry->GetGauge(kEvalMetricQueueDepth)
+          ->Set(static_cast<double>(outstanding));
+      registry->AppendRow("candidate", row_cursor, 0);
+      ++row_cursor;
+    }
+  };
+  append_ready_rows();  // resumed prefix
+
+  // ---- Worker pool ----
+  Stopwatch batch_watch;
+  struct Completion {
+    int64_t index = -1;
+    Status status = Status::Ok();
+    models::EvalResult result;
+    double wall_seconds = 0.0;
+  };
+  std::mutex mutex;
+  std::condition_variable completions_ready;
+  std::deque<Completion> inbox;
+  std::atomic<int64_t> next_slot{0};
+  std::atomic<bool> abort{false};
+
+  const auto worker_main = [&]() {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      const int64_t slot = next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= static_cast<int64_t>(pending.size())) break;
+      const int64_t index = pending[slot];
+      models::TrainConfig config = options_.train;
+      config.seed = CandidateSeed(options_.train.seed, index);
+      config.verbose = false;
+      if (options_.candidate_setup_hook) {
+        options_.candidate_setup_hook(index, &config);
+      }
+      Completion completion;
+      completion.index = index;
+      Stopwatch watch;
+      {
+        trace::Scope span("eval/candidate");
+        StatusOr<models::EvalResult> result = EvaluateGenotypeWithStatus(
+            candidates[index], data, options_.hidden_dim, config);
+        if (result.ok()) {
+          completion.result = std::move(result).value();
+        } else {
+          completion.status = result.status();
+        }
+      }
+      completion.wall_seconds = watch.Seconds();
+      if (options_.completion_hook) options_.completion_hook(index);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        inbox.push_back(std::move(completion));
+      }
+      completions_ready.notify_one();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  if (!pending.empty()) {
+    threads.reserve(workers);
+    for (int64_t w = 0; w < workers; ++w) {
+      threads.emplace_back(worker_main);
+    }
+  }
+
+  // ---- Driver loop: drain completions, persist, record ----
+  double busy_seconds = 0.0;
+  bool warned_save_failure = false;
+  try {
+    int64_t drained = 0;
+    while (drained < static_cast<int64_t>(pending.size())) {
+      Completion completion;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        completions_ready.wait(lock, [&] { return !inbox.empty(); });
+        completion = std::move(inbox.front());
+        inbox.pop_front();
+      }
+      ++drained;
+      --outstanding;
+      busy_seconds += completion.wall_seconds;
+
+      CandidateOutcome& outcome = batch.candidates[completion.index];
+      outcome.status = completion.status;
+      outcome.result = std::move(completion.result);
+      outcome.wall_seconds = completion.wall_seconds;
+      done[completion.index] = true;
+      ++batch.evaluated;
+      if (!outcome.status.ok()) ++batch.failed;
+      if (options_.verbose) {
+        AUTOCTS_LOG(INFO) << "eval candidate " << completion.index << "/"
+                          << count << ": "
+                          << (outcome.status.ok()
+                                  ? "mae=" + std::to_string(
+                                                 outcome.result.average.mae)
+                                  : outcome.status.ToString());
+      }
+
+      // Insert into the checkpoint's index-sorted record lists.
+      if (outcome.status.ok()) {
+        const auto at = std::upper_bound(
+            checkpoint.completed.begin(), checkpoint.completed.end(),
+            completion.index,
+            [](int64_t index, const auto& entry) {
+              return index < entry.first;
+            });
+        checkpoint.completed.insert(at, {completion.index, outcome.result});
+      } else {
+        const auto at = std::upper_bound(
+            checkpoint.failed.begin(), checkpoint.failed.end(),
+            completion.index,
+            [](int64_t index, const auto& entry) {
+              return index < entry.first;
+            });
+        checkpoint.failed.insert(
+            at, {completion.index, outcome.status.message()});
+      }
+
+      append_ready_rows();
+
+      if (!options_.checkpoint_path.empty()) {
+        Status saved = SaveEvalCheckpoint(checkpoint,
+                                          options_.checkpoint_path);
+        if (!saved.ok()) {
+          if (!warned_save_failure) {
+            AUTOCTS_LOG(WARNING) << "eval checkpoint write failed ("
+                                 << saved.message()
+                                 << "); continuing without persistence";
+            warned_save_failure = true;
+          }
+        } else {
+          if (registry != nullptr && !options_.metrics_path.empty()) {
+            Status sinks = registry->WriteSinks(options_.metrics_path);
+            if (!sinks.ok()) {
+              AUTOCTS_LOG(WARNING)
+                  << "eval metrics sinks write failed: " << sinks.message();
+            }
+          }
+          if (options_.post_persist_hook) {
+            options_.post_persist_hook(
+                static_cast<int64_t>(checkpoint.completed.size() +
+                                     checkpoint.failed.size()));
+          }
+        }
+      }
+    }
+  } catch (...) {
+    // A test hook simulated a crash: stop handing out work, let in-flight
+    // candidates finish (training is not interruptible), and rethrow with
+    // no worker threads left running.
+    abort.store(true, std::memory_order_relaxed);
+    for (std::thread& thread : threads) thread.join();
+    throw;
+  }
+  for (std::thread& thread : threads) thread.join();
+  batch.wall_seconds = batch_watch.Seconds();
+
+  for (int64_t i = 0; i < count; ++i) {
+    const CandidateOutcome& outcome = batch.candidates[i];
+    if (!outcome.status.ok()) continue;
+    if (batch.best_index < 0 ||
+        outcome.result.average.mae <
+            batch.candidates[batch.best_index].result.average.mae) {
+      batch.best_index = i;
+    }
+  }
+
+  if (registry != nullptr) {
+    AUTOCTS_CHECK_EQ(row_cursor, count);
+    const double capacity = static_cast<double>(workers) * batch.wall_seconds;
+    registry->GetGauge(kEvalMetricOccupancy)
+        ->Set(capacity > 0.0 ? busy_seconds / capacity : 0.0);
+    registry->GetGauge(kEvalMetricBatchSec)->Set(batch.wall_seconds);
+    registry->GetGauge(kEvalMetricQueueDepth)->Set(0.0);
+    registry->AppendRow("batch", count, 0);
+    if (!options_.metrics_path.empty()) {
+      Status sinks = registry->WriteSinks(options_.metrics_path);
+      if (!sinks.ok()) {
+        AUTOCTS_LOG(WARNING) << "eval metrics sinks write failed: "
+                             << sinks.message();
+      }
+    }
+  }
+  return batch;
+}
+
+StatusOr<SearchEvaluateResult> SearchAndEvaluateTopK(
+    const SearchOptions& search_options,
+    const EvalSchedulerOptions& scheduler_options,
+    const models::PreparedData& data) {
+  JointSearcher searcher(search_options);
+  StatusOr<SearchResult> search = searcher.SearchWithStatus(data);
+  if (!search.ok()) return search.status();
+
+  EvalSchedulerOptions options = scheduler_options;
+  if (options.train.seed == 0) options.train.seed = search_options.seed;
+  EvalScheduler scheduler(std::move(options));
+  StatusOr<EvalBatchResult> eval =
+      scheduler.Evaluate(search.value().top_genotypes, data);
+  if (!eval.ok()) return eval.status();
+
+  SearchEvaluateResult result;
+  result.search = std::move(search).value();
+  result.eval = std::move(eval).value();
+  return result;
+}
+
+}  // namespace autocts::core

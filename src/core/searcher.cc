@@ -755,7 +755,9 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
 
   {
     AUTOCTS_TRACE_SCOPE("search/derive");
-    result.genotype = supernet.Derive();
+    result.top_genotypes =
+        supernet.DeriveTopK(std::max<int64_t>(1, options_.derive_top_k));
+    result.genotype = result.top_genotypes.front();
   }
   if (!options_.use_macro) {
     // Replicate the single searched block into a homogeneous sequential
@@ -767,6 +769,9 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
       stacked.block_inputs.push_back(b);  // Sequential chain.
     }
     result.genotype = stacked;
+    // The stacked rewrite invalidates the per-block candidate ranking;
+    // the ablation protocol evaluates the single stacked architecture.
+    result.top_genotypes = {result.genotype};
   }
 
   // Rough peak memory: parameters + Adam moments (x3) + one batch of mixed

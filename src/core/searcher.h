@@ -64,6 +64,13 @@ struct SearchOptions {
   // eps = unrolled_epsilon / ||grad_w' L_val||.
   double unrolled_epsilon = 0.01;
 
+  // Number of candidate architectures derived from the trained supernet
+  // for the evaluation stage (Supernet::DeriveTopK). 1 reproduces the
+  // paper's single-architecture derivation; > 1 fills
+  // SearchResult::top_genotypes with up to this many ranked candidates for
+  // core::EvalScheduler to train and evaluate in parallel.
+  int64_t derive_top_k = 1;
+
   uint64_t seed = 1;
   bool verbose = false;
 
@@ -142,6 +149,10 @@ SearchOptions AutoStgLiteOptions();
 
 struct SearchResult {
   Genotype genotype;
+  // Ranked candidate architectures (top_genotypes[0] == genotype), size
+  // min(derive_top_k, available variants); singleton when derive_top_k is
+  // 1. Feed these to core::EvalScheduler for the evaluation stage.
+  std::vector<Genotype> top_genotypes;
   double search_seconds = 0.0;
   // Rough peak-memory estimate: parameters + optimizer state + one batch of
   // supernet activations, in MB (Table 7 reports search memory).

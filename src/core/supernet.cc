@@ -1,5 +1,8 @@
 #include "core/supernet.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "tensor/tensor_ops.h"
 
 namespace autocts::core {
@@ -141,6 +144,137 @@ Genotype Supernet::Derive() const {
   }
   AUTOCTS_CHECK(genotype.Validate().ok());
   return genotype;
+}
+
+std::vector<Genotype> Supernet::DeriveTopK(int64_t k) const {
+  AUTOCTS_CHECK_GE(k, 1);
+  const Genotype base = Derive();
+  std::vector<Genotype> candidates;
+  candidates.push_back(base);
+  if (k == 1) return candidates;
+
+  // One single-decision swap away from the base derivation. `penalty` is
+  // the architecture-parameter score the swap gives up (>= 0 by
+  // construction); `order` breaks exact ties by decision position so the
+  // ranking never depends on sort implementation details.
+  struct Substitution {
+    double penalty = 0.0;
+    int64_t order = 0;
+    std::function<void(Genotype*)> apply;
+  };
+  std::vector<Substitution> substitutions;
+  int64_t order = 0;
+  const int64_t num_ops = config_.op_set.size();
+
+  for (int64_t b = 0; b < config_.macro_blocks; ++b) {
+    const MicroDagCell& cell = *cells_[b];
+    // Derive() appends node j's edges as [predecessor, extras...]; walk the
+    // same layout so `slot` addresses the matching entry of
+    // base.blocks[b].edges.
+    int64_t slot = 0;
+    for (int64_t j = 1; j < config_.micro_nodes; ++j) {
+      const Tensor beta = cell.BetaWeights(j);
+      // Eq. 7 weights for edge i -> j over all non-Zero operators, best
+      // first (ties to the lower operator index, matching Derive's argmax).
+      const auto ranked_ops = [&](int64_t i) {
+        std::vector<std::pair<double, int64_t>> ranked;
+        const Tensor alpha = cell.AlphaWeights(PairIndex(i, j));
+        for (int64_t o = 0; o < num_ops; ++o) {
+          if (config_.op_set.op_names[o] == "zero") continue;
+          ranked.push_back({beta.data()[i] * alpha.data()[o], o});
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& x, const auto& y) {
+                    return x.first != y.first ? x.first > y.first
+                                             : x.second < y.second;
+                  });
+        return ranked;
+      };
+
+      const int64_t node_edges = static_cast<int64_t>(
+          1 + std::min<int64_t>(config_.edges_per_node - 1, j - 1));
+      // Operator swaps: every kept edge can fall back to its runner-up op.
+      for (int64_t e = 0; e < node_edges; ++e) {
+        const EdgeGene& edge = base.blocks[b].edges[slot + e];
+        const auto ranked = ranked_ops(edge.from);
+        if (ranked.size() < 2) continue;
+        const std::string runner_up = config_.op_set.op_names[ranked[1].second];
+        const int64_t edge_slot = slot + e;
+        substitutions.push_back(
+            {ranked[0].first - ranked[1].first, order++,
+             [b, edge_slot, runner_up](Genotype* genotype) {
+               genotype->blocks[b].edges[edge_slot].op = runner_up;
+             }});
+      }
+      // Edge swaps: every kept non-predecessor edge can be replaced by the
+      // strongest candidate edge Derive() left out.
+      std::vector<bool> kept(std::max<int64_t>(j - 1, 0), false);
+      for (int64_t e = 1; e < node_edges; ++e) {
+        kept[base.blocks[b].edges[slot + e].from] = true;
+      }
+      int64_t best_unkept = -1;
+      int64_t best_unkept_op = -1;
+      double best_unkept_weight = 0.0;
+      for (int64_t i = 0; i < j - 1; ++i) {
+        if (kept[i]) continue;
+        const auto ranked = ranked_ops(i);
+        if (ranked.empty()) continue;
+        if (best_unkept < 0 || ranked[0].first > best_unkept_weight) {
+          best_unkept = i;
+          best_unkept_op = ranked[0].second;
+          best_unkept_weight = ranked[0].first;
+        }
+      }
+      if (best_unkept >= 0) {
+        const std::string unkept_op = config_.op_set.op_names[best_unkept_op];
+        for (int64_t e = 1; e < node_edges; ++e) {
+          const EdgeGene& edge = base.blocks[b].edges[slot + e];
+          const double kept_weight = ranked_ops(edge.from)[0].first;
+          const int64_t edge_slot = slot + e;
+          const int64_t from = best_unkept;
+          substitutions.push_back(
+              {kept_weight - best_unkept_weight, order++,
+               [b, edge_slot, from, unkept_op](Genotype* genotype) {
+                 genotype->blocks[b].edges[edge_slot].from = from;
+                 genotype->blocks[b].edges[edge_slot].op = unkept_op;
+               }});
+        }
+      }
+      slot += node_edges;
+    }
+
+    // Macro swaps: block b can read from the second-largest gamma instead.
+    if (b >= 1) {
+      const Tensor gamma = gammas_[b].value();
+      const int64_t best = base.block_inputs[b];
+      int64_t second = -1;
+      for (int64_t i = 0; i <= b; ++i) {
+        if (i == best) continue;
+        if (second < 0 || gamma.data()[i] > gamma.data()[second]) second = i;
+      }
+      if (second >= 0) {
+        substitutions.push_back(
+            {gamma.data()[best] - gamma.data()[second], order++,
+             [b, second](Genotype* genotype) {
+               genotype->block_inputs[b] = second;
+             }});
+      }
+    }
+  }
+
+  std::sort(substitutions.begin(), substitutions.end(),
+            [](const Substitution& x, const Substitution& y) {
+              return x.penalty != y.penalty ? x.penalty < y.penalty
+                                            : x.order < y.order;
+            });
+  for (const Substitution& substitution : substitutions) {
+    if (static_cast<int64_t>(candidates.size()) >= k) break;
+    Genotype variant = base;
+    substitution.apply(&variant);
+    AUTOCTS_CHECK(variant.Validate().ok());
+    candidates.push_back(std::move(variant));
+  }
+  return candidates;
 }
 
 }  // namespace autocts::core

@@ -59,6 +59,17 @@ class Supernet : public models::ForecastingModel {
   // gamma.
   Genotype Derive() const;
 
+  // Derives up to `k` distinct candidate architectures for the evaluation
+  // stage (core/eval_scheduler.h), ranked by architecture-parameter score.
+  // Candidate 0 is exactly Derive(); candidates 1..k-1 are the base
+  // genotype with one derivation decision — an edge's operator, a kept
+  // non-predecessor edge, or a block's macro input — swapped for its
+  // runner-up, ordered by ascending score penalty (ties broken by decision
+  // position, so the ranking is deterministic and thread-count
+  // independent). Returns fewer than `k` genotypes when the space has
+  // fewer distinct single-swap variants.
+  std::vector<Genotype> DeriveTopK(int64_t k) const;
+
   const SupernetConfig& config() const { return config_; }
 
   // Read access to the searched cells (cost model, diagnostics).

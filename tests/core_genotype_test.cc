@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/file_io.h"
 #include "core/derived_model.h"
 #include "core/genotype.h"
 #include "core/micro_dag.h"
@@ -137,6 +138,32 @@ TEST(Genotype, TextRoundTripPreservesEverything) {
   StatusOr<Genotype> parsed = Genotype::FromText(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed.value(), original);
+}
+
+#ifndef AUTOCTS_TESTDATA_DIR
+#error "AUTOCTS_TESTDATA_DIR must be defined by the build"
+#endif
+
+// Golden-file contract: the genotype text format is persisted by search
+// checkpoints and candidate sets, so any drift must be deliberate. If this
+// test fails because the format changed on purpose, add a new
+// genotype_golden_v<N>.txt fixture (do not edit v1 in place) and bump the
+// readers that persist genotypes.
+TEST(Genotype, GoldenFileRoundTripGuardsTextFormat) {
+  const std::string path =
+      std::string(AUTOCTS_TESTDATA_DIR) + "/genotype_golden_v1.txt";
+  StatusOr<std::string> golden = ReadFileToString(path);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+
+  // Serializing today's ExampleGenotype reproduces the checked-in bytes.
+  EXPECT_EQ(ExampleGenotype().ToText(), golden.value())
+      << "genotype text format drifted from the v1 golden fixture; "
+         "add a new versioned fixture instead of editing v1";
+
+  // And the checked-in bytes still parse to the same structure.
+  StatusOr<Genotype> parsed = Genotype::FromText(golden.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), ExampleGenotype());
 }
 
 TEST(Genotype, RandomizedRoundTripProperty) {

@@ -102,6 +102,58 @@ TEST(Stopwatch, ElapsedIsNonNegativeAndGrows) {
   EXPECT_GE(watch.Nanos(), 0);
 }
 
+// The fake clock replaces the real-time assertions above (which can only
+// check monotonicity without flaking) with exact elapsed values.
+TEST(Stopwatch, FakeClockYieldsExactElapsedValues) {
+  ScopedFakeClock clock(/*start_nanos=*/1'000'000);
+  EXPECT_TRUE(FakeClock::Installed());
+  EXPECT_EQ(SteadyNowNanos(), 1'000'000);
+
+  Stopwatch watch;
+  EXPECT_EQ(watch.Nanos(), 0);
+  FakeClock::Advance(2'500'000'000);  // 2.5 s
+  EXPECT_EQ(watch.Nanos(), 2'500'000'000);
+  EXPECT_EQ(watch.Seconds(), 2.5);
+  EXPECT_EQ(watch.Millis(), 2500.0);
+
+  watch.Reset();
+  EXPECT_EQ(watch.Nanos(), 0);
+  FakeClock::Advance(750);
+  EXPECT_EQ(watch.Nanos(), 750);
+}
+
+TEST(Stopwatch, FakeClockUninstallsOnScopeExit) {
+  {
+    ScopedFakeClock clock(0);
+    ASSERT_TRUE(FakeClock::Installed());
+  }
+  EXPECT_FALSE(FakeClock::Installed());
+  // Back on the real clock: time moves again.
+  const int64_t now = SteadyNowNanos();
+  EXPECT_GT(now, 0);
+}
+
+TEST(Stopwatch, FakeClockDrivesTracerTimestamps) {
+  ScopedFakeClock clock(/*start_nanos=*/100);
+  trace::Start();
+  {
+    trace::Scope span("fake/outer");
+    FakeClock::Advance(40);
+    {
+      trace::Scope inner("fake/inner");
+      FakeClock::Advance(7);
+    }
+  }
+  trace::Stop();
+  const std::vector<trace::SpanEvent> events = trace::CollectEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].start_ns, 100);
+  EXPECT_EQ(events[0].duration_ns, 47);
+  EXPECT_EQ(events[1].start_ns, 140);
+  EXPECT_EQ(events[1].duration_ns, 7);
+  EXPECT_EQ(events[0].self_ns, 40);
+}
+
 // ---------------------------------------------------------------------------
 // Tracer core.
 

@@ -5,6 +5,8 @@
 //   generate [options]           generate a synthetic dataset, export CSV
 //   search   [options]           run the joint architecture search
 //   evaluate [options]           retrain a saved genotype and report metrics
+//   evaluate-topk [options]      train/evaluate a ranked candidate set on a
+//                                bounded worker pool (core/eval_scheduler.h)
 //
 // Common options:
 //   --kind K        traffic-speed | traffic-flow | solar | electricity
@@ -36,6 +38,29 @@
 //   --metrics-every N      also emit a metrics row every N healthy batches
 //                   (default 0 = per-epoch rows only)
 //
+// Search candidate derivation:
+//   --derive-top-k K   derive K ranked candidate architectures instead of 1;
+//                   with K > 1, --out becomes a candidate-set document that
+//                   evaluate-topk consumes (K = 1 keeps the plain genotype
+//                   format; evaluate-topk accepts either)
+//
+// evaluate-topk options:
+//   --candidates F  candidate-set file (search --derive-top-k output, or a
+//                   plain single-genotype file)
+//   --eval-workers N       worker threads evaluating candidates
+//                   concurrently (default 1); any value is bit-identical
+//   --eval-checkpoint F    persist completed candidates to F after each
+//                   finishes; a re-run with the same configuration resumes,
+//                   re-evaluating only the unfinished candidates
+//   --train-seed S  base training seed; candidate i trains under a private
+//                   RNG stream split deterministically from (S, i)
+//
+// Crash-simulation seams (e2e tests only):
+//   --die-after-checkpoints N   search: hard-exit (code 42) right after the
+//                   Nth checkpoint write
+//   --die-after-candidates N    evaluate-topk: hard-exit (code 42) once N
+//                   candidates have been persisted to --eval-checkpoint
+//
 // Without --recover 1, a numerical anomaly makes search/evaluate exit with
 // status 1 and a message naming the anomaly and, when it reproduces under
 // the autograd numeric trace, the first op that produced a non-finite
@@ -47,12 +72,15 @@
 //   autocts_cli evaluate --kind traffic-flow --nodes 10 --steps 1200 \
 //       --genotype genotype.txt --epochs 4
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
 
+#include "common/text_codec.h"
 #include "core/cost_model.h"
+#include "core/eval_scheduler.h"
 #include "core/evaluator.h"
 #include "core/searcher.h"
 #include "data/csv.h"
@@ -87,7 +115,8 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: autocts_cli <list-ops|generate|search|evaluate> "
+               "usage: autocts_cli "
+               "<list-ops|generate|search|evaluate|evaluate-topk> "
                "[--key value ...]\n(see the header of tools/autocts_cli.cc "
                "for the full option list)\n");
   return 2;
@@ -186,6 +215,17 @@ int Search(const Args& args) {
   options.checkpoint_path = args.Get("checkpoint", "");
   options.checkpoint_every_n_batches = args.GetInt("checkpoint-every", 1);
   options.resume = args.GetInt("resume", 0) != 0;
+  options.derive_top_k = args.GetInt("derive-top-k", 1);
+  const int64_t die_after_checkpoints =
+      args.GetInt("die-after-checkpoints", 0);
+  if (die_after_checkpoints > 0) {
+    options.post_checkpoint_hook = [die_after_checkpoints](
+                                       int64_t ordinal, const std::string&) {
+      // Simulated crash for the e2e pipeline test: the checkpoint is already
+      // fsynced, so exiting without cleanup is exactly a kill -9.
+      if (ordinal + 1 >= die_after_checkpoints) std::_Exit(42);
+    };
+  }
   options.recovery.enabled = args.GetInt("recover", 0) != 0;
   options.recovery.max_recoveries = args.GetInt("max-recoveries", 3);
   options.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
@@ -213,6 +253,18 @@ int Search(const Args& args) {
                 result.last_anomaly.c_str());
   }
   const std::string out = args.Get("out", "genotype.txt");
+  if (result.top_genotypes.size() > 1) {
+    const Status saved = core::SaveCandidateSet(result.top_genotypes, out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("candidate set (%lld genotypes) written to %s\n",
+                static_cast<long long>(result.top_genotypes.size()),
+                out.c_str());
+    return 0;
+  }
   std::ofstream stream(out);
   stream << result.genotype.ToText();
   std::printf("genotype written to %s\n", out.c_str());
@@ -276,6 +328,87 @@ int Evaluate(const Args& args) {
   return 0;
 }
 
+int EvaluateTopK(const Args& args) {
+  const std::string path = args.Get("candidates", "candidates.txt");
+  const StatusOr<std::vector<core::Genotype>> candidates =
+      core::LoadCandidateSet(path);
+  if (!candidates.ok()) {
+    std::fprintf(stderr, "cannot load candidate set %s: %s\n", path.c_str(),
+                 candidates.status().ToString().c_str());
+    return 1;
+  }
+  const data::CtsDataset dataset = MakeDataset(args);
+  const models::PreparedData prepared = PrepareFromArgs(args, dataset);
+
+  core::EvalSchedulerOptions options;
+  options.workers = args.GetInt("eval-workers", 1);
+  options.hidden_dim = args.GetInt("hidden", 16);
+  options.checkpoint_path = args.Get("eval-checkpoint", "");
+  options.metrics_path = args.Get("metrics-out", "");
+  options.verbose = args.GetInt("quiet", 0) == 0;
+  options.train.epochs = args.GetInt("epochs", 4);
+  options.train.batch_size = args.GetInt("batch", 32);
+  options.train.max_batches_per_epoch = args.GetInt("max-batches", 10);
+  options.train.early_stop_patience = args.GetInt("patience", 0);
+  options.train.seed = static_cast<uint64_t>(args.GetInt("train-seed", 7));
+  options.train.recovery.enabled = args.GetInt("recover", 0) != 0;
+  options.train.recovery.max_recoveries = args.GetInt("max-recoveries", 3);
+  options.train.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
+  const int64_t die_after_candidates =
+      args.GetInt("die-after-candidates", 0);
+  if (die_after_candidates > 0) {
+    options.post_persist_hook = [die_after_candidates](int64_t persisted) {
+      // Simulated crash for the e2e pipeline test (see Search()).
+      if (persisted >= die_after_candidates) std::_Exit(42);
+    };
+  }
+
+  const StatusOr<core::EvalBatchResult> evaluated =
+      core::EvalScheduler(std::move(options))
+          .Evaluate(candidates.value(), prepared);
+  if (!evaluated.ok()) {
+    std::fprintf(stderr, "evaluate-topk failed: %s\n",
+                 evaluated.status().ToString().c_str());
+    return 1;
+  }
+  const core::EvalBatchResult& batch = evaluated.value();
+  for (size_t i = 0; i < batch.candidates.size(); ++i) {
+    const core::CandidateOutcome& outcome = batch.candidates[i];
+    if (outcome.status.ok()) {
+      // Exact hex-float images alongside the readable values: the e2e
+      // pipeline test compares these tokens bit-for-bit across worker
+      // counts and resume boundaries.
+      std::printf(
+          "candidate %lld%s: MAE %.4f RMSE %.4f  exact mae=%s rmse=%s "
+          "loss=%s\n",
+          static_cast<long long>(i), outcome.resumed ? " (resumed)" : "",
+          outcome.result.average.mae, outcome.result.average.rmse,
+          FormatExactDouble(outcome.result.average.mae).c_str(),
+          FormatExactDouble(outcome.result.average.rmse).c_str(),
+          FormatExactDouble(outcome.result.final_train_loss).c_str());
+    } else {
+      std::printf("candidate %lld%s: FAILED %s\n",
+                  static_cast<long long>(i),
+                  outcome.resumed ? " (resumed)" : "",
+                  outcome.status.ToString().c_str());
+    }
+  }
+  std::printf("evaluated %lld, resumed %lld, failed %lld of %lld "
+              "candidates in %.1fs\n",
+              static_cast<long long>(batch.evaluated),
+              static_cast<long long>(batch.resumed),
+              static_cast<long long>(batch.failed),
+              static_cast<long long>(batch.candidates.size()),
+              batch.wall_seconds);
+  if (batch.best_index < 0) {
+    std::fprintf(stderr, "every candidate failed\n");
+    return 1;
+  }
+  std::printf("best candidate %lld\n",
+              static_cast<long long>(batch.best_index));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -290,5 +423,6 @@ int main(int argc, char** argv) {
   if (args.command == "generate") return Generate(args);
   if (args.command == "search") return Search(args);
   if (args.command == "evaluate") return Evaluate(args);
+  if (args.command == "evaluate-topk") return EvaluateTopK(args);
   return Usage();
 }

@@ -9,8 +9,10 @@
 # src/common/buffer_pool.h) so the unpooled fallback path stays green and
 # the pooled/unpooled parity guarantee is checked from both sides.
 #
-# The crash/corruption suites (checkpoint_test and numerics_test, ctest
-# label "faultinject") plus the buffer-pool suite (label "pool") are
+# The crash/corruption suites (checkpoint_test, numerics_test, and
+# eval_scheduler_test, ctest label "faultinject") plus the buffer-pool
+# suite (label "pool") and the end-to-end pipeline suite (label "e2e",
+# which drives the real CLI binary through kill/resume cycles) are
 # additionally run under AddressSanitizer in a separate build directory:
 # their kill/resume, fault-injection, rollback, and storage-recycling
 # paths are exactly where lifetime bugs would hide. Set
@@ -18,10 +20,11 @@
 # runtimes).
 #
 # The observability suites (observability_test and determinism_test, ctest
-# label "observability") plus parallel_test and buffer_pool_test are
-# likewise run under ThreadSanitizer: the tracer's thread-local ring
-# buffers, the metrics registry, and the pool's per-bucket free lists are
-# exercised by worker threads, and TSan is the tool that proves those
+# label "observability") plus parallel_test, buffer_pool_test, and
+# eval_scheduler_test are likewise run under ThreadSanitizer: the tracer's
+# thread-local ring buffers, the metrics registry, the pool's per-bucket
+# free lists, and the eval scheduler's worker threads + completion inbox
+# are exercised concurrently, and TSan is the tool that proves those
 # paths race-free. Set AUTOCTS_SKIP_TSAN=1 to skip.
 #
 # Optional: AUTOCTS_SANITIZE=thread|address|undefined ./tools/tier1_verify.sh
@@ -54,8 +57,10 @@ AUTOCTS_TENSOR_POOL=0 ctest --test-dir "${BUILD_DIR}" \
 if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
   cmake -B build-address -S . -DAUTOCTS_SANITIZE=address
   cmake --build build-address -j --target checkpoint_test \
-      --target numerics_test --target buffer_pool_test
-  ctest --test-dir build-address -L 'faultinject|pool' --output-on-failure
+      --target numerics_test --target buffer_pool_test \
+      --target eval_scheduler_test --target pipeline_e2e_test
+  ctest --test-dir build-address -L 'faultinject|pool|e2e' \
+      --output-on-failure
   # With the pool disabled every release is a real free, restoring ASan's
   # use-after-free precision on tensor storage.
   AUTOCTS_TENSOR_POOL=0 ctest --test-dir build-address -L pool \
@@ -69,8 +74,8 @@ if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_TSAN:-}" ]]; then
   cmake -B build-thread -S . -DAUTOCTS_SANITIZE=thread
   cmake --build build-thread -j --target observability_test \
       --target determinism_test --target parallel_test \
-      --target buffer_pool_test
+      --target buffer_pool_test --target eval_scheduler_test
   AUTOCTS_NUM_THREADS=4 ctest --test-dir build-thread \
-      -R 'observability_test|determinism_test|parallel_test|buffer_pool_test' \
+      -R 'observability_test|determinism_test|parallel_test|buffer_pool_test|eval_scheduler_test' \
       --output-on-failure
 fi
