@@ -7,6 +7,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/fault.h"
+#include "common/logging.h"
+
 namespace autocts {
 namespace {
 
@@ -25,6 +28,28 @@ const uint32_t* Crc32Table() {
   }();
   (void)initialized;
   return table;
+}
+
+std::string ErrnoText(int error_number, bool injected) {
+  std::string text = std::strerror(error_number);
+  if (injected) text += " (injected)";
+  return text;
+}
+
+// Best-effort removal of a temp file on a failure path. Consumes the
+// "unlink" fault seam so tests can exercise cleanup failing too; a leftover
+// ".tmp" is harmless (never read, overwritten by the next attempt) so this
+// only warns.
+void BestEffortRemove(const std::string& path) {
+  if (auto fault = fault::Consume("unlink")) {
+    AUTOCTS_LOG(WARNING) << "cannot remove temp file " << path << ": "
+                         << ErrnoText(fault->error_number, true);
+    return;
+  }
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    AUTOCTS_LOG(WARNING) << "cannot remove temp file " << path << ": "
+                         << std::strerror(errno);
+  }
 }
 
 }  // namespace
@@ -48,45 +73,163 @@ bool FileExists(const std::string& path) {
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
+  if (auto fault = fault::Consume("open")) {
+    return Status::Unavailable("cannot open: " + path + ": " +
+                               ErrnoText(fault->error_number, true));
+  }
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open: " + path);
+  if (!in) {
+    // NotFound only for a genuinely missing file; everything else (EACCES,
+    // EMFILE, ...) is a transient environment problem, not absence.
+    if (!FileExists(path)) {
+      return Status::NotFound("cannot open: " + path + ": " +
+                              std::strerror(ENOENT));
+    }
+    return Status::Unavailable("cannot open: " + path + ": " +
+                               std::strerror(errno));
+  }
+  if (auto fault = fault::Consume("read")) {
+    return Status::Unavailable("read failed: " + path + ": " +
+                               ErrnoText(fault->error_number, true));
+  }
   std::string content{std::istreambuf_iterator<char>(in),
                       std::istreambuf_iterator<char>()};
-  if (in.bad()) return Status::Internal("read failed: " + path);
+  if (in.bad()) {
+    return Status::Unavailable("read failed: " + path + ": " +
+                               std::strerror(errno));
+  }
   return content;
 }
 
 Status AtomicWriteFile(const std::string& path, const std::string& content,
                        bool keep_previous) {
   const std::string tmp_path = path + ".tmp";
-  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Internal("cannot open for writing: " + tmp_path + ": " +
-                            std::strerror(errno));
+
+  // 1. Open the temp file.
+  std::FILE* file = nullptr;
+  if (auto fault = fault::Consume("open")) {
+    return Status::Unavailable("cannot open for writing: " + tmp_path + ": " +
+                               ErrnoText(fault->error_number, true));
   }
-  const size_t written = content.empty()
-                             ? 0
-                             : std::fwrite(content.data(), 1, content.size(),
-                                           file);
-  bool ok = written == content.size();
-  ok = std::fflush(file) == 0 && ok;
+  file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open for writing: " + tmp_path + ": " +
+                               std::strerror(errno));
+  }
+
+  // 2. Write the content. An injected SHORT write persists a truncated
+  // prefix (flushed, so it is really on disk) before failing — the shape a
+  // real ENOSPC mid-write leaves behind.
+  if (auto fault = fault::Consume("write")) {
+    if (fault->short_write) {
+      const size_t prefix = content.size() / 2;
+      if (prefix > 0) std::fwrite(content.data(), 1, prefix, file);
+      std::fflush(file);
+    }
+    std::fclose(file);
+    BestEffortRemove(tmp_path);
+    return Status::Unavailable(
+        std::string(fault->short_write ? "short write: " : "write failed: ") +
+        tmp_path + ": " + ErrnoText(fault->error_number, true));
+  }
+  const size_t written =
+      content.empty() ? 0
+                      : std::fwrite(content.data(), 1, content.size(), file);
+  if (written != content.size()) {
+    const int error_number = errno;
+    std::fclose(file);
+    BestEffortRemove(tmp_path);
+    return Status::Unavailable("write failed: " + tmp_path + " (" +
+                               std::to_string(written) + "/" +
+                               std::to_string(content.size()) + " bytes): " +
+                               std::strerror(error_number));
+  }
+  if (std::fflush(file) != 0) {
+    const int error_number = errno;
+    std::fclose(file);
+    BestEffortRemove(tmp_path);
+    return Status::Unavailable("flush failed: " + tmp_path + ": " +
+                               std::strerror(error_number));
+  }
   // fsync before rename: otherwise a power loss can surface the new name
   // with stale (empty) contents.
-  ok = ::fsync(fileno(file)) == 0 && ok;
-  ok = std::fclose(file) == 0 && ok;
-  if (!ok) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("write failed: " + tmp_path);
+  if (::fsync(fileno(file)) != 0) {
+    const int error_number = errno;
+    std::fclose(file);
+    BestEffortRemove(tmp_path);
+    return Status::Unavailable("fsync failed: " + tmp_path + ": " +
+                               std::strerror(error_number));
   }
-  if (keep_previous && FileExists(path)) {
-    const std::string prev_path = path + ".prev";
-    if (std::rename(path.c_str(), prev_path.c_str()) != 0) {
-      return Status::Internal("cannot rotate previous generation: " + path +
-                              " -> " + prev_path);
+
+  // 3. Close. A failing close can mean buffered data never landed, so it is
+  // a write failure, not a formality.
+  bool close_failed = false;
+  int close_errno = 0;
+  bool close_injected = false;
+  if (auto fault = fault::Consume("close")) {
+    close_failed = true;
+    close_errno = fault->error_number;
+    close_injected = true;
+    std::fclose(file);
+  } else if (std::fclose(file) != 0) {
+    close_failed = true;
+    close_errno = errno;
+  }
+  if (close_failed) {
+    BestEffortRemove(tmp_path);
+    return Status::Unavailable("close failed: " + tmp_path + ": " +
+                               ErrnoText(close_errno, close_injected));
+  }
+
+  // 4. Rotate the current generation to ".prev".
+  const std::string prev_path = path + ".prev";
+  const bool rotated = keep_previous && FileExists(path);
+  if (rotated) {
+    bool rename_failed = false;
+    int rename_errno = 0;
+    bool injected = false;
+    if (auto fault = fault::Consume("rename")) {
+      rename_failed = true;
+      rename_errno = fault->error_number;
+      injected = true;
+    } else if (std::rename(path.c_str(), prev_path.c_str()) != 0) {
+      rename_failed = true;
+      rename_errno = errno;
+    }
+    if (rename_failed) {
+      BestEffortRemove(tmp_path);
+      return Status::Unavailable("cannot rotate previous generation: " + path +
+                                 " -> " + prev_path + ": " +
+                                 ErrnoText(rename_errno, injected));
     }
   }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    return Status::Internal("cannot publish: " + tmp_path + " -> " + path);
+
+  // 5. Publish. If this rename fails after a successful rotate, `path`
+  // would vanish (the old generation sits at ".prev"), so roll the rotate
+  // back best-effort before reporting — readers keep finding `path` either
+  // way, and a retry redoes the whole sequence from a clean state.
+  {
+    bool rename_failed = false;
+    int rename_errno = 0;
+    bool injected = false;
+    if (auto fault = fault::Consume("rename")) {
+      rename_failed = true;
+      rename_errno = fault->error_number;
+      injected = true;
+    } else if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      rename_failed = true;
+      rename_errno = errno;
+    }
+    if (rename_failed) {
+      if (rotated && std::rename(prev_path.c_str(), path.c_str()) != 0) {
+        AUTOCTS_LOG(WARNING) << "cannot roll back rotation " << prev_path
+                             << " -> " << path << ": " << std::strerror(errno);
+      }
+      BestEffortRemove(tmp_path);
+      return Status::Unavailable("cannot publish: " + tmp_path + " -> " +
+                                 path + ": " +
+                                 ErrnoText(rename_errno, injected));
+    }
   }
   return Status::Ok();
 }

@@ -1,0 +1,57 @@
+#include "common/signal_handler.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace autocts {
+namespace {
+
+std::atomic<CancellationToken*> g_token{nullptr};
+std::atomic<int> g_signal{0};
+
+void HandleShutdownSignal(int signal_number) {
+  const int previous = g_signal.exchange(signal_number);
+  if (previous != 0) {
+    // Second signal: the graceful path is taking too long (or is wedged).
+    // _Exit is async-signal-safe and skips atexit; the atomic checkpoint
+    // protocol means the last published generation is still intact.
+    std::_Exit(128 + signal_number);
+  }
+  CancellationToken* token = g_token.load(std::memory_order_acquire);
+  if (token != nullptr) token->Cancel(CancelReason::kShutdown);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers(CancellationToken* token) {
+  g_token.store(token, std::memory_order_release);
+  g_signal.store(0);
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking calls should wake with EINTR so the loops can
+  // notice the token promptly.
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void UninstallShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = SIG_DFL;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  g_token.store(nullptr, std::memory_order_release);
+  g_signal.store(0);
+}
+
+int LastShutdownSignal() { return g_signal.load(); }
+
+int ShutdownExitCode() {
+  const int signal_number = LastShutdownSignal();
+  return signal_number == 0 ? 0 : 128 + signal_number;
+}
+
+}  // namespace autocts

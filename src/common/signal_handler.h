@@ -1,0 +1,44 @@
+// Signal-driven graceful shutdown for the CLI entry points.
+//
+// InstallShutdownHandlers(token) routes SIGINT/SIGTERM to a cooperative
+// CancellationToken instead of killing the process mid-checkpoint:
+//
+//   1st signal  -> token->Cancel(kShutdown). The running loop (search /
+//                  evaluate-topk) notices at its next step boundary, writes
+//                  a final checkpoint, and the CLI exits with 128+signal
+//                  (130 for SIGINT, 143 for SIGTERM) — the conventional
+//                  "terminated by signal N" code, now meaning "terminated
+//                  cleanly, resume from the checkpoint".
+//   2nd signal  -> immediate _Exit(128+signal). The escape hatch when the
+//                  graceful path is wedged; no atexit handlers run, and the
+//                  atomic checkpoint protocol guarantees the last published
+//                  generation is still loadable.
+//
+// Everything the handler touches is async-signal-safe: one token Cancel()
+// (a lock-free atomic), one atomic signal-number store, and _Exit.
+#ifndef AUTOCTS_COMMON_SIGNAL_HANDLER_H_
+#define AUTOCTS_COMMON_SIGNAL_HANDLER_H_
+
+#include "common/cancellation.h"
+
+namespace autocts {
+
+// Installs SIGINT/SIGTERM handlers targeting `token`, which must outlive
+// them (the CLI uses a function-local static). Idempotent; re-installing
+// with a new token retargets the handlers and forgets any prior signal.
+void InstallShutdownHandlers(CancellationToken* token);
+
+// Restores SIG_DFL for SIGINT/SIGTERM (tests).
+void UninstallShutdownHandlers();
+
+// Signal number observed by the handler, or 0 if none arrived.
+int LastShutdownSignal();
+
+// Conventional exit code for the observed signal: 128+signal, or 0 if no
+// signal arrived. The CLI maps a kCancelled result through this so that
+// "kill -TERM" yields 143 whether the shutdown was graceful or forced.
+int ShutdownExitCode();
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_COMMON_SIGNAL_HANDLER_H_

@@ -17,6 +17,15 @@ enum class StatusCode {
   kNotFound = 2,
   kOutOfRange = 3,
   kInternal = 4,
+  // Cooperative interruption (common/cancellation.h): the operation was
+  // asked to stop (signal-driven shutdown) or exceeded its wall/step
+  // budget. Not failures of the work itself — callers checkpoint and exit,
+  // or record the budget overrun, instead of treating these as errors.
+  kCancelled = 5,
+  kDeadlineExceeded = 6,
+  // Transient resource failure worth retrying (common/fault.h retry
+  // policies treat kUnavailable and kInternal as retryable I/O errors).
+  kUnavailable = 7,
 };
 
 // Value-semantic result of an operation that can fail.
@@ -38,6 +47,15 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,8 @@
 #include <sstream>
 #include <thread>
 
+#include "common/cancellation.h"
+#include "common/fault.h"
 #include "common/file_io.h"
 #include "common/logging.h"
 #include "common/macros.h"
@@ -153,6 +156,27 @@ Status ParseResultRecord(const std::string& text, int64_t* index,
                                    text);
   }
   return Status::Ok();
+}
+
+// Failure records persist their Status code as a message prefix, so a
+// resumed run reconstructs the same code (and therefore the same
+// eval/deadline_exceeded count) a fresh run reported. An unprefixed message
+// decodes as kInternal, which keeps pre-code checkpoints loadable.
+constexpr char kDeadlinePrefix[] = "DEADLINE_EXCEEDED: ";
+
+std::string EncodeFailureMessage(const Status& status) {
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    return kDeadlinePrefix + status.message();
+  }
+  return status.message();
+}
+
+Status DecodeFailureMessage(const std::string& message) {
+  if (message.rfind(kDeadlinePrefix, 0) == 0) {
+    return Status::DeadlineExceeded(
+        message.substr(std::strlen(kDeadlinePrefix)));
+  }
+  return Status::Internal(message);
 }
 
 // "<index> <free text>" records (anomaly attributions, failure messages).
@@ -308,6 +332,9 @@ void RegisterEvalMetrics(obs::MetricsRegistry* registry) {
   registry->GetGauge(kEvalMetricMae);
   registry->GetGauge(kEvalMetricRmse);
   registry->GetGauge(kEvalMetricStatusOk);
+  registry->GetCounter(kEvalMetricDeadlineExceeded);
+  registry->GetCounter(kEvalMetricIoRetries);
+  registry->GetCounter(kEvalMetricIoFailures);
   registry->GetGauge(kEvalMetricWorkers);
   registry->GetGauge(kEvalMetricQueueDepth);
   registry->GetGauge(kEvalMetricCandidateSec);
@@ -545,6 +572,9 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
                                      " invalid: " + valid.message());
     }
   }
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return options_.cancel->ToStatus("evaluation cancelled before start");
+  }
 
   std::unique_ptr<obs::MetricsRegistry> owned_registry;
   obs::MetricsRegistry* registry = options_.metrics;
@@ -595,7 +625,7 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
       }
       for (const auto& [index, message] : checkpoint.failed) {
         CandidateOutcome& outcome = batch.candidates[index];
-        outcome.status = Status::Internal(message);
+        outcome.status = DecodeFailureMessage(message);
         outcome.resumed = true;
         done[index] = true;
         ++batch.resumed;
@@ -644,6 +674,9 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
       const bool ok = outcome.status.ok();
       done_counter->Increment();
       if (!ok) failed_counter->Increment();
+      if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+        registry->GetCounter(kEvalMetricDeadlineExceeded)->Increment();
+      }
       if (outcome.resumed) resumed_counter->Increment();
       registry->GetGauge(kEvalMetricTrainLoss)
           ->Set(ok ? outcome.result.final_train_loss : 0.0);
@@ -674,6 +707,18 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
   std::deque<Completion> inbox;
   std::atomic<int64_t> next_slot{0};
   std::atomic<bool> abort{false};
+  std::atomic<int64_t> workers_alive{0};
+
+  // In-flight table for the watchdog: each running candidate's private
+  // cancellation token and wall deadline. Entries are registered before
+  // training starts and removed before the token leaves scope.
+  struct InflightCandidate {
+    int64_t index = -1;
+    CancellationToken* token = nullptr;
+    Deadline deadline;
+  };
+  std::mutex inflight_mutex;
+  std::vector<InflightCandidate> inflight;
 
   const auto worker_main = [&]() {
     for (;;) {
@@ -684,8 +729,22 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
       models::TrainConfig config = options_.train;
       config.seed = CandidateSeed(options_.train.seed, index);
       config.verbose = false;
+      // Private interruption wiring: the watchdog cancels this token on a
+      // blown wall budget (kDeadline) or external shutdown (swept with the
+      // external token's reason); the trainer also polls the deadline and
+      // step budget itself at every batch boundary.
+      CancellationToken token;
+      const Deadline deadline =
+          Deadline::AfterBudget(options_.candidate_wall_budget_seconds);
+      config.cancel = &token;
+      config.deadline = deadline;
+      config.step_budget = options_.candidate_step_budget;
       if (options_.candidate_setup_hook) {
         options_.candidate_setup_hook(index, &config);
+      }
+      {
+        std::lock_guard<std::mutex> lock(inflight_mutex);
+        inflight.push_back({index, &token, deadline});
       }
       Completion completion;
       completion.index = index;
@@ -701,6 +760,17 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
         }
       }
       completion.wall_seconds = watch.Seconds();
+      {
+        // Deregister before the token goes out of scope (and before the
+        // completion hook, which tests use to stall this thread).
+        std::lock_guard<std::mutex> lock(inflight_mutex);
+        inflight.erase(
+            std::remove_if(inflight.begin(), inflight.end(),
+                           [index](const InflightCandidate& entry) {
+                             return entry.index == index;
+                           }),
+            inflight.end());
+      }
       if (options_.completion_hook) options_.completion_hook(index);
       {
         std::lock_guard<std::mutex> lock(mutex);
@@ -708,32 +778,116 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
       }
       completions_ready.notify_one();
     }
+    workers_alive.fetch_sub(1, std::memory_order_acq_rel);
+    completions_ready.notify_one();
   };
+
+  // Watchdog: a few-millisecond scan over the in-flight table, cancelling
+  // tokens whose wall deadline expired (kDeadline) and sweeping everything
+  // on external shutdown. Purely cooperative — it only sets flags the
+  // trainer polls — and it reads the same FakeClock-compatible clock the
+  // deadlines were minted from, so tests drive it with virtual time.
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  const bool need_watchdog =
+      !pending.empty() && (options_.candidate_wall_budget_seconds > 0.0 ||
+                           options_.cancel != nullptr);
+  if (need_watchdog) {
+    watchdog = std::thread([&] {
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        {
+          std::lock_guard<std::mutex> lock(inflight_mutex);
+          const bool shutdown =
+              options_.cancel != nullptr && options_.cancel->cancelled();
+          for (const InflightCandidate& entry : inflight) {
+            if (shutdown) {
+              entry.token->Cancel(options_.cancel->reason());
+            } else if (entry.deadline.expired()) {
+              entry.token->Cancel(CancelReason::kDeadline);
+            }
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
 
   std::vector<std::thread> threads;
   if (!pending.empty()) {
     threads.reserve(workers);
+    workers_alive.store(workers, std::memory_order_release);
     for (int64_t w = 0; w < workers; ++w) {
       threads.emplace_back(worker_main);
     }
   }
+  const auto join_all = [&] {
+    for (std::thread& thread : threads) thread.join();
+    watchdog_stop.store(true, std::memory_order_release);
+    if (watchdog.joinable()) watchdog.join();
+  };
 
   // ---- Driver loop: drain completions, persist, record ----
   double busy_seconds = 0.0;
   bool warned_save_failure = false;
+  bool external_cancel = false;
+  const auto record_io = [&](const fault::RetryOutcome& outcome) {
+    if (registry == nullptr) return;
+    if (outcome.retries() > 0) {
+      registry->GetCounter(kEvalMetricIoRetries)->Increment(outcome.retries());
+    }
+    if (!outcome.status.ok()) {
+      registry->GetCounter(kEvalMetricIoFailures)->Increment();
+    }
+  };
   try {
     int64_t drained = 0;
-    while (drained < static_cast<int64_t>(pending.size())) {
+    for (;;) {
+      // External shutdown: stop handing out new candidates, sweep the
+      // in-flight tokens once (the watchdog keeps sweeping late joiners),
+      // then keep draining so every completed result is persisted before
+      // returning.
+      if (!external_cancel && options_.cancel != nullptr &&
+          options_.cancel->cancelled()) {
+        external_cancel = true;
+        abort.store(true, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(inflight_mutex);
+          for (const InflightCandidate& entry : inflight) {
+            entry.token->Cancel(options_.cancel->reason());
+          }
+        }
+        AUTOCTS_LOG(WARNING)
+            << "eval scheduler interrupted; draining in-flight candidates";
+      }
+      if (external_cancel) {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (inbox.empty() &&
+            workers_alive.load(std::memory_order_acquire) == 0) {
+          break;
+        }
+      } else if (drained >= static_cast<int64_t>(pending.size())) {
+        break;
+      }
       Completion completion;
       {
         std::unique_lock<std::mutex> lock(mutex);
-        completions_ready.wait(lock, [&] { return !inbox.empty(); });
+        completions_ready.wait_for(lock, std::chrono::milliseconds(50),
+                                   [&] { return !inbox.empty(); });
+        if (inbox.empty()) continue;  // re-check cancel / worker exit
         completion = std::move(inbox.front());
         inbox.pop_front();
       }
       ++drained;
       --outstanding;
       busy_seconds += completion.wall_seconds;
+
+      if (completion.status.code() == StatusCode::kCancelled) {
+        // Shutdown interrupted this candidate mid-training: record nothing.
+        // done[] stays false, so a resumed run re-trains it from scratch
+        // with its deterministic per-candidate seed — bit-identical to a
+        // never-interrupted run.
+        continue;
+      }
 
       CandidateOutcome& outcome = batch.candidates[completion.index];
       outcome.status = completion.status;
@@ -751,7 +905,9 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
                                   : outcome.status.ToString());
       }
 
-      // Insert into the checkpoint's index-sorted record lists.
+      // Insert into the checkpoint's index-sorted record lists. Failure
+      // messages are encoded so a deadline-exceeded record round-trips its
+      // status code across save/resume.
       if (outcome.status.ok()) {
         const auto at = std::upper_bound(
             checkpoint.completed.begin(), checkpoint.completed.end(),
@@ -768,27 +924,35 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
               return index < entry.first;
             });
         checkpoint.failed.insert(
-            at, {completion.index, outcome.status.message()});
+            at, {completion.index, EncodeFailureMessage(outcome.status)});
       }
 
       append_ready_rows();
 
       if (!options_.checkpoint_path.empty()) {
-        Status saved = SaveEvalCheckpoint(checkpoint,
-                                          options_.checkpoint_path);
-        if (!saved.ok()) {
+        const fault::RetryOutcome saved = fault::RetryCall(
+            options_.io_retry,
+            "eval checkpoint " + options_.checkpoint_path, [&] {
+              return SaveEvalCheckpoint(checkpoint, options_.checkpoint_path);
+            });
+        record_io(saved);
+        if (!saved.status.ok()) {
           if (!warned_save_failure) {
             AUTOCTS_LOG(WARNING) << "eval checkpoint write failed ("
-                                 << saved.message()
+                                 << saved.status.message()
                                  << "); continuing without persistence";
             warned_save_failure = true;
           }
         } else {
           if (registry != nullptr && !options_.metrics_path.empty()) {
-            Status sinks = registry->WriteSinks(options_.metrics_path);
-            if (!sinks.ok()) {
-              AUTOCTS_LOG(WARNING)
-                  << "eval metrics sinks write failed: " << sinks.message();
+            const fault::RetryOutcome sinks = fault::RetryCall(
+                options_.io_retry,
+                "eval metrics sinks " + options_.metrics_path,
+                [&] { return registry->WriteSinks(options_.metrics_path); });
+            record_io(sinks);
+            if (!sinks.status.ok()) {
+              AUTOCTS_LOG(WARNING) << "eval metrics sinks write failed: "
+                                   << sinks.status.message();
             }
           }
           if (options_.post_persist_hook) {
@@ -802,13 +966,22 @@ StatusOr<EvalBatchResult> EvalScheduler::Evaluate(
   } catch (...) {
     // A test hook simulated a crash: stop handing out work, let in-flight
     // candidates finish (training is not interruptible), and rethrow with
-    // no worker threads left running.
+    // no worker or watchdog threads left running.
     abort.store(true, std::memory_order_relaxed);
-    for (std::thread& thread : threads) thread.join();
+    join_all();
     throw;
   }
-  for (std::thread& thread : threads) thread.join();
+  join_all();
   batch.wall_seconds = batch_watch.Seconds();
+
+  if (external_cancel) {
+    // Every completed candidate was persisted above; the interrupted ones
+    // were never recorded, so a --resume run re-trains exactly those and
+    // lands on the same final checkpoint as an uninterrupted run.
+    return options_.cancel->ToStatus("evaluation interrupted after " +
+                                     std::to_string(batch.evaluated) + "/" +
+                                     std::to_string(count) + " candidates");
+  }
 
   for (int64_t i = 0; i < count; ++i) {
     const CandidateOutcome& outcome = batch.candidates[i];

@@ -98,6 +98,18 @@ inline constexpr char kEvalMetricTrainLoss[] = "eval/train_loss";
 inline constexpr char kEvalMetricMae[] = "eval/mae";
 inline constexpr char kEvalMetricRmse[] = "eval/rmse";
 inline constexpr char kEvalMetricStatusOk[] = "eval/status_ok";
+// Candidates terminated by the per-candidate watchdog (wall budget) or the
+// training step budget. A deterministic function of the configured budgets
+// when the step budget is the trigger, so it stays un-prefixed; failure
+// records round-trip through checkpoints with their DEADLINE_EXCEEDED code
+// intact, keeping resumed counts equal to fresh ones.
+inline constexpr char kEvalMetricDeadlineExceeded[] =
+    "eval/deadline_exceeded";
+// Resilient-I/O counters (common/fault.h): checkpoint/sink write retries
+// and final failures. Zero on healthy runs, a pure function of the
+// installed fault plan otherwise.
+inline constexpr char kEvalMetricIoRetries[] = "io/retries";
+inline constexpr char kEvalMetricIoFailures[] = "io/failures";
 // Scheduling/wall-clock derived (and configuration that varies with the
 // schedule): legitimately different between otherwise identical runs.
 inline constexpr char kEvalMetricWorkers[] = "wall/eval_workers";
@@ -183,6 +195,30 @@ struct EvalSchedulerOptions {
   std::string metrics_path;
 
   bool verbose = false;
+
+  // Cooperative interruption (common/cancellation.h). When the external
+  // token is cancelled (signal-driven shutdown), the scheduler stops
+  // handing out candidates, sweeps every in-flight candidate's private
+  // token, drains the workers, and Evaluate returns kCancelled — progress
+  // up to that point is already persisted per completion, so a resumed run
+  // re-evaluates only the interrupted candidates, bit-identically.
+  const CancellationToken* cancel = nullptr;  // not owned
+
+  // Per-candidate budgets. A candidate that exceeds either is terminated
+  // cooperatively by the watchdog (wall budget, checked every few
+  // milliseconds against the FakeClock-compatible monotonic clock) or the
+  // trainer's own step check, and recorded as a deterministic
+  // DEADLINE_EXCEEDED failure — persisted like any other terminal failure,
+  // while the remaining candidates continue undisturbed. The step budget
+  // (total training batches) is the deterministic, machine-independent
+  // knob; the wall budget is the real-deployment guard. 0 disables either.
+  double candidate_wall_budget_seconds = 0.0;
+  int64_t candidate_step_budget = 0;
+
+  // Retry policy for checkpoint and metrics-sink writes (common/fault.h);
+  // retries/failures land in the io/ counters, and a sink that still fails
+  // degrades to a logged warning.
+  fault::RetryPolicy io_retry;
 
   // ---- test seams (library code never installs these) ----
 

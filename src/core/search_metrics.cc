@@ -24,6 +24,8 @@ void RegisterSearchMetrics(obs::MetricsRegistry* registry) {
   registry->GetGauge(kMetricAlphaEntropy);
   registry->GetGauge(kMetricBetaEntropy);
   registry->GetGauge(kMetricGammaEntropy);
+  registry->GetCounter(kMetricIoRetries);
+  registry->GetCounter(kMetricIoFailures);
   registry->GetGauge(kMetricBatchesPerSec);
   registry->GetGauge(kMetricElapsedSec);
   registry->GetGauge(kMetricPoolOccupancy);

@@ -33,6 +33,12 @@ inline constexpr char kMetricGradNormWHist[] = "grad_norm_w_hist";
 inline constexpr char kMetricAlphaEntropy[] = "alpha_entropy";
 inline constexpr char kMetricBetaEntropy[] = "beta_entropy";
 inline constexpr char kMetricGammaEntropy[] = "gamma_entropy";
+// Resilient-I/O counters (common/fault.h): retry-wrapped checkpoint and
+// sink writes record their re-attempts and final failures here. Zero on
+// every healthy run, and a pure function of the installed fault plan
+// otherwise, so they participate in determinism comparisons un-prefixed.
+inline constexpr char kMetricIoRetries[] = "io/retries";
+inline constexpr char kMetricIoFailures[] = "io/failures";
 inline constexpr char kMetricBatchesPerSec[] = "wall/batches_per_sec";
 inline constexpr char kMetricElapsedSec[] = "wall/elapsed_sec";
 inline constexpr char kMetricPoolOccupancy[] = "wall/pool_occupancy";

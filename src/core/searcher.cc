@@ -85,23 +85,29 @@ class TraceSession {
   std::optional<trace::Scope> root_;
 };
 
-// Writes the metrics sinks on every exit path.
+// Writes the metrics sinks on every exit path, retrying transient I/O
+// failures; telemetry that still cannot be written degrades to a warning.
 class MetricsSinkGuard {
  public:
-  MetricsSinkGuard(const obs::MetricsRegistry* registry, std::string path)
-      : registry_(registry), path_(std::move(path)) {}
+  MetricsSinkGuard(const obs::MetricsRegistry* registry, std::string path,
+                   fault::RetryPolicy policy)
+      : registry_(registry), path_(std::move(path)),
+        policy_(std::move(policy)) {}
   ~MetricsSinkGuard() {
     if (registry_ == nullptr || path_.empty()) return;
-    const Status status = registry_->WriteSinks(path_);
-    if (!status.ok()) {
+    const fault::RetryOutcome outcome =
+        fault::RetryCall(policy_, "metrics sinks " + path_,
+                         [&] { return registry_->WriteSinks(path_); });
+    if (!outcome.status.ok()) {
       AUTOCTS_LOG(WARNING) << "failed to write metrics sinks: "
-                           << status.ToString();
+                           << outcome.status.ToString();
     }
   }
 
  private:
   const obs::MetricsRegistry* registry_;
   std::string path_;
+  fault::RetryPolicy policy_;
 };
 
 }  // namespace
@@ -210,7 +216,8 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
     metrics = &own_registry;
   }
   if (metrics != nullptr) RegisterSearchMetrics(metrics);
-  MetricsSinkGuard metrics_sink(metrics, options_.metrics_path);
+  MetricsSinkGuard metrics_sink(metrics, options_.metrics_path,
+                                options_.io_retry);
   TraceSession trace_session(options_.trace_path);
   // Covers everything up to the epoch loop (supernet + optimizer
   // construction, pseudo-split shuffle, checkpoint restore), which would
@@ -381,6 +388,7 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
 
   int64_t batches_since_checkpoint = 0;
   int64_t checkpoint_ordinal = 0;
+  int64_t executed_steps = 0;  // healthy steps this process run (budgets)
 
   // Numerical-health guard state. The monitor always observes; the
   // recovery tiers only engage when options_.recovery.enabled.
@@ -655,6 +663,7 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
 
       val_loss_sum += step_val_loss;
       ++steps;
+      ++executed_steps;
       if (metrics != nullptr) {
         metrics->GetCounter(kMetricStepsTotal)->Increment();
         metrics->GetGauge(kMetricTrainLoss)->Set(w_train_loss);
@@ -717,20 +726,43 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
         // when the per-step checks above work, but cheap insurance for the
         // scalar fields they do not cover.
         const Status health = CheckpointNumericHealth(checkpoint);
-        const Status status =
-            health.ok() ? SaveSearchCheckpoint(checkpoint,
-                                               options_.checkpoint_path)
-                        : health;
+        Status status = health;
+        if (health.ok()) {
+          const fault::RetryOutcome outcome = fault::RetryCall(
+              options_.io_retry,
+              "search checkpoint " + options_.checkpoint_path, [&] {
+                return SaveSearchCheckpoint(checkpoint,
+                                            options_.checkpoint_path);
+              });
+          status = outcome.status;
+          if (metrics != nullptr) {
+            if (outcome.retries() > 0) {
+              metrics->GetCounter(kMetricIoRetries)
+                  ->Increment(outcome.retries());
+            }
+            if (!outcome.status.ok()) {
+              metrics->GetCounter(kMetricIoFailures)->Increment();
+            }
+          }
+        }
         if (!status.ok()) {
           AUTOCTS_LOG(WARNING)
               << "checkpoint write failed: " << status.ToString();
         } else {
           if (metrics != nullptr && !options_.metrics_path.empty()) {
-            const Status sink_status =
-                metrics->WriteSinks(options_.metrics_path);
-            if (!sink_status.ok()) {
-              AUTOCTS_LOG(WARNING)
-                  << "metrics sink write failed: " << sink_status.ToString();
+            const fault::RetryOutcome sink_outcome = fault::RetryCall(
+                options_.io_retry,
+                "metrics sinks " + options_.metrics_path,
+                [&] { return metrics->WriteSinks(options_.metrics_path); });
+            if (sink_outcome.retries() > 0) {
+              metrics->GetCounter(kMetricIoRetries)
+                  ->Increment(sink_outcome.retries());
+            }
+            if (!sink_outcome.status.ok()) {
+              // Telemetry only: degrade to a warning, never kill the search.
+              metrics->GetCounter(kMetricIoFailures)->Increment();
+              AUTOCTS_LOG(WARNING) << "metrics sink write failed: "
+                                   << sink_outcome.status.ToString();
             }
           }
           if (options_.post_checkpoint_hook) {
@@ -739,6 +771,58 @@ StatusOr<SearchResult> JointSearcher::SearchWithStatus(
           }
           ++checkpoint_ordinal;
         }
+      }
+
+      // Cooperative interruption, honored at the end of the step — after
+      // the periodic-checkpoint block, so the graceful-shutdown cursor uses
+      // the same math and a resumed run re-enters exactly where an
+      // uninterrupted one would be (never re-running an epoch preamble).
+      const Status interrupt =
+          CheckInterrupt(options_.cancel, options_.deadline, executed_steps,
+                         options_.step_budget, "search");
+      if (!interrupt.ok()) {
+        if (checkpointing) {
+          AUTOCTS_TRACE_SCOPE("search/checkpoint");
+          // Unlike the periodic block this does not advance the checkpoints
+          // metric: only periodic writes count, so a run resumed from this
+          // checkpoint reports the same counter an uninterrupted run does.
+          SearchCheckpoint checkpoint =
+              CaptureSearchState(supernet, weight_optimizer, theta_optimizer,
+                                 rng, pseudo_train, pseudo_val);
+          checkpoint.metrics_state =
+              metrics != nullptr ? metrics->EncodeState() : std::string();
+          checkpoint.config_fingerprint = fingerprint;
+          checkpoint.epoch = epoch;
+          checkpoint.step = step + 1;
+          if (checkpoint.step >= max_steps) {
+            checkpoint.epoch = epoch + 1;
+            checkpoint.step = 0;
+          }
+          checkpoint.val_loss_sum = val_loss_sum;
+          checkpoint.epoch_steps = steps;
+          checkpoint.final_validation_loss = result.final_validation_loss;
+          const Status health = CheckpointNumericHealth(checkpoint);
+          Status save = health;
+          if (health.ok()) {
+            save = fault::RetryCall(
+                       options_.io_retry,
+                       "final checkpoint " + options_.checkpoint_path,
+                       [&] {
+                         return SaveSearchCheckpoint(
+                             checkpoint, options_.checkpoint_path);
+                       })
+                       .status;
+          }
+          if (!save.ok()) {
+            AUTOCTS_LOG(WARNING)
+                << "final checkpoint write failed: " << save.ToString();
+          } else if (options_.verbose) {
+            AUTOCTS_LOG(INFO) << "final checkpoint written to "
+                              << options_.checkpoint_path;
+          }
+        }
+        AUTOCTS_LOG(WARNING) << "search interrupted: " << interrupt.ToString();
+        return interrupt;
       }
     }
     if (restart) break;

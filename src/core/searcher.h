@@ -8,6 +8,8 @@
 #include <functional>
 #include <string>
 
+#include "common/cancellation.h"
+#include "common/fault.h"
 #include "common/metrics_registry.h"
 #include "common/numerics.h"
 #include "common/status.h"
@@ -141,6 +143,26 @@ struct SearchOptions {
   // Optional external registry (not owned). Lets tests and embedding code
   // read instruments/rows directly; `metrics_path` may be empty then.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Cooperative interruption (common/cancellation.h), checked at the end of
+  // every search step (after the periodic-checkpoint block, so resume
+  // cursors stay on the periodic grid). On a cancelled token, an expired
+  // wall `deadline`, or `step_budget` executed steps (0 = unlimited,
+  // counted per process run), SearchWithStatus writes one final checkpoint
+  // (when checkpointing is on) and returns kCancelled / kDeadlineExceeded.
+  // A run that is never interrupted is bit-identical with or without these:
+  // the checks read no search state, and the final checkpoint does not
+  // advance the checkpoints metric, so a resumed run's counters match an
+  // uninterrupted run's.
+  const CancellationToken* cancel = nullptr;  // not owned
+  Deadline deadline;                          // default: Infinite()
+  int64_t step_budget = 0;
+
+  // Retry policy for checkpoint and metrics-sink writes (common/fault.h).
+  // Retries/failures are recorded in the io/ metric counters; a sink write
+  // that still fails after retries degrades to a logged warning — the
+  // search itself never dies of telemetry.
+  fault::RetryPolicy io_retry;
 };
 
 // Preset matching the AutoSTG baseline: {1D conv, DGCN} operator set,

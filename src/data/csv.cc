@@ -1,5 +1,7 @@
 #include "data/csv.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -28,31 +30,53 @@ Status SaveMatrixCsv(const std::string& path, const Tensor& matrix) {
 
 StatusOr<Tensor> LoadMatrixCsv(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open: " + path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
   std::vector<double> values;
   int64_t cols = -1;
   int64_t rows = 0;
+  int64_t line_number = 0;  // 1-based physical line, blank lines included
   std::string line;
+  // Every parse error names the file and the 1-based line (and column) it
+  // came from, so a malformed export is locatable without bisecting.
   while (std::getline(in, line)) {
+    ++line_number;
     if (StripWhitespace(line).empty()) continue;
     const std::vector<std::string> cells = SplitString(line, ',');
     if (cols == -1) {
       cols = static_cast<int64_t>(cells.size());
     } else if (cols != static_cast<int64_t>(cells.size())) {
-      return Status::InvalidArgument("ragged CSV at row " +
-                                     std::to_string(rows));
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": ragged row: expected " +
+          std::to_string(cols) + " columns, got " +
+          std::to_string(cells.size()));
     }
-    for (const std::string& cell : cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const std::string cell = StripWhitespace(cells[c]);
       char* end = nullptr;
-      const double value = std::strtod(cell.c_str(), &end);
-      if (end == cell.c_str()) {
-        return Status::InvalidArgument("not a number: " + cell);
+      const double value =
+          cell.empty() ? 0.0 : std::strtod(cell.c_str(), &end);
+      // Reject empty cells, non-numeric cells, and trailing garbage after
+      // a valid prefix ("1.5abc").
+      if (cell.empty() || end == cell.c_str() ||
+          *end != '\0') {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_number) + ": column " +
+            std::to_string(c + 1) + ": not a number: \"" + cells[c] + "\"");
       }
       values.push_back(value);
     }
     ++rows;
   }
-  if (rows == 0) return Status::InvalidArgument("empty CSV: " + path);
+  if (in.bad()) {
+    return Status::Unavailable("read failed on " + path + ": " +
+                               std::strerror(errno));
+  }
+  if (rows == 0) {
+    return Status::InvalidArgument(path + ": empty CSV (no data rows)");
+  }
   return Tensor::FromVector({rows, cols}, std::move(values));
 }
 

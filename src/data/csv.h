@@ -14,7 +14,11 @@ namespace autocts::data {
 Status SaveMatrixCsv(const std::string& path, const Tensor& matrix);
 
 // Reads a CSV of doubles into a [rows, cols] tensor; all rows must have the
-// same number of columns.
+// same number of columns. Blank lines are skipped. A ragged, empty, or
+// non-numeric cell (including trailing garbage like "1.5abc") returns
+// InvalidArgument naming the file, 1-based line, and column; a missing file
+// returns NotFound and a mid-read I/O failure returns Unavailable, both
+// with the errno text.
 StatusOr<Tensor> LoadMatrixCsv(const std::string& path);
 
 }  // namespace autocts::data

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "autograd/variable_ops.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -65,16 +66,21 @@ class TraceSession {
   std::optional<trace::Scope> root_;
 };
 
+// Writes the metrics sinks on exit, retrying transient I/O failures under
+// the default policy; telemetry that still cannot be written degrades to a
+// warning (training results never die of a sink).
 class MetricsSinkGuard {
  public:
   MetricsSinkGuard(const obs::MetricsRegistry* registry, std::string path)
       : registry_(registry), path_(std::move(path)) {}
   ~MetricsSinkGuard() {
     if (registry_ == nullptr || path_.empty()) return;
-    const Status status = registry_->WriteSinks(path_);
-    if (!status.ok()) {
+    const fault::RetryOutcome outcome =
+        fault::RetryCall(fault::RetryPolicy(), "metrics sinks " + path_,
+                         [&] { return registry_->WriteSinks(path_); });
+    if (!outcome.status.ok()) {
       AUTOCTS_LOG(WARNING) << "failed to write metrics sinks: "
-                           << status.ToString();
+                           << outcome.status.ToString();
     }
   }
 
@@ -159,6 +165,7 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
   int64_t epochs_without_improvement = 0;
   std::unique_ptr<nn::ParameterSnapshot> best_weights;
   bool stop_early = false;
+  int64_t total_batches = 0;  // across epochs, retries included
   for (int64_t epoch = 0; epoch < config.epochs && !stop_early; ++epoch) {
     if (recovery.enabled) {
       good_weights = std::make_unique<nn::ParameterSnapshot>(*model);
@@ -180,6 +187,11 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
           batches_done >= config.max_batches_per_epoch) {
         break;
       }
+      const Status interrupt =
+          CheckInterrupt(config.cancel, config.deadline, total_batches,
+                         config.step_budget, model->name() + " training");
+      if (!interrupt.ok()) return interrupt;
+      ++total_batches;
       Tensor x, y;
       data.train().GetBatch(batch, &x, &y);
       const auto batch_loss_fn = [&] {
@@ -359,6 +371,16 @@ StatusOr<EvalResult> TrainAndEvaluateWithStatus(ForecastingModel* model,
   result.train_seconds_per_epoch =
       result.epochs_run > 0 ? total_train_seconds / result.epochs_run : 0.0;
   if (best_weights != nullptr) best_weights->Restore(model);
+
+  // A token cancelled (or a deadline expired) during the last epoch's tail
+  // is honored before the test evaluation, which can be long on large
+  // datasets. The step budget is not re-checked: training completed within
+  // it, so the result is owed.
+  const Status interrupt =
+      CheckInterrupt(config.cancel, config.deadline, /*steps_done=*/0,
+                     /*step_budget=*/0,
+                     model->name() + " before test evaluation");
+  if (!interrupt.ok()) return interrupt;
 
   // Test evaluation with denormalized masked metrics.
   model->SetTraining(false);

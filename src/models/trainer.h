@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/metrics_registry.h"
 #include "common/numerics.h"
 #include "common/status.h"
@@ -106,6 +107,18 @@ struct TrainConfig {
 
   // Optional external registry (not owned); `metrics_path` may be empty.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Cooperative interruption (common/cancellation.h), checked at every
+  // batch boundary and before the final test evaluation. When the token is
+  // cancelled, the wall `deadline` expires, or `step_budget` total training
+  // batches (0 = unlimited; retried batches count — it budgets work done)
+  // have run, TrainAndEvaluateWithStatus returns kCancelled /
+  // kDeadlineExceeded instead of a result. An uninterrupted run is
+  // bit-identical with or without these set: the checks read no training
+  // state.
+  const CancellationToken* cancel = nullptr;  // not owned
+  Deadline deadline;                          // default: Infinite()
+  int64_t step_budget = 0;
 };
 
 // Everything the evaluation tables report.

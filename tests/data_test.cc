@@ -309,5 +309,91 @@ TEST(Csv, ErrorsAreStatusesNotCrashes) {
   std::remove(ragged_path.c_str());
 }
 
+namespace {
+// Writes a throwaway CSV fixture and returns the load status message.
+Status LoadCsvFixture(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  const Status status = data::LoadMatrixCsv(path).status();
+  std::remove(path.c_str());
+  return status;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+}  // namespace
+
+TEST(Csv, RaggedRowNamesFileAndLine) {
+  const Status status =
+      LoadCsvFixture("ragged_line.csv", "1,2,3\n4,5,6\n7,8\n9,10,11\n");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "ragged_line.csv:3"))
+      << status.message();
+  EXPECT_TRUE(Contains(status.message(), "expected 3 columns, got 2"))
+      << status.message();
+}
+
+TEST(Csv, BlankLinesDoNotShiftReportedLineNumbers) {
+  const Status status =
+      LoadCsvFixture("blank_lines.csv", "1,2\n\n\n3,4\n5\n");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The bad row is physical line 5 (two blank lines are counted, not rows).
+  EXPECT_TRUE(Contains(status.message(), "blank_lines.csv:5"))
+      << status.message();
+}
+
+TEST(Csv, NonNumericCellNamesLineAndColumn) {
+  const Status status =
+      LoadCsvFixture("garbage.csv", "1,2,3\n4,oops,6\n");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "garbage.csv:2")) << status.message();
+  EXPECT_TRUE(Contains(status.message(), "column 2")) << status.message();
+  EXPECT_TRUE(Contains(status.message(), "\"oops\"")) << status.message();
+}
+
+TEST(Csv, TrailingGarbageAfterNumberIsRejected) {
+  const Status status = LoadCsvFixture("suffix.csv", "1,2\n3,1.5abc\n");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "suffix.csv:2")) << status.message();
+  EXPECT_TRUE(Contains(status.message(), "1.5abc")) << status.message();
+}
+
+TEST(Csv, EmptyCellIsRejected) {
+  const Status status = LoadCsvFixture("empty_cell.csv", "1,2\n3,\n");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "empty_cell.csv:2"))
+      << status.message();
+  EXPECT_TRUE(Contains(status.message(), "column 2")) << status.message();
+}
+
+TEST(Csv, TruncatedFileWithOnlyBlankLinesIsEmpty) {
+  const Status status = LoadCsvFixture("blanks_only.csv", "\n\n  \n");
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "empty CSV")) << status.message();
+}
+
+TEST(Csv, MissingFileNamesErrno) {
+  const Status status =
+      data::LoadMatrixCsv("/nonexistent/dir/file.csv").status();
+  ASSERT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Contains(status.message(), "No such file")) << status.message();
+}
+
+TEST(Csv, ScientificNotationAndWhitespaceStillParse) {
+  const std::string path = ::testing::TempDir() + "/sci.csv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1e3, -2.5E-2\n  4 ,5\n", f);
+  std::fclose(f);
+  StatusOr<Tensor> loaded = data::LoadMatrixCsv(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded.value().At({0, 0}), 1000.0);
+  EXPECT_DOUBLE_EQ(loaded.value().At({0, 1}), -0.025);
+  EXPECT_DOUBLE_EQ(loaded.value().At({1, 0}), 4.0);
+}
+
 }  // namespace
 }  // namespace autocts

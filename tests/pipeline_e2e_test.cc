@@ -184,6 +184,163 @@ TEST(PipelineE2E, KilledAndResumedPipelineIsBitIdentical) {
   }
 }
 
+// Graceful signal-driven shutdown through the real binary: a SIGTERM
+// delivered mid-run (via the --signal-after-* seams, which std::raise a
+// real signal through the installed handler) must write a final
+// checkpoint, exit with the documented code 143, and leave state a
+// --resume run completes bit-identically to a never-interrupted run —
+// at 1 and 4 eval workers.
+TEST(PipelineE2E, SignalDrivenShutdownResumesBitIdentical) {
+  const std::string straight_cands = TempPath("sig_straight_cands.txt");
+  const std::string sig_cands = TempPath("sig_cands.txt");
+  const std::string search_ckpt = TempPath("sig_search.ckpt");
+  const std::string eval_ckpt = TempPath("sig_eval.ckpt");
+  for (const std::string& path :
+       {straight_cands, sig_cands, search_ckpt, eval_ckpt}) {
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+  }
+  const std::string data_and_search =
+      std::string(kDataFlags) + " " + kSearchFlags;
+
+  // Straight-through reference.
+  CliRun search = RunCli(
+      "search " + data_and_search + " --out " + straight_cands,
+      "sig_search_straight");
+  ASSERT_EQ(search.exit_code, 0) << search.output;
+  CliRun eval = RunCli("evaluate-topk " + std::string(kDataFlags) + " " +
+                           kEvalFlags + " --candidates " + straight_cands +
+                           " --eval-workers 1",
+                       "sig_eval_straight");
+  ASSERT_EQ(eval.exit_code, 0) << eval.output;
+  const std::string reference = ExactTokens(eval.output);
+
+  // ---- Search terminated by SIGTERM after the first checkpoint. ----
+  CliRun interrupted = RunCli(
+      "search " + data_and_search + " --out " + sig_cands + " --checkpoint " +
+          search_ckpt +
+          " --checkpoint-every 2 --signal-after-checkpoints 1",
+      "sig_search_term");
+  ASSERT_EQ(interrupted.exit_code, 143) << interrupted.output;
+  ASSERT_TRUE(FileExists(search_ckpt));
+  ASSERT_NE(interrupted.output.find("final checkpoint written"),
+            std::string::npos)
+      << interrupted.output;
+
+  CliRun resumed = RunCli("search " + data_and_search + " --out " +
+                              sig_cands + " --checkpoint " + search_ckpt +
+                              " --checkpoint-every 2 --resume 1",
+                          "sig_search_resumed");
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(ReadFileOrDie(sig_cands), ReadFileOrDie(straight_cands));
+
+  // ---- Evaluation terminated by SIGTERM after 1 persisted candidate,
+  // resumed at 1 and 4 workers. ----
+  for (const char* workers : {"1", "4"}) {
+    std::remove(eval_ckpt.c_str());
+    std::remove((eval_ckpt + ".prev").c_str());
+    const std::string eval_args =
+        "evaluate-topk " + std::string(kDataFlags) + " " + kEvalFlags +
+        " --candidates " + sig_cands + " --eval-checkpoint " + eval_ckpt;
+    CliRun eval_term = RunCli(
+        eval_args + " --eval-workers 1 --signal-after-candidates 1",
+        std::string("sig_eval_term_w") + workers);
+    ASSERT_EQ(eval_term.exit_code, 143) << eval_term.output;
+    ASSERT_TRUE(FileExists(eval_ckpt));
+
+    CliRun eval_resumed =
+        RunCli(eval_args + " --eval-workers " + workers,
+               std::string("sig_eval_resumed_w") + workers);
+    ASSERT_EQ(eval_resumed.exit_code, 0) << eval_resumed.output;
+    EXPECT_NE(eval_resumed.output.find("(resumed)"), std::string::npos)
+        << eval_resumed.output;
+    EXPECT_EQ(ExactTokens(eval_resumed.output), reference)
+        << "workers=" << workers;
+  }
+
+  for (const std::string& path :
+       {straight_cands, sig_cands, search_ckpt, eval_ckpt}) {
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+  }
+}
+
+// The deadline/step-budget exit path: documented code 75, final checkpoint
+// on disk, and a --resume run that completes with the reference result.
+TEST(PipelineE2E, StepBudgetExitsCode75AndResumes) {
+  const std::string straight_cands = TempPath("budget_straight.txt");
+  const std::string budget_cands = TempPath("budget_cands.txt");
+  const std::string search_ckpt = TempPath("budget_search.ckpt");
+  for (const std::string& path : {straight_cands, budget_cands, search_ckpt}) {
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+  }
+  const std::string data_and_search =
+      std::string(kDataFlags) + " " + kSearchFlags;
+
+  CliRun search = RunCli(
+      "search " + data_and_search + " --out " + straight_cands,
+      "budget_straight");
+  ASSERT_EQ(search.exit_code, 0) << search.output;
+
+  CliRun budgeted = RunCli("search " + data_and_search + " --out " +
+                               budget_cands + " --checkpoint " + search_ckpt +
+                               " --checkpoint-every 2 --step-budget 3",
+                           "budget_interrupted");
+  ASSERT_EQ(budgeted.exit_code, 75) << budgeted.output;
+  ASSERT_TRUE(FileExists(search_ckpt));
+
+  CliRun resumed = RunCli("search " + data_and_search + " --out " +
+                              budget_cands + " --checkpoint " + search_ckpt +
+                              " --checkpoint-every 2 --resume 1",
+                          "budget_resumed");
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(ReadFileOrDie(budget_cands), ReadFileOrDie(straight_cands));
+
+  for (const std::string& path : {straight_cands, budget_cands, search_ckpt}) {
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+  }
+}
+
+// A fault plan injected through the real binary: the checkpoint write hit
+// by ENOSPC is retried and the run finishes as if nothing happened.
+TEST(PipelineE2E, InjectedFaultIsRetriedThroughCli) {
+  const std::string cands = TempPath("fault_cands.txt");
+  const std::string reference = TempPath("fault_reference.txt");
+  const std::string search_ckpt = TempPath("fault_search.ckpt");
+  for (const std::string& path : {cands, reference, search_ckpt}) {
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+  }
+  const std::string data_and_search =
+      std::string(kDataFlags) + " " + kSearchFlags;
+
+  CliRun clean = RunCli("search " + data_and_search + " --out " + reference,
+                        "fault_clean");
+  ASSERT_EQ(clean.exit_code, 0) << clean.output;
+
+  CliRun faulted = RunCli("search " + data_and_search + " --out " + cands +
+                              " --checkpoint " + search_ckpt +
+                              " --checkpoint-every 2 --faults "
+                              "write:ENOSPC@1x2",
+                          "fault_injected");
+  ASSERT_EQ(faulted.exit_code, 0) << faulted.output;
+  ASSERT_TRUE(FileExists(search_ckpt));
+  EXPECT_EQ(ReadFileOrDie(cands), ReadFileOrDie(reference));
+
+  // A malformed plan is a usage error, reported before any work happens.
+  CliRun bad = RunCli("search " + data_and_search + " --out " + cands +
+                          " --faults write:NOPE@1",
+                      "fault_bad");
+  EXPECT_EQ(bad.exit_code, 2) << bad.output;
+
+  for (const std::string& path : {cands, reference, search_ckpt}) {
+    std::remove(path.c_str());
+    std::remove((path + ".prev").c_str());
+  }
+}
+
 TEST(PipelineE2E, EvaluateTopkAcceptsBareGenotypeFile) {
   const std::string genotype_path = TempPath("single_genotype.txt");
   std::remove(genotype_path.c_str());

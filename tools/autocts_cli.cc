@@ -55,11 +55,44 @@
 //   --train-seed S  base training seed; candidate i trains under a private
 //                   RNG stream split deterministically from (S, i)
 //
+// Resilience options (common/fault.h, common/cancellation.h):
+//   --faults SPEC   install a deterministic fault-injection plan, e.g.
+//                   "write:ENOSPC@3,rename:EIO@1" (the AUTOCTS_FAULTS env
+//                   variable installs the same grammar; --faults wins)
+//   --io-retries N  attempts per checkpoint/metrics write, including the
+//                   first (default 3); backoff 10ms * 2^k capped at 1s
+//   --deadline S    search: wall-clock budget in seconds; on expiry the
+//                   search writes a final checkpoint and exits 75
+//   --step-budget N search: stop (with a final checkpoint) after N search
+//                   steps this process run; exits 75
+//   --candidate-deadline S     evaluate-topk: per-candidate wall budget; a
+//                   candidate over budget is recorded as a deterministic
+//                   DEADLINE_EXCEEDED failure while the rest continue
+//   --candidate-step-budget N  evaluate-topk: per-candidate train-batch
+//                   budget, same failure semantics
+//
+// Signals and exit codes:
+//   SIGINT/SIGTERM request a graceful shutdown: search and evaluate-topk
+//   finish persisting, write a final checkpoint, and exit; a --resume run
+//   then reproduces the uninterrupted result bit-for-bit. A second signal
+//   hard-exits immediately.
+//     0    success
+//     1    failure (bad input, anomaly without --recover, ...)
+//     2    usage error
+//     42   --die-after-* crash seam fired (e2e tests)
+//     75   --deadline / --step-budget exhausted (final checkpoint written)
+//     130  interrupted by SIGINT (128 + 2), final checkpoint written
+//     143  terminated by SIGTERM (128 + 15), final checkpoint written
+//
 // Crash-simulation seams (e2e tests only):
 //   --die-after-checkpoints N   search: hard-exit (code 42) right after the
 //                   Nth checkpoint write
 //   --die-after-candidates N    evaluate-topk: hard-exit (code 42) once N
 //                   candidates have been persisted to --eval-checkpoint
+//   --signal-after-checkpoints N   search: raise SIGTERM after the Nth
+//                   checkpoint write (exercises the graceful path)
+//   --signal-after-candidates N    evaluate-topk: raise SIGTERM once N
+//                   candidates have been persisted
 //
 // Without --recover 1, a numerical anomaly makes search/evaluate exit with
 // status 1 and a message naming the anomaly and, when it reproduces under
@@ -71,6 +104,7 @@
 //       --epochs 2 --out genotype.txt
 //   autocts_cli evaluate --kind traffic-flow --nodes 10 --steps 1200 \
 //       --genotype genotype.txt --epochs 4
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +112,9 @@
 #include <map>
 #include <string>
 
+#include "common/cancellation.h"
+#include "common/fault.h"
+#include "common/signal_handler.h"
 #include "common/text_codec.h"
 #include "core/cost_model.h"
 #include "core/eval_scheduler.h"
@@ -120,6 +157,30 @@ int Usage() {
                "[--key value ...]\n(see the header of tools/autocts_cli.cc "
                "for the full option list)\n");
   return 2;
+}
+
+// Process-wide shutdown token; SIGINT/SIGTERM cancel it (see main()).
+CancellationToken& ShutdownToken() {
+  static CancellationToken token;
+  return token;
+}
+
+// Maps a terminal command failure to the documented exit code: 130/143 for
+// a signal-driven cancel, 75 for an exhausted deadline or step budget, 1
+// for everything else.
+int FailureExitCode(const Status& status) {
+  if (status.code() == StatusCode::kCancelled) {
+    const int code = ShutdownExitCode();
+    return code != 0 ? code : 130;
+  }
+  if (status.code() == StatusCode::kDeadlineExceeded) return 75;
+  return 1;
+}
+
+fault::RetryPolicy RetryPolicyFromArgs(const Args& args) {
+  fault::RetryPolicy policy;
+  policy.max_attempts = args.GetInt("io-retries", policy.max_attempts);
+  return policy;
 }
 
 data::CtsDataset MakeDataset(const Args& args) {
@@ -218,6 +279,8 @@ int Search(const Args& args) {
   options.derive_top_k = args.GetInt("derive-top-k", 1);
   const int64_t die_after_checkpoints =
       args.GetInt("die-after-checkpoints", 0);
+  const int64_t signal_after_checkpoints =
+      args.GetInt("signal-after-checkpoints", 0);
   if (die_after_checkpoints > 0) {
     options.post_checkpoint_hook = [die_after_checkpoints](
                                        int64_t ordinal, const std::string&) {
@@ -225,7 +288,19 @@ int Search(const Args& args) {
       // fsynced, so exiting without cleanup is exactly a kill -9.
       if (ordinal + 1 >= die_after_checkpoints) std::_Exit(42);
     };
+  } else if (signal_after_checkpoints > 0) {
+    options.post_checkpoint_hook = [signal_after_checkpoints](
+                                       int64_t ordinal, const std::string&) {
+      // Graceful-shutdown seam for the e2e pipeline test: deliver a real
+      // SIGTERM to this process, exercising the handler -> token -> final
+      // checkpoint -> exit 143 path exactly as an external kill would.
+      if (ordinal + 1 >= signal_after_checkpoints) std::raise(SIGTERM);
+    };
   }
+  options.cancel = &ShutdownToken();
+  options.deadline = Deadline::AfterBudget(args.GetDouble("deadline", 0.0));
+  options.step_budget = args.GetInt("step-budget", 0);
+  options.io_retry = RetryPolicyFromArgs(args);
   options.recovery.enabled = args.GetInt("recover", 0) != 0;
   options.recovery.max_recoveries = args.GetInt("max-recoveries", 3);
   options.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
@@ -238,7 +313,7 @@ int Search(const Args& args) {
   if (!search_result.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
                  search_result.status().ToString().c_str());
-    return 1;
+    return FailureExitCode(search_result.status());
   }
   const core::SearchResult& result = search_result.value();
   std::printf("%s", result.genotype.ToPrettyString().c_str());
@@ -300,13 +375,16 @@ int Evaluate(const Args& args) {
   config.metrics_path = args.Get("metrics-out", "");
   config.metrics_every_n_batches = args.GetInt("metrics-every", 0);
   config.verbose = true;
+  config.cancel = &ShutdownToken();
+  config.deadline = Deadline::AfterBudget(args.GetDouble("deadline", 0.0));
+  config.step_budget = args.GetInt("step-budget", 0);
   const StatusOr<models::EvalResult> eval_result =
       core::EvaluateGenotypeWithStatus(genotype.value(), prepared,
                                        args.GetInt("hidden", 16), config);
   if (!eval_result.ok()) {
     std::fprintf(stderr, "evaluate failed: %s\n",
                  eval_result.status().ToString().c_str());
-    return 1;
+    return FailureExitCode(eval_result.status());
   }
   const models::EvalResult& result = eval_result.value();
   if (result.recoveries > 0 || result.skipped_steps > 0) {
@@ -356,12 +434,25 @@ int EvaluateTopK(const Args& args) {
   options.train.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
   const int64_t die_after_candidates =
       args.GetInt("die-after-candidates", 0);
+  const int64_t signal_after_candidates =
+      args.GetInt("signal-after-candidates", 0);
   if (die_after_candidates > 0) {
     options.post_persist_hook = [die_after_candidates](int64_t persisted) {
       // Simulated crash for the e2e pipeline test (see Search()).
       if (persisted >= die_after_candidates) std::_Exit(42);
     };
+  } else if (signal_after_candidates > 0) {
+    options.post_persist_hook = [signal_after_candidates](int64_t persisted) {
+      // Graceful-shutdown seam (see Search()): real SIGTERM, full handler
+      // path, documented exit 143.
+      if (persisted >= signal_after_candidates) std::raise(SIGTERM);
+    };
   }
+  options.cancel = &ShutdownToken();
+  options.candidate_wall_budget_seconds =
+      args.GetDouble("candidate-deadline", 0.0);
+  options.candidate_step_budget = args.GetInt("candidate-step-budget", 0);
+  options.io_retry = RetryPolicyFromArgs(args);
 
   const StatusOr<core::EvalBatchResult> evaluated =
       core::EvalScheduler(std::move(options))
@@ -369,7 +460,7 @@ int EvaluateTopK(const Args& args) {
   if (!evaluated.ok()) {
     std::fprintf(stderr, "evaluate-topk failed: %s\n",
                  evaluated.status().ToString().c_str());
-    return 1;
+    return FailureExitCode(evaluated.status());
   }
   const core::EvalBatchResult& batch = evaluated.value();
   for (size_t i = 0; i < batch.candidates.size(); ++i) {
@@ -419,6 +510,32 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
     args.options[argv[i] + 2] = argv[i + 1];
   }
+
+  // Fault-injection plan: --faults wins over the AUTOCTS_FAULTS env var.
+  const std::string faults = args.Get("faults", "");
+  if (!faults.empty()) {
+    StatusOr<fault::FaultPlan> plan = fault::ParseFaultPlan(faults);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --faults spec: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    fault::InstallFaultPlan(std::move(plan).value());
+  } else {
+    const Status env = fault::InstallFaultPlanFromEnv();
+    if (!env.ok()) {
+      std::fprintf(stderr, "bad AUTOCTS_FAULTS: %s\n",
+                   env.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Long-running commands get graceful SIGINT/SIGTERM shutdown.
+  if (args.command == "search" || args.command == "evaluate" ||
+      args.command == "evaluate-topk") {
+    InstallShutdownHandlers(&ShutdownToken());
+  }
+
   if (args.command == "list-ops") return ListOps();
   if (args.command == "generate") return Generate(args);
   if (args.command == "search") return Search(args);

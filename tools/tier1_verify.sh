@@ -10,12 +10,14 @@
 # the pooled/unpooled parity guarantee is checked from both sides.
 #
 # The crash/corruption suites (checkpoint_test, numerics_test, and
-# eval_scheduler_test, ctest label "faultinject") plus the buffer-pool
-# suite (label "pool") and the end-to-end pipeline suite (label "e2e",
-# which drives the real CLI binary through kill/resume cycles) are
-# additionally run under AddressSanitizer in a separate build directory:
-# their kill/resume, fault-injection, rollback, and storage-recycling
-# paths are exactly where lifetime bugs would hide. Set
+# eval_scheduler_test, ctest label "faultinject"), the injected-I/O-failure
+# and cancellation suites (fault_io_test and cancellation_test, label
+# "faultio"), the buffer-pool suite (label "pool"), and the end-to-end
+# pipeline suite (label "e2e", which drives the real CLI binary through
+# kill/resume and signal/resume cycles) are additionally run under
+# AddressSanitizer in a separate build directory: their kill/resume,
+# fault-injection, retry/rollback, watchdog-cancellation, and
+# storage-recycling paths are exactly where lifetime bugs would hide. Set
 # AUTOCTS_SKIP_ASAN=1 to skip that pass (e.g. on machines without ASan
 # runtimes).
 #
@@ -58,8 +60,9 @@ if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
   cmake -B build-address -S . -DAUTOCTS_SANITIZE=address
   cmake --build build-address -j --target checkpoint_test \
       --target numerics_test --target buffer_pool_test \
-      --target eval_scheduler_test --target pipeline_e2e_test
-  ctest --test-dir build-address -L 'faultinject|pool|e2e' \
+      --target eval_scheduler_test --target pipeline_e2e_test \
+      --target fault_io_test --target cancellation_test
+  ctest --test-dir build-address -L 'faultinject|faultio|pool|e2e' \
       --output-on-failure
   # With the pool disabled every release is a real free, restoring ASan's
   # use-after-free precision on tensor storage.
