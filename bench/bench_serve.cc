@@ -1,0 +1,216 @@
+// Forecast-serving engine: latency, throughput, and the determinism gate.
+//
+// Two claims from DESIGN.md ("Serving") are checked here:
+//   1. Determinism: every forecast served by the micro-batching server is
+//      bit-identical to the same request served with batching disabled
+//      (always enforced; any mismatch aborts the bench).
+//   2. Throughput: with >= 4 hardware threads, the batched configuration
+//      reaches >= 2x the QPS of the unbatched one. Micro-batching cannot
+//      beat per-request forwards on a single core (the kernels already
+//      saturate it), so the speedup gate only arms when
+//      std::thread::hardware_concurrency() >= 4 and the run is full-scale;
+//      otherwise both passes are reported without a verdict.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "serve/forecast_server.h"
+
+namespace autocts {
+namespace {
+
+serve::ModelArtifact MakeArtifact(const models::PreparedData& prepared) {
+  core::Genotype genotype;
+  genotype.nodes_per_block = 3;
+  const std::vector<std::string> ops = {"inf_s", "dgcn", "inf_t"};
+  for (int64_t b = 0; b < 2; ++b) {
+    core::BlockGenotype block;
+    block.edges.push_back({0, 1, ops[b % ops.size()]});
+    block.edges.push_back({1, 2, ops[(b + 1) % ops.size()]});
+    block.edges.push_back({0, 2, ops[(b + 2) % ops.size()]});
+    genotype.blocks.push_back(block);
+    genotype.block_inputs.push_back(b == 0 ? 0 : 1);
+  }
+  models::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 8;
+  config.max_batches_per_epoch = bench::Quick() ? 2 : 4;
+  config.seed = 11;
+  config.verbose = false;
+  StatusOr<core::TrainedGenotype> trained =
+      core::TrainGenotypeWithStatus(genotype, prepared, /*hidden_dim=*/8,
+                                    config);
+  if (!trained.ok()) {
+    std::printf("FAIL: training the serving model: %s\n",
+                trained.status().ToString().c_str());
+    std::exit(1);
+  }
+  return serve::MakeModelArtifact(*trained.value().model, prepared, 8,
+                                  config.seed);
+}
+
+std::vector<Tensor> MakeWindows(const serve::ArtifactMeta& meta,
+                                int64_t count) {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = meta.num_nodes;
+  config.num_steps = meta.input_length + count + 8;
+  config.seed = 23;
+  const data::CtsDataset dataset = data::GenerateTrafficSpeed(config);
+  std::vector<Tensor> windows;
+  for (int64_t w = 0; w < count; ++w) {
+    Tensor window({meta.input_length, meta.num_nodes, meta.in_features});
+    for (int64_t p = 0; p < meta.input_length; ++p) {
+      for (int64_t n = 0; n < meta.num_nodes; ++n) {
+        for (int64_t f = 0; f < meta.in_features; ++f) {
+          window.At({p, n, f}) = dataset.values.At({w + p, n, f});
+        }
+      }
+    }
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+struct PassResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::vector<Tensor> forecasts;  // request order
+};
+
+// Closed-loop driver: `clients` threads keep the request queue fed until
+// `requests` total responses arrive; request i always carries window
+// i % windows.size(), so the two passes serve identical workloads.
+PassResult RunPass(const serve::ModelArtifact& artifact,
+                   const std::vector<Tensor>& windows, int64_t workers,
+                   int64_t max_batch, int64_t clients, int64_t requests) {
+  serve::ServeOptions options;
+  options.workers = workers;
+  options.max_batch = max_batch;
+  serve::ForecastServer server(artifact, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("FAIL: server start: %s\n", started.ToString().c_str());
+    std::exit(1);
+  }
+  PassResult result;
+  result.forecasts.resize(requests);
+  std::vector<double> latencies(requests, 0.0);
+  std::atomic<int64_t> next{0};
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        const int64_t i = next.fetch_add(1);
+        if (i >= requests) return;
+        const Tensor& window = windows[i % windows.size()];
+        Stopwatch request_timer;
+        StatusOr<Tensor> forecast = server.Predict(window);
+        // Back-pressure: retry rejected submissions until accepted.
+        int64_t attempts = 0;
+        while (!forecast.ok() &&
+               forecast.status().code() == StatusCode::kUnavailable &&
+               ++attempts < 10000) {
+          std::this_thread::yield();
+          forecast = server.Predict(window);
+        }
+        if (!forecast.ok()) {
+          std::printf("FAIL: request %lld: %s\n", static_cast<long long>(i),
+                      forecast.status().ToString().c_str());
+          std::exit(1);
+        }
+        latencies[i] = request_timer.Seconds() * 1e3;
+        result.forecasts[i] = std::move(forecast).value();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = timer.Seconds();
+  server.Stop();
+  result.qps = static_cast<double>(requests) / seconds;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_ms = latencies[requests / 2];
+  result.p99_ms = latencies[(requests * 99) / 100];
+  return result;
+}
+
+}  // namespace
+}  // namespace autocts
+
+int main() {
+  using namespace autocts;
+  const bool quick = bench::Quick();
+  const int64_t requests = quick ? 48 : 256;
+  const int64_t clients = 8;
+  const int64_t workers = 2;
+  const int64_t max_batch = 8;
+
+  data::TrafficSpeedConfig data_config;
+  data_config.num_nodes = 4;
+  data_config.num_steps = 300;
+  data_config.seed = 53;
+  data::WindowSpec window;
+  window.input_length = 6;
+  window.output_length = 3;
+  const models::PreparedData prepared = models::PrepareData(
+      data::GenerateTrafficSpeed(data_config), window, 0.7, 0.1);
+
+  const serve::ModelArtifact artifact = MakeArtifact(prepared);
+  const std::vector<Tensor> windows =
+      MakeWindows(artifact.meta, quick ? 16 : 48);
+
+  std::printf("bench_serve: workers=%lld clients=%lld requests=%lld\n",
+              static_cast<long long>(workers),
+              static_cast<long long>(clients),
+              static_cast<long long>(requests));
+
+  const PassResult unbatched =
+      RunPass(artifact, windows, workers, /*max_batch=*/1, clients, requests);
+  std::printf("  unbatched:  %8.1f QPS  p50 %7.2f ms  p99 %7.2f ms\n",
+              unbatched.qps, unbatched.p50_ms, unbatched.p99_ms);
+  const PassResult batched =
+      RunPass(artifact, windows, workers, max_batch, clients, requests);
+  const double speedup = batched.qps / unbatched.qps;
+  std::printf(
+      "  batched:    %8.1f QPS  p50 %7.2f ms  p99 %7.2f ms  (%.2fx QPS)\n",
+      batched.qps, batched.p50_ms, batched.p99_ms, speedup);
+
+  // Gate 1 (always): bit-identity between the passes.
+  for (int64_t i = 0; i < requests; ++i) {
+    const Tensor& a = unbatched.forecasts[i];
+    const Tensor& b = batched.forecasts[i];
+    if (a.shape() != b.shape() ||
+        std::memcmp(a.data(), b.data(),
+                    static_cast<size_t>(a.size()) * sizeof(double)) != 0) {
+      std::printf("FAIL: request %lld differs between batched and unbatched "
+                  "passes — the determinism contract is broken\n",
+                  static_cast<long long>(i));
+      return 1;
+    }
+  }
+  std::printf("  bit-identity: OK (%lld forecasts identical)\n",
+              static_cast<long long>(requests));
+
+  // Gate 2 (>= 4 hardware threads, full scale): batching pays >= 2x QPS.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 4 && !quick) {
+    if (speedup < 2.0) {
+      std::printf("FAIL: batched speedup %.2fx < 2.0x with %u hardware "
+                  "threads\n",
+                  speedup, hw);
+      return 1;
+    }
+    std::printf("  speedup gate: OK (%.2fx >= 2.0x)\n", speedup);
+  } else {
+    std::printf("  speedup gate: skipped (%u hardware threads, quick=%d)\n",
+                hw, quick ? 1 : 0);
+  }
+  return 0;
+}

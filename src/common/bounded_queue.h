@@ -1,0 +1,96 @@
+// A bounded multi-producer/multi-consumer queue with batch pop, built for
+// the forecast server's micro-batching coalescer (serve/forecast_server.h)
+// but generic over the item type.
+//
+// Semantics:
+//   - TryPush never blocks: it fails immediately when the queue is full or
+//     closed, so producers (request submitters) get back-pressure instead
+//     of unbounded buffering.
+//   - PopBatch blocks until at least one item is available, then drains up
+//     to `max_items` under a single lock — the natural coalescing point: a
+//     consumer that was busy while requests queued up picks them all up in
+//     one wakeup.
+//   - Close() wakes every blocked consumer. Pops keep draining what was
+//     already queued (graceful shutdown serves accepted work); PopBatch
+//     returns 0 only when the queue is closed AND empty.
+#ifndef AUTOCTS_COMMON_BOUNDED_QUEUE_H_
+#define AUTOCTS_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace autocts {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    AUTOCTS_CHECK(capacity > 0);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Enqueues `item` unless the queue is full or closed; returns whether the
+  // item was accepted (the item is untouched on failure).
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Appends up to `max_items` items to `*out`, blocking until at least one
+  // is available or the queue is closed and drained (returns 0 then).
+  size_t PopBatch(size_t max_items, std::vector<T>* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    size_t popped = 0;
+    while (popped < max_items && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+    return popped;
+  }
+
+  // Rejects future pushes and wakes all blocked consumers. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace autocts
+
+#endif  // AUTOCTS_COMMON_BOUNDED_QUEUE_H_

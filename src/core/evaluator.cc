@@ -33,4 +33,17 @@ StatusOr<models::EvalResult> EvaluateGenotypeWithStatus(
   return models::TrainAndEvaluateWithStatus(model.get(), data, config);
 }
 
+StatusOr<TrainedGenotype> TrainGenotypeWithStatus(
+    const Genotype& genotype, const models::PreparedData& data,
+    int64_t hidden_dim, const models::TrainConfig& config) {
+  TrainedGenotype result;
+  result.model = BuildDerivedModel(genotype, data, hidden_dim, config.seed);
+  StatusOr<models::EvalResult> eval =
+      models::TrainAndEvaluateWithStatus(result.model.get(), data, config);
+  if (!eval.ok()) return eval.status();
+  result.eval = eval.value();
+  result.model->SetTraining(false);
+  return StatusOr<TrainedGenotype>(std::move(result));
+}
+
 }  // namespace autocts::core

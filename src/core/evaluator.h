@@ -30,6 +30,19 @@ StatusOr<models::EvalResult> EvaluateGenotypeWithStatus(
     const Genotype& genotype, const models::PreparedData& data,
     int64_t hidden_dim, const models::TrainConfig& config);
 
+// A trained derived model together with its evaluation — what the serving
+// layer exports into a ModelArtifact (EvaluateGenotype* discard the model).
+struct TrainedGenotype {
+  std::unique_ptr<DerivedModel> model;
+  models::EvalResult eval;
+};
+
+// Trains like EvaluateGenotypeWithStatus but returns the trained model
+// (in eval mode) alongside the metrics instead of discarding it.
+StatusOr<TrainedGenotype> TrainGenotypeWithStatus(
+    const Genotype& genotype, const models::PreparedData& data,
+    int64_t hidden_dim, const models::TrainConfig& config);
+
 // Result of the full search + evaluate pipeline (used by the benches).
 struct AutoCtsResult {
   Genotype genotype;

@@ -77,6 +77,28 @@ Tensor StandardScaler::InverseTransformFeature(const Tensor& values,
   return result;
 }
 
+StandardScaler::State StandardScaler::GetState() const {
+  AUTOCTS_CHECK(fitted_);
+  State state;
+  state.mask_null = mask_null_;
+  state.null_value = null_value_;
+  state.means = means_;
+  state.stddevs = stddevs_;
+  return state;
+}
+
+StandardScaler StandardScaler::FromState(const State& state) {
+  AUTOCTS_CHECK(!state.means.empty());
+  AUTOCTS_CHECK_EQ(state.means.size(), state.stddevs.size());
+  StandardScaler scaler;
+  scaler.fitted_ = true;
+  scaler.mask_null_ = state.mask_null;
+  scaler.null_value_ = state.null_value;
+  scaler.means_ = state.means;
+  scaler.stddevs_ = state.stddevs;
+  return scaler;
+}
+
 double StandardScaler::mean(int64_t feature) const {
   AUTOCTS_CHECK(fitted_);
   return means_.at(feature);

@@ -32,6 +32,27 @@ class StandardScaler {
 
   double mean(int64_t feature) const;
   double stddev(int64_t feature) const;
+  bool fitted() const { return fitted_; }
+  bool mask_null() const { return mask_null_; }
+  double null_value() const { return null_value_; }
+  int64_t num_features() const {
+    return static_cast<int64_t>(means_.size());
+  }
+
+  // Serializable image of a fitted scaler, used by the serving layer to
+  // ship normalization statistics inside a model artifact.
+  struct State {
+    bool mask_null = false;
+    double null_value = 0.0;
+    std::vector<double> means;
+    std::vector<double> stddevs;
+  };
+  // Requires the scaler to be fitted.
+  State GetState() const;
+  // Reconstructs a fitted scaler; Transform/InverseTransformFeature behave
+  // bit-identically to the original. Requires means/stddevs of equal,
+  // nonzero length.
+  static StandardScaler FromState(const State& state);
 
  private:
   bool fitted_ = false;

@@ -10,6 +10,10 @@ BatchNorm::BatchNorm(int64_t num_channels, double momentum, double epsilon)
   beta_ = RegisterParameter("beta", Tensor::Zeros({num_channels}));
   running_mean_ = Tensor::Zeros({num_channels});
   running_var_ = Tensor::Ones({num_channels});
+  // Running statistics are the eval-mode normalization inputs; without them
+  // in the state dict a reloaded model would normalize with the 0/1 init.
+  RegisterBuffer("running_mean", &running_mean_);
+  RegisterBuffer("running_var", &running_var_);
 }
 
 Variable BatchNorm::Forward(const Variable& x) {

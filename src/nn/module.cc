@@ -24,6 +24,12 @@ int64_t Module::NumParameters() const {
   return total;
 }
 
+std::vector<std::pair<std::string, Tensor*>> Module::NamedBuffers() const {
+  std::vector<std::pair<std::string, Tensor*>> result;
+  CollectBuffers("", &result);
+  return result;
+}
+
 void Module::SetTraining(bool training) {
   training_ = training;
   for (auto& [name, submodule] : submodules_) submodule->SetTraining(training);
@@ -40,6 +46,11 @@ void Module::RegisterModule(const std::string& name, Module* module) {
   submodules_.emplace_back(name, module);
 }
 
+void Module::RegisterBuffer(const std::string& name, Tensor* buffer) {
+  AUTOCTS_CHECK(buffer != nullptr);
+  buffers_.emplace_back(name, buffer);
+}
+
 void Module::CollectParameters(
     const std::string& prefix,
     std::vector<std::pair<std::string, Variable>>* out) const {
@@ -49,6 +60,18 @@ void Module::CollectParameters(
   for (const auto& [name, submodule] : submodules_) {
     submodule->CollectParameters(prefix.empty() ? name : prefix + "." + name,
                                  out);
+  }
+}
+
+void Module::CollectBuffers(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor*>>* out) const {
+  for (const auto& [name, buffer] : buffers_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, buffer);
+  }
+  for (const auto& [name, submodule] : submodules_) {
+    submodule->CollectBuffers(prefix.empty() ? name : prefix + "." + name,
+                              out);
   }
 }
 

@@ -29,6 +29,12 @@ class Module {
   // Total number of scalar parameters.
   int64_t NumParameters() const;
 
+  // Non-trainable state tensors (e.g. BatchNorm running statistics) with
+  // dotted path names. Buffers are updated by Forward in training mode, read
+  // in eval mode, and must ship alongside the parameters for a reloaded
+  // model to reproduce the trained one's inference behaviour.
+  std::vector<std::pair<std::string, Tensor*>> NamedBuffers() const;
+
   // Switches between training and inference behaviour (dropout, batch norm).
   void SetTraining(bool training);
   bool training() const { return training_; }
@@ -40,14 +46,21 @@ class Module {
   Variable RegisterParameter(const std::string& name, Tensor value);
   // Registers a submodule (not owned; typically a member of the subclass).
   void RegisterModule(const std::string& name, Module* module);
+  // Registers a non-trainable buffer (not owned; a Tensor member of the
+  // subclass, which must outlive any NamedBuffers() result).
+  void RegisterBuffer(const std::string& name, Tensor* buffer);
 
  private:
   void CollectParameters(
       const std::string& prefix,
       std::vector<std::pair<std::string, Variable>>* out) const;
+  void CollectBuffers(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, Tensor*>>* out) const;
 
   bool training_ = true;
   std::vector<std::pair<std::string, Variable>> parameters_;
+  std::vector<std::pair<std::string, Tensor*>> buffers_;
   std::vector<std::pair<std::string, Module*>> submodules_;
 };
 

@@ -6,21 +6,59 @@
 #include "common/text_codec.h"
 
 namespace autocts::nn {
+namespace {
+
+void AppendTensorRecord(const std::string& key, const std::string& name,
+                        const Tensor& value, std::ostringstream* out) {
+  *out << key << " = " << name << " " << value.ndim();
+  for (int64_t d : value.shape()) *out << " " << d;
+  // Hex-float ("%a") output is an exact image of the bits, so every
+  // value — 0.1, denormals, extremes — reloads bit-identically. (The
+  // previous 17-significant-digit decimal form is still accepted by
+  // LoadStateDict for old files.)
+  for (int64_t i = 0; i < value.size(); ++i) {
+    *out << " " << FormatExactDouble(value.data()[i]);
+  }
+  *out << "\n";
+}
+
+Status ParseTensorRecord(const std::string& record, std::string* name,
+                         Tensor* value) {
+  std::istringstream stream(record);
+  int64_t ndim = 0;
+  if (!(stream >> *name >> ndim) || ndim < 0 || ndim > 8) {
+    return Status::InvalidArgument("malformed record: " + record);
+  }
+  Shape shape(ndim);
+  for (int64_t d = 0; d < ndim; ++d) {
+    if (!(stream >> shape[d]) || shape[d] < 0) {
+      return Status::InvalidArgument("bad shape in record: " + *name);
+    }
+  }
+  *value = Tensor::Uninitialized(shape);
+  // Token-wise strtod parsing: istream extraction does not accept the
+  // hex-float form SaveStateDict writes (LWG 2381).
+  std::string token;
+  for (int64_t i = 0; i < value->size(); ++i) {
+    if (!(stream >> token) || !ParseExactDouble(token, &value->data()[i])) {
+      return Status::InvalidArgument("truncated values for: " + *name);
+    }
+  }
+  if (stream >> token) {
+    return Status::InvalidArgument("trailing values for: " + *name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 std::string SaveStateDict(const Module& module) {
   std::ostringstream out;
   for (const auto& [name, parameter] : module.NamedParameters()) {
-    const Tensor& value = parameter.value();
-    out << "param = " << name << " " << value.ndim();
-    for (int64_t d : value.shape()) out << " " << d;
-    // Hex-float ("%a") output is an exact image of the bits, so every
-    // value — 0.1, denormals, extremes — reloads bit-identically. (The
-    // previous 17-significant-digit decimal form is still accepted by
-    // LoadStateDict for old files.)
-    for (int64_t i = 0; i < value.size(); ++i) {
-      out << " " << FormatExactDouble(value.data()[i]);
-    }
-    out << "\n";
+    AppendTensorRecord("param", name, parameter.value(), &out);
+  }
+  for (const auto& [name, buffer] : module.NamedBuffers()) {
+    AppendTensorRecord("buffer", name, *buffer, &out);
   }
   return out.str();
 }
@@ -33,31 +71,19 @@ Status LoadStateDict(Module* module, const std::string& text) {
   // Parse all records first.
   std::vector<std::pair<std::string, Tensor>> records;
   for (const std::string& record : reader.value().GetAll("param")) {
-    std::istringstream stream(record);
     std::string name;
-    int64_t ndim = 0;
-    if (!(stream >> name >> ndim) || ndim < 0 || ndim > 8) {
-      return Status::InvalidArgument("malformed param record: " + record);
-    }
-    Shape shape(ndim);
-    for (int64_t d = 0; d < ndim; ++d) {
-      if (!(stream >> shape[d]) || shape[d] < 0) {
-        return Status::InvalidArgument("bad shape in record: " + name);
-      }
-    }
-    Tensor value = Tensor::Uninitialized(shape);
-    // Token-wise strtod parsing: istream extraction does not accept the
-    // hex-float form SaveStateDict writes (LWG 2381).
-    std::string token;
-    for (int64_t i = 0; i < value.size(); ++i) {
-      if (!(stream >> token) || !ParseExactDouble(token, &value.data()[i])) {
-        return Status::InvalidArgument("truncated values for: " + name);
-      }
-    }
-    if (stream >> token) {
-      return Status::InvalidArgument("trailing values for: " + name);
-    }
+    Tensor value;
+    Status status = ParseTensorRecord(record, &name, &value);
+    if (!status.ok()) return status;
     records.emplace_back(name, value);
+  }
+  std::vector<std::pair<std::string, Tensor>> buffer_records;
+  for (const std::string& record : reader.value().GetAll("buffer")) {
+    std::string name;
+    Tensor value;
+    Status status = ParseTensorRecord(record, &name, &value);
+    if (!status.ok()) return status;
+    buffer_records.emplace_back(name, value);
   }
 
   // Match against the module's parameters.
@@ -82,11 +108,43 @@ Status LoadStateDict(Module* module, const std::string& text) {
       return Status::InvalidArgument("shape mismatch for: " + name);
     }
   }
+
+  // Match buffer records against the module's buffers. Files written before
+  // buffers existed carry none — those load with buffers left at their
+  // current values — but an unknown buffer name or a shape mismatch is an
+  // architecture mismatch, rejected like a bad param record.
+  std::vector<std::pair<std::string, Tensor*>> buffers =
+      module->NamedBuffers();
+  for (const auto& [record_name, value] : buffer_records) {
+    Tensor* found = nullptr;
+    for (const auto& [name, buffer] : buffers) {
+      if (name == record_name) {
+        found = buffer;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return Status::InvalidArgument("unknown buffer: " + record_name);
+    }
+    if (found->shape() != value.shape()) {
+      return Status::InvalidArgument("shape mismatch for buffer: " +
+                                     record_name);
+    }
+  }
+
   // All validated; now write values.
   for (auto& [name, parameter] : parameters) {
     for (const auto& [record_name, value] : records) {
       if (record_name == name) {
         parameter.mutable_value() = value.Clone();
+        break;
+      }
+    }
+  }
+  for (const auto& [record_name, value] : buffer_records) {
+    for (auto& [name, buffer] : buffers) {
+      if (name == record_name) {
+        *buffer = value.Clone();
         break;
       }
     }

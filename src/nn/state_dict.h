@@ -3,10 +3,15 @@
 // dependency). Used for checkpointing, best-weights restore, and shipping
 // trained forecasting models next to their genotypes.
 //
-// Format (one record per parameter):
+// Format (one record per parameter, then one per non-trainable buffer —
+// e.g. BatchNorm running statistics — registered via Module::RegisterBuffer):
 //   param = <name> <ndim> <dim0> ... <dimk> <v0> <v1> ... <vn>
+//   buffer = <name> <ndim> <dim0> ... <dimk> <v0> <v1> ... <vn>
 // Values are written as C99 hex-floats ("%a") so every double round-trips
 // bit-identically; the loader also accepts decimal values from old files.
+// Files written before buffer records existed still load (the module's
+// buffers keep their current values); an unknown buffer name or shape
+// mismatch is rejected like any architecture mismatch.
 #ifndef AUTOCTS_NN_STATE_DICT_H_
 #define AUTOCTS_NN_STATE_DICT_H_
 
@@ -30,7 +35,9 @@ Status SaveStateDictToFile(const Module& module, const std::string& path);
 Status LoadStateDictFromFile(Module* module, const std::string& path);
 
 // In-memory snapshot/restore used for best-validation-weights tracking.
-// Snapshot captures deep copies of all parameter values.
+// Snapshot captures deep copies of all parameter values. Intentionally
+// parameters-only: training-time rollback keeps the running statistics the
+// model has accumulated, matching the pre-buffer behaviour bit-for-bit.
 class ParameterSnapshot {
  public:
   // Captures the current values of `module`'s parameters.

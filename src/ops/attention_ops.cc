@@ -59,56 +59,69 @@ Variable AttentionOpBase::SparseAttention(const Variable& q, const Variable& k,
   const double scale = 1.0 / std::sqrt(static_cast<double>(channels_));
 
   // Sparsity measurement M(q_i) = max_j s_ij - mean_j s_ij, computed on
-  // detached values and averaged over all batch rows so one shared index
-  // set is used (see header).
+  // detached values and averaged over each sample's own rows only, so
+  // every batch element selects its active-query set independently: a
+  // batched forward is bit-identical to forwarding each sample alone
+  // (the serving determinism contract; see header).
   const Tensor raw_scores =
       MulScalar(MatMul(q.value(), k.value().Transpose(-2, -1)), scale);
+  const int64_t batch = q.dim(0);
   const Tensor flat =
-      raw_scores.Reshape({-1, length, length});  // [rows, L, L]
-  const int64_t rows = flat.dim(0);
-  std::vector<double> measurement(length, 0.0);
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t i = 0; i < length; ++i) {
-      const double* row = flat.data() + (r * length + i) * length;
-      double max_score = row[0];
-      double sum = 0.0;
-      for (int64_t j = 0; j < length; ++j) {
-        max_score = std::max(max_score, row[j]);
-        sum += row[j];
+      raw_scores.Reshape({batch, -1, length, length});  // [B, rows, L, L]
+  const int64_t rows = flat.dim(1);
+
+  // Per-sample one-hot gather G [B, 1, u, L] (row j selects that sample's
+  // j-th active query), scatter S = G^T [B, 1, L, u], and lazy-row mask
+  // [B, 1, L, 1]; the batched matmuls below broadcast them over the row
+  // axis. Gather/scatter are zero-initialized on purpose (sparse one-hot
+  // fill); not candidates for Tensor::Uninitialized.
+  Tensor gather({batch, 1, u, length});
+  Tensor scatter({batch, 1, length, u});
+  Tensor lazy_mask = Tensor::Ones({batch, 1, length, 1});
+  std::vector<double> measurement(length);
+  std::vector<int64_t> order(length);
+  for (int64_t b = 0; b < batch; ++b) {
+    std::fill(measurement.begin(), measurement.end(), 0.0);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t i = 0; i < length; ++i) {
+        const double* row =
+            flat.data() + ((b * rows + r) * length + i) * length;
+        double max_score = row[0];
+        double sum = 0.0;
+        for (int64_t j = 0; j < length; ++j) {
+          max_score = std::max(max_score, row[j]);
+          sum += row[j];
+        }
+        measurement[i] += max_score - sum / static_cast<double>(length);
       }
-      measurement[i] += max_score - sum / static_cast<double>(length);
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + u, order.end(),
+                      [&measurement](int64_t lhs, int64_t rhs) {
+                        return measurement[lhs] > measurement[rhs];
+                      });
+    std::sort(order.begin(), order.begin() + u);
+    for (int64_t j = 0; j < u; ++j) {
+      const int64_t active = order[j];
+      gather.data()[(b * u + j) * length + active] = 1.0;
+      scatter.data()[(b * length + active) * u + j] = 1.0;
+      lazy_mask.data()[b * length + active] = 0.0;
     }
   }
-  std::vector<int64_t> order(length);
-  std::iota(order.begin(), order.end(), 0);
-  std::partial_sort(order.begin(), order.begin() + u, order.end(),
-                    [&measurement](int64_t a, int64_t b) {
-                      return measurement[a] > measurement[b];
-                    });
-  std::vector<int64_t> active(order.begin(), order.begin() + u);
-  std::sort(active.begin(), active.end());
 
-  // Active queries attend normally.
-  const Variable q_active = ag::IndexSelect(q, /*axis=*/-2, active);
+  // Active queries attend normally; the one-hot gather matmul routes
+  // gradients back to the selected rows of q.
+  const Variable q_active = ag::MatMul(ag::Constant(gather), q);
   const Variable scores = ag::MulScalar(
       ag::MatMul(q_active, ag::Transpose(k, -2, -1)), scale);
   const Variable attended_active =
       ag::MatMul(ag::Softmax(scores, /*axis=*/-1), v);  // [.., u, D]
 
-  // Lazy queries output mean(V); scatter the active rows on top using a
-  // constant one-hot selection matrix S [L, u] and a lazy-row mask [L, 1].
-  // Zero-initialized on purpose (sparse one-hot scatter below); not a
-  // candidate for Tensor::Uninitialized.
-  Tensor select({length, u});
-  Tensor lazy_mask = Tensor::Ones({length, 1});
-  for (int64_t j = 0; j < u; ++j) {
-    select.data()[active[j] * u + j] = 1.0;
-    lazy_mask.data()[active[j]] = 0.0;
-  }
+  // Lazy queries output mean(V); scatter the active rows on top.
   const Variable mean_v = ag::Mean(v, /*axis=*/-2, /*keepdim=*/true);
   const Variable lazy_part = ag::Mul(ag::Constant(lazy_mask), mean_v);
   const Variable active_part =
-      ag::MatMul(ag::Constant(select), attended_active);
+      ag::MatMul(ag::Constant(scatter), attended_active);
   return ag::Add(active_part, lazy_part);
 }
 

@@ -7,9 +7,11 @@
 // only the top u = ceil(c ln L) queries attend; the remaining ("lazy")
 // queries output the mean of V, exactly as in Zhou et al. (2021). One
 // simplification for this substrate: the measurement is averaged across
-// batch rows so the selected indices are shared per forward pass, which
-// keeps the gather/scatter dense while exercising the same sampled-query
-// code path.
+// each sample's rows so one index set is shared within a sample (keeping
+// the gather/scatter dense), but every batch element selects its set
+// independently — each sample's output never depends on its batch mates,
+// so a batched eval forward is bit-identical to per-sample forwards (the
+// serving determinism contract).
 #ifndef AUTOCTS_OPS_ATTENTION_OPS_H_
 #define AUTOCTS_OPS_ATTENTION_OPS_H_
 

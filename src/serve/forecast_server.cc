@@ -1,0 +1,211 @@
+#include "serve/forecast_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
+namespace autocts::serve {
+
+ForecastServer::ForecastServer(const ModelArtifact& artifact,
+                               const ServeOptions& options)
+    : meta_(artifact.meta), artifact_(artifact), options_(options) {
+  AUTOCTS_CHECK_GE(options_.workers, 1);
+  AUTOCTS_CHECK_GE(options_.max_batch, 1);
+  AUTOCTS_CHECK_GE(options_.queue_capacity, 1);
+}
+
+ForecastServer::~ForecastServer() { Stop(); }
+
+Status ForecastServer::Start() {
+  AUTOCTS_CHECK(!running_.load() && !stopped_.load())
+      << "Start() must be called exactly once";
+  sessions_.reserve(options_.workers);
+  for (int64_t i = 0; i < options_.workers; ++i) {
+    StatusOr<std::unique_ptr<InferenceSession>> session =
+        InferenceSession::Create(artifact_);
+    if (!session.ok()) {
+      sessions_.clear();
+      return session.status();
+    }
+    sessions_.push_back(std::move(session).value());
+  }
+  queue_ = std::make_unique<BoundedQueue<Request>>(
+      static_cast<size_t>(options_.queue_capacity));
+  worker_logs_.resize(options_.workers);
+  running_.store(true);
+  threads_.reserve(options_.workers);
+  for (int64_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return Status::Ok();
+}
+
+void ForecastServer::Stop() {
+  if (!running_.load() || stopped_.exchange(true)) return;
+  queue_->Close();
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+  running_.store(false);
+  FlushMetrics();
+}
+
+std::future<StatusOr<Tensor>> ForecastServer::Submit(Tensor window,
+                                                     Deadline deadline) {
+  Request request;
+  request.window = std::move(window);
+  request.deadline = deadline;
+  request.submit_nanos = SteadyNowNanos();
+  std::future<StatusOr<Tensor>> future = request.promise.get_future();
+  if (!running_.load() || stopped_.load()) {
+    rejected_.fetch_add(1);
+    request.promise.set_value(Status::Unavailable("server not running"));
+    return future;
+  }
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    cancelled_.fetch_add(1);
+    request.promise.set_value(
+        options_.cancel->ToStatus("forecast request rejected"));
+    return future;
+  }
+  if (!queue_->TryPush(request)) {
+    rejected_.fetch_add(1);
+    request.promise.set_value(
+        Status::Unavailable("request queue full or closed"));
+  }
+  return future;
+}
+
+StatusOr<Tensor> ForecastServer::Predict(const Tensor& window,
+                                         Deadline deadline) {
+  return Submit(window.Clone(), deadline).get();
+}
+
+void ForecastServer::WorkerLoop(int64_t worker_index) {
+  InferenceSession* session = sessions_[worker_index].get();
+  WorkerLog* log = &worker_logs_[worker_index];
+  std::vector<Request> batch;
+  while (true) {
+    batch.clear();
+    const size_t popped = queue_->PopBatch(
+        static_cast<size_t>(options_.max_batch), &batch);
+    if (popped == 0) return;  // closed and drained
+    AUTOCTS_TRACE_SCOPE("serve/batch");
+
+    // Fail fast on cancellation; answer expired requests without running
+    // the model for them.
+    std::vector<Request*> live;
+    live.reserve(batch.size());
+    for (Request& request : batch) {
+      if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+        cancelled_.fetch_add(1);
+        request.promise.set_value(
+            options_.cancel->ToStatus("forecast request dropped"));
+      } else if (request.deadline.expired()) {
+        expired_.fetch_add(1);
+        request.promise.set_value(Status::DeadlineExceeded(
+            "request deadline expired before the forward"));
+      } else {
+        live.push_back(&request);
+      }
+    }
+    if (live.empty()) continue;
+
+    const int64_t k = static_cast<int64_t>(live.size());
+    Tensor windows = Tensor::Uninitialized({k, meta_.input_length,
+                                            meta_.num_nodes,
+                                            meta_.in_features});
+    const int64_t window_size =
+        meta_.input_length * meta_.num_nodes * meta_.in_features;
+    StatusOr<Tensor> forecasts = Status::Internal("unset");
+    {
+      bool shapes_ok = true;
+      for (int64_t i = 0; i < k; ++i) {
+        const Tensor& window = live[i]->window;
+        if (window.ndim() != 3 || window.dim(0) != meta_.input_length ||
+            window.dim(1) != meta_.num_nodes ||
+            window.dim(2) != meta_.in_features) {
+          shapes_ok = false;
+          break;
+        }
+        std::copy(window.data(), window.data() + window_size,
+                  windows.data() + i * window_size);
+      }
+      if (shapes_ok) {
+        forecasts = session->PredictBatch(windows);
+      } else {
+        // Mixed shapes: serve each request individually so one malformed
+        // window cannot fail its batch mates.
+        for (Request* request : live) {
+          AUTOCTS_TRACE_SCOPE("serve/request");
+          StatusOr<Tensor> result = session->Predict(request->window);
+          if (result.ok()) requests_served_.fetch_add(1);
+          log->latencies_ms.push_back(
+              static_cast<double>(SteadyNowNanos() -
+                                  request->submit_nanos) * 1e-6);
+          request->promise.set_value(std::move(result));
+        }
+        batches_.fetch_add(1);
+        log->batch_fills.push_back(k);
+        continue;
+      }
+    }
+
+    batches_.fetch_add(1);
+    log->batch_fills.push_back(k);
+    int64_t observed = max_batch_observed_.load();
+    while (k > observed &&
+           !max_batch_observed_.compare_exchange_weak(observed, k)) {
+    }
+    const int64_t forecast_size = meta_.output_length * meta_.num_nodes;
+    for (int64_t i = 0; i < k; ++i) {
+      AUTOCTS_TRACE_SCOPE("serve/request");
+      if (!forecasts.ok()) {
+        live[i]->promise.set_value(forecasts.status());
+        continue;
+      }
+      Tensor response =
+          Tensor::Uninitialized({meta_.output_length, meta_.num_nodes});
+      std::copy(forecasts.value().data() + i * forecast_size,
+                forecasts.value().data() + (i + 1) * forecast_size,
+                response.data());
+      requests_served_.fetch_add(1);
+      log->latencies_ms.push_back(
+          static_cast<double>(SteadyNowNanos() - live[i]->submit_nanos) *
+          1e-6);
+      live[i]->promise.set_value(std::move(response));
+    }
+  }
+}
+
+void ForecastServer::FlushMetrics() {
+  if (options_.metrics == nullptr) return;
+  obs::MetricsRegistry* metrics = options_.metrics;
+  metrics->GetCounter(kMetricRequestsServed)->Set(requests_served_.load());
+  metrics->GetCounter(kMetricBatches)->Set(batches_.load());
+  metrics->GetCounter(kMetricRejected)->Set(rejected_.load());
+  metrics->GetCounter(kMetricExpired)->Set(expired_.load());
+  metrics->GetCounter(kMetricCancelled)->Set(cancelled_.load());
+  obs::Histogram* fill = metrics->GetHistogram(
+      kMetricBatchFill, {1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  obs::Histogram* latency = metrics->GetHistogram(
+      kMetricLatencyMs, {1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+  for (const WorkerLog& log : worker_logs_) {
+    for (int64_t f : log.batch_fills) fill->Observe(static_cast<double>(f));
+    for (double ms : log.latencies_ms) latency->Observe(ms);
+  }
+}
+
+ForecastServer::Stats ForecastServer::stats() const {
+  Stats stats;
+  stats.requests_served = requests_served_.load();
+  stats.batches = batches_.load();
+  stats.rejected = rejected_.load();
+  stats.expired = expired_.load();
+  stats.cancelled = cancelled_.load();
+  stats.max_batch_observed = max_batch_observed_.load();
+  return stats;
+}
+
+}  // namespace autocts::serve

@@ -1,0 +1,356 @@
+#include "serve/model_artifact.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/file_io.h"
+#include "common/text_codec.h"
+#include "nn/state_dict.h"
+
+namespace autocts::serve {
+namespace {
+
+constexpr char kFormatName[] = "autocts-model-artifact";
+constexpr char kCrcKey[] = "crc32 = ";
+// Sanity bound on the serialized adjacency extent; a corrupt dimension must
+// not drive a huge allocation before the record is rejected.
+constexpr int64_t kMaxTensorElements = int64_t{1} << 31;
+
+void AppendTensor(std::ostringstream* out, const Tensor& tensor) {
+  *out << " " << tensor.ndim();
+  for (int64_t d : tensor.shape()) *out << " " << d;
+  for (int64_t i = 0; i < tensor.size(); ++i) {
+    *out << " " << FormatExactDouble(tensor.data()[i]);
+  }
+}
+
+Status ParseTensor(std::istringstream* stream, const std::string& label,
+                   Tensor* out) {
+  int64_t ndim = 0;
+  if (!(*stream >> ndim) || ndim < 0 || ndim > 8) {
+    return Status::InvalidArgument("bad tensor rank in record: " + label);
+  }
+  Shape shape(ndim);
+  int64_t elements = 1;
+  for (int64_t d = 0; d < ndim; ++d) {
+    if (!(*stream >> shape[d]) || shape[d] < 0 ||
+        shape[d] > kMaxTensorElements ||
+        elements * std::max<int64_t>(shape[d], 1) > kMaxTensorElements) {
+      return Status::InvalidArgument("bad tensor shape in record: " + label);
+    }
+    elements *= shape[d];
+  }
+  Tensor value(shape);
+  std::string token;
+  for (int64_t i = 0; i < value.size(); ++i) {
+    if (!(*stream >> token) || !ParseExactDouble(token, &value.data()[i])) {
+      return Status::InvalidArgument("truncated or malformed values in: " +
+                                     label);
+    }
+  }
+  *out = value;
+  return Status::Ok();
+}
+
+Status ParseDoubleList(const std::string& text, const std::string& label,
+                       int64_t expected, std::vector<double>* out) {
+  std::istringstream stream(text);
+  out->assign(expected, 0.0);
+  std::string token;
+  for (int64_t i = 0; i < expected; ++i) {
+    if (!(stream >> token) || !ParseExactDouble(token, &(*out)[i])) {
+      return Status::InvalidArgument("truncated values in: " + label);
+    }
+  }
+  if (stream >> token) {
+    return Status::InvalidArgument("trailing values in: " + label);
+  }
+  return Status::Ok();
+}
+
+// Embeds a multi-line sub-document as `count_key = N` followed by N
+// repeated `line_key = <line>` records; decode re-joins them in order.
+void AppendLines(TextWriter* writer, const std::string& count_key,
+                 const std::string& line_key, const std::string& text) {
+  std::istringstream stream(text);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  writer->AddInt(count_key, static_cast<int64_t>(lines.size()));
+  for (const std::string& l : lines) writer->Add(line_key, l);
+}
+
+Status ParseLines(const TextReader& reader, const std::string& count_key,
+                  const std::string& line_key, std::string* out) {
+  StatusOr<int64_t> count = reader.GetInt(count_key);
+  if (!count.ok()) return count.status();
+  const std::vector<std::string> lines = reader.GetAll(line_key);
+  if (static_cast<int64_t>(lines.size()) != count.value()) {
+    return Status::InvalidArgument(
+        line_key + " line count mismatch: expected " +
+        std::to_string(count.value()) + ", found " +
+        std::to_string(lines.size()));
+  }
+  std::ostringstream joined;
+  for (const std::string& l : lines) joined << l << "\n";
+  *out = joined.str();
+  return Status::Ok();
+}
+
+}  // namespace
+
+ModelArtifact MakeModelArtifact(const core::DerivedModel& model,
+                                const models::PreparedData& data,
+                                int64_t hidden_dim, uint64_t seed) {
+  ModelArtifact artifact;
+  artifact.meta.num_nodes = data.num_nodes;
+  artifact.meta.in_features = data.in_features;
+  artifact.meta.input_length = data.window.input_length;
+  artifact.meta.output_length = data.window.output_length;
+  artifact.meta.horizon = data.window.horizon;
+  artifact.meta.target_feature = data.target_feature;
+  artifact.meta.hidden_dim = hidden_dim;
+  artifact.meta.seed = seed;
+  artifact.meta.zero_is_missing = data.zero_is_missing;
+  artifact.genotype = model.genotype();
+  artifact.scaler = data.scaler.GetState();
+  artifact.state_dict = nn::SaveStateDict(model);
+  artifact.adjacency = data.adjacency;
+  return artifact;
+}
+
+std::string EncodeModelArtifact(const ModelArtifact& artifact) {
+  TextWriter writer;
+  writer.Add("format", kFormatName);
+  writer.AddInt("version", ModelArtifact::kFormatVersion);
+  writer.AddInt("num_nodes", artifact.meta.num_nodes);
+  writer.AddInt("in_features", artifact.meta.in_features);
+  writer.AddInt("input_length", artifact.meta.input_length);
+  writer.AddInt("output_length", artifact.meta.output_length);
+  writer.AddInt("horizon", artifact.meta.horizon);
+  writer.AddInt("target_feature", artifact.meta.target_feature);
+  writer.AddInt("hidden_dim", artifact.meta.hidden_dim);
+  writer.AddInt("seed", static_cast<int64_t>(artifact.meta.seed));
+  writer.AddInt("zero_is_missing", artifact.meta.zero_is_missing ? 1 : 0);
+
+  writer.AddInt("scaler_mask_null", artifact.scaler.mask_null ? 1 : 0);
+  writer.Add("scaler_null_value",
+             FormatExactDouble(artifact.scaler.null_value));
+  writer.AddInt("scaler_features",
+                static_cast<int64_t>(artifact.scaler.means.size()));
+  std::ostringstream means;
+  for (size_t f = 0; f < artifact.scaler.means.size(); ++f) {
+    means << (f == 0 ? "" : " ") << FormatExactDouble(artifact.scaler.means[f]);
+  }
+  writer.Add("scaler_means", means.str());
+  std::ostringstream stddevs;
+  for (size_t f = 0; f < artifact.scaler.stddevs.size(); ++f) {
+    stddevs << (f == 0 ? "" : " ")
+            << FormatExactDouble(artifact.scaler.stddevs[f]);
+  }
+  writer.Add("scaler_stddevs", stddevs.str());
+
+  std::ostringstream adjacency;
+  adjacency << (artifact.adjacency.defined() ? 1 : 0);
+  if (artifact.adjacency.defined()) {
+    AppendTensor(&adjacency, artifact.adjacency);
+  }
+  writer.Add("adjacency", adjacency.str());
+
+  AppendLines(&writer, "genotype_lines", "genotype",
+              artifact.genotype.ToText());
+  AppendLines(&writer, "state_lines", "state", artifact.state_dict);
+
+  const std::string payload = writer.ToString();
+  char trailer[32];
+  std::snprintf(trailer, sizeof(trailer), "%s%08x\n", kCrcKey, Crc32(payload));
+  return payload + trailer;
+}
+
+StatusOr<ModelArtifact> DecodeModelArtifact(const std::string& text) {
+  // 1. Locate and verify the CRC trailer (the last line). Any truncation or
+  // byte flip anywhere above it fails here.
+  const size_t marker = text.rfind(kCrcKey);
+  if (marker == std::string::npos ||
+      (marker != 0 && text[marker - 1] != '\n')) {
+    return Status::InvalidArgument("artifact missing crc32 trailer");
+  }
+  std::string trailer = text.substr(marker + sizeof(kCrcKey) - 1);
+  // The trailer must be newline-terminated: losing even the final byte of
+  // the file is a truncation and must be rejected, not tolerated.
+  if (trailer.empty() || trailer.back() != '\n') {
+    return Status::InvalidArgument("artifact truncated: unterminated trailer");
+  }
+  trailer.pop_back();
+  if (trailer.size() != 8 ||
+      trailer.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::InvalidArgument("malformed crc32 trailer: " + trailer);
+  }
+  const uint32_t expected =
+      static_cast<uint32_t>(std::strtoul(trailer.c_str(), nullptr, 16));
+  const std::string payload = text.substr(0, marker);
+  if (Crc32(payload) != expected) {
+    return Status::InvalidArgument("artifact crc32 mismatch");
+  }
+
+  // 2. Parse the verified payload.
+  StatusOr<TextReader> parsed = TextReader::Parse(payload);
+  if (!parsed.ok()) return parsed.status();
+  const TextReader& reader = parsed.value();
+
+  StatusOr<std::string> format = reader.Get("format");
+  if (!format.ok()) return format.status();
+  if (format.value() != kFormatName) {
+    return Status::InvalidArgument("not a model artifact: " + format.value());
+  }
+  StatusOr<int64_t> version = reader.GetInt("version");
+  if (!version.ok()) return version.status();
+  if (version.value() != ModelArtifact::kFormatVersion) {
+    return Status::InvalidArgument("unsupported artifact version: " +
+                                   std::to_string(version.value()));
+  }
+
+  ModelArtifact artifact;
+  struct IntField {
+    const char* key;
+    int64_t* out;
+    int64_t min;
+  };
+  int64_t seed = 0;
+  int64_t zero_is_missing = 0;
+  int64_t mask_null = 0;
+  const IntField fields[] = {
+      {"num_nodes", &artifact.meta.num_nodes, 1},
+      {"in_features", &artifact.meta.in_features, 1},
+      {"input_length", &artifact.meta.input_length, 1},
+      {"output_length", &artifact.meta.output_length, 1},
+      {"horizon", &artifact.meta.horizon, 0},
+      {"target_feature", &artifact.meta.target_feature, 0},
+      {"hidden_dim", &artifact.meta.hidden_dim, 1},
+      {"seed", &seed, 0},
+      {"zero_is_missing", &zero_is_missing, 0},
+      {"scaler_mask_null", &mask_null, 0},
+  };
+  for (const IntField& field : fields) {
+    StatusOr<int64_t> value = reader.GetInt(field.key);
+    if (!value.ok()) return value.status();
+    if (value.value() < field.min) {
+      return Status::InvalidArgument(std::string("bad value for ") +
+                                     field.key);
+    }
+    *field.out = value.value();
+  }
+  artifact.meta.seed = static_cast<uint64_t>(seed);
+  artifact.meta.zero_is_missing = zero_is_missing != 0;
+  artifact.scaler.mask_null = mask_null != 0;
+  if (artifact.meta.target_feature >= artifact.meta.in_features) {
+    return Status::InvalidArgument("target_feature out of range");
+  }
+
+  StatusOr<std::string> null_value = reader.Get("scaler_null_value");
+  if (!null_value.ok()) return null_value.status();
+  if (!ParseExactDouble(null_value.value(), &artifact.scaler.null_value)) {
+    return Status::InvalidArgument("bad scaler_null_value: " +
+                                   null_value.value());
+  }
+  StatusOr<int64_t> features = reader.GetInt("scaler_features");
+  if (!features.ok()) return features.status();
+  if (features.value() != artifact.meta.in_features) {
+    return Status::InvalidArgument("scaler feature count mismatch");
+  }
+  StatusOr<std::string> means = reader.Get("scaler_means");
+  if (!means.ok()) return means.status();
+  Status status = ParseDoubleList(means.value(), "scaler_means",
+                                  features.value(), &artifact.scaler.means);
+  if (!status.ok()) return status;
+  StatusOr<std::string> stddevs = reader.Get("scaler_stddevs");
+  if (!stddevs.ok()) return stddevs.status();
+  status = ParseDoubleList(stddevs.value(), "scaler_stddevs",
+                           features.value(), &artifact.scaler.stddevs);
+  if (!status.ok()) return status;
+
+  StatusOr<std::string> adjacency = reader.Get("adjacency");
+  if (!adjacency.ok()) return adjacency.status();
+  {
+    std::istringstream stream(adjacency.value());
+    int defined = 0;
+    if (!(stream >> defined) || (defined != 0 && defined != 1)) {
+      return Status::InvalidArgument("malformed adjacency record");
+    }
+    if (defined == 1) {
+      status = ParseTensor(&stream, "adjacency", &artifact.adjacency);
+      if (!status.ok()) return status;
+    }
+    std::string extra;
+    if (stream >> extra) {
+      return Status::InvalidArgument("trailing tokens in adjacency record");
+    }
+  }
+
+  std::string genotype_text;
+  status = ParseLines(reader, "genotype_lines", "genotype", &genotype_text);
+  if (!status.ok()) return status;
+  StatusOr<core::Genotype> genotype = core::Genotype::FromText(genotype_text);
+  if (!genotype.ok()) return genotype.status();
+  artifact.genotype = genotype.value();
+
+  status = ParseLines(reader, "state_lines", "state", &artifact.state_dict);
+  if (!status.ok()) return status;
+
+  return artifact;
+}
+
+Status SaveModelArtifact(const ModelArtifact& artifact,
+                         const std::string& path) {
+  return AtomicWriteFile(path, EncodeModelArtifact(artifact),
+                         /*keep_previous=*/true);
+}
+
+StatusOr<ModelArtifact> LoadModelArtifact(const std::string& path) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return DecodeModelArtifact(text.value());
+}
+
+StatusOr<ModelArtifact> LoadModelArtifactOrPrev(const std::string& path,
+                                                bool* used_prev) {
+  if (used_prev != nullptr) *used_prev = false;
+  StatusOr<ModelArtifact> primary = LoadModelArtifact(path);
+  if (primary.ok()) return primary;
+  const std::string prev_path = path + ".prev";
+  if (!FileExists(prev_path)) return primary.status();
+  StatusOr<ModelArtifact> previous = LoadModelArtifact(prev_path);
+  if (!previous.ok()) {
+    return Status(primary.status().code(),
+                  primary.status().message() +
+                      "; fallback also failed: " + previous.status().message());
+  }
+  if (used_prev != nullptr) *used_prev = true;
+  return previous;
+}
+
+StatusOr<std::unique_ptr<core::DerivedModel>> BuildModelFromArtifact(
+    const ModelArtifact& artifact) {
+  models::ModelContext context;
+  context.num_nodes = artifact.meta.num_nodes;
+  context.in_features = artifact.meta.in_features;
+  context.input_length = artifact.meta.input_length;
+  context.output_length = artifact.meta.output_length;
+  context.hidden_dim = artifact.meta.hidden_dim;
+  context.adjacency = artifact.adjacency;
+  context.seed = artifact.meta.seed;
+  auto model = std::make_unique<core::DerivedModel>(artifact.genotype,
+                                                    context);
+  Status status = nn::LoadStateDict(model.get(), artifact.state_dict);
+  if (!status.ok()) {
+    return Status(status.code(),
+                  "artifact state dict does not match the genotype's "
+                  "architecture: " + status.message());
+  }
+  model->SetTraining(false);
+  return StatusOr<std::unique_ptr<core::DerivedModel>>(std::move(model));
+}
+
+}  // namespace autocts::serve

@@ -25,6 +25,7 @@
 #include "models/trainer.h"
 #include "nn/state_dict.h"
 #include "tensor/tensor_ops.h"
+#include "testing/fixtures.h"
 
 namespace autocts {
 namespace {
@@ -46,15 +47,7 @@ using models::PreparedData;
 struct KillSignal {};
 
 PreparedData TinyData(uint64_t seed = 31) {
-  data::TrafficSpeedConfig config;
-  config.num_nodes = 4;
-  config.num_steps = 300;
-  config.seed = seed;
-  data::WindowSpec window;
-  window.input_length = 6;
-  window.output_length = 3;
-  return models::PrepareData(data::GenerateTrafficSpeed(config), window, 0.7,
-                             0.1);
+  return fixtures::TinyPreparedData(seed);
 }
 
 SearchOptions TinyOptions() {
@@ -82,13 +75,11 @@ SearchOptions CheckpointedOptions(const std::string& path) {
 }
 
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "checkpoint_test_" + name;
+  return fixtures::TempPath("checkpoint_test", name);
 }
 
 void RemoveGenerations(const std::string& path) {
-  std::remove(path.c_str());
-  std::remove((path + ".prev").c_str());
-  std::remove((path + ".tmp").c_str());
+  fixtures::RemoveGenerations(path);
 }
 
 void ExpectTensorBitsEqual(const Tensor& a, const Tensor& b,

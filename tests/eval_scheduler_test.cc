@@ -29,6 +29,7 @@
 #include "core/searcher.h"
 #include "data/synthetic/generators.h"
 #include "models/trainer.h"
+#include "testing/fixtures.h"
 
 namespace autocts {
 namespace {
@@ -54,44 +55,15 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 struct KillSignal {};
 
 PreparedData TinyData(uint64_t seed = 47) {
-  data::TrafficSpeedConfig config;
-  config.num_nodes = 4;
-  config.num_steps = 300;
-  config.seed = seed;
-  data::WindowSpec window;
-  window.input_length = 6;
-  window.output_length = 3;
-  return models::PrepareData(data::GenerateTrafficSpeed(config), window, 0.7,
-                             0.1);
+  return fixtures::TinyPreparedData(seed);
 }
 
-// Hand-built candidates in the exact shape Derive() emits for
-// micro_nodes = 3 / edges_per_node = 2, with operator choices varied per
-// candidate so every candidate trains to a different result.
 Genotype MakeCandidate(int64_t variant) {
-  const std::vector<std::string> ops = {"identity", "gdcc", "inf_s", "dgcn",
-                                        "inf_t"};
-  const auto op = [&](int64_t i) {
-    return ops[(variant + i) % static_cast<int64_t>(ops.size())];
-  };
-  Genotype genotype;
-  genotype.nodes_per_block = 3;
-  for (int64_t b = 0; b < 2; ++b) {
-    core::BlockGenotype block;
-    block.edges.push_back({0, 1, op(b)});
-    block.edges.push_back({1, 2, op(b + 1)});
-    block.edges.push_back({0, 2, op(b + 2)});
-    genotype.blocks.push_back(block);
-  }
-  genotype.block_inputs = {0, 1};
-  AUTOCTS_CHECK(genotype.Validate().ok());
-  return genotype;
+  return fixtures::MakeCandidateGenotype(variant);
 }
 
 std::vector<Genotype> MakeCandidates(int64_t count) {
-  std::vector<Genotype> candidates;
-  for (int64_t i = 0; i < count; ++i) candidates.push_back(MakeCandidate(i));
-  return candidates;
+  return fixtures::MakeCandidateGenotypes(count);
 }
 
 EvalSchedulerOptions TinyOptions() {
@@ -105,12 +77,11 @@ EvalSchedulerOptions TinyOptions() {
 }
 
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "eval_scheduler_test_" + name;
+  return fixtures::TempPath("eval_scheduler_test", name);
 }
 
 void RemoveGenerations(const std::string& path) {
-  std::remove(path.c_str());
-  std::remove((path + ".prev").c_str());
+  fixtures::RemoveGenerations(path);
 }
 
 // Bit-exact equality of everything deterministic in an outcome (wall-clock

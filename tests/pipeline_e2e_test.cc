@@ -25,6 +25,7 @@
 #endif
 
 #include "common/file_io.h"
+#include "testing/fixtures.h"
 
 namespace autocts {
 namespace {
@@ -39,7 +40,7 @@ struct CliRun {
 };
 
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "pipeline_e2e_" + name;
+  return fixtures::TempPath("pipeline_e2e", name);
 }
 
 CliRun RunCli(const std::string& args, const std::string& tag) {

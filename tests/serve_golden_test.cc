@@ -1,0 +1,246 @@
+// Golden forecast regression suite: every model-zoo baseline plus a derived
+// AutoCTS architecture has a checked-in fixture under
+// tests/testdata/forecast_golden_v1/ holding tiny fixed-seed trained
+// weights and the exact hex-float image of the model's forward pass on a
+// deterministic input. The assertions are byte-exact, so ANY numeric drift
+// in the kernel/autograd/nn stack — a reordered accumulation, a changed
+// default, a refactored op — fails loudly here instead of silently shifting
+// every downstream result.
+//
+// When a change is intentional, regenerate the fixtures with
+//
+//   tools/regen_goldens.sh         (wraps AUTOCTS_REGEN_GOLDENS=1)
+//
+// and review the fixture diff alongside the code change. Regeneration
+// retrains the tiny models (a few seconds) and re-verifies the freshly
+// written fixtures in the same run.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "common/text_codec.h"
+#include "core/derived_model.h"
+#include "models/model_zoo.h"
+#include "models/trainer.h"
+#include "nn/state_dict.h"
+#include "testing/fixtures.h"
+
+namespace autocts {
+namespace {
+
+#ifndef AUTOCTS_TESTDATA_DIR
+#error "AUTOCTS_TESTDATA_DIR must be defined by the build"
+#endif
+
+constexpr char kFormatName[] = "autocts-forecast-golden";
+constexpr int64_t kFormatVersion = 1;
+constexpr char kCrcKey[] = "crc32 = ";
+constexpr int64_t kHiddenDim = 8;
+constexpr uint64_t kDataSeed = 61;
+constexpr uint64_t kInitSeed = 5;
+constexpr uint64_t kTrainSeed = 13;
+constexpr uint64_t kInputSeed = 1234;
+constexpr char kDerivedName[] = "AutoCTS-derived";
+
+bool RegenRequested() {
+  const char* env = std::getenv("AUTOCTS_REGEN_GOLDENS");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::string Slug(const std::string& name) {
+  std::string slug;
+  for (char c : name) {
+    slug.push_back(std::isalnum(static_cast<unsigned char>(c))
+                       ? static_cast<char>(
+                             std::tolower(static_cast<unsigned char>(c)))
+                       : '_');
+  }
+  return slug;
+}
+
+std::string FixturePath(const std::string& name) {
+  return std::string(AUTOCTS_TESTDATA_DIR) + "/forecast_golden_v1/" +
+         Slug(name) + ".golden";
+}
+
+// The shared deterministic setup: every fixture was generated against this
+// dataset geometry, init seed, and probe input. Changing any of these
+// requires a fixture regeneration.
+struct GoldenContext {
+  models::PreparedData data;
+  models::ModelContext context;
+  Tensor input;  // [1, P, N, F], normalized domain
+};
+
+const GoldenContext& Context() {
+  static const GoldenContext* golden = [] {
+    auto* g = new GoldenContext{fixtures::TinyPreparedData(kDataSeed), {}, {}};
+    g->context.num_nodes = g->data.num_nodes;
+    g->context.in_features = g->data.in_features;
+    g->context.input_length = g->data.window.input_length;
+    g->context.output_length = g->data.window.output_length;
+    g->context.hidden_dim = kHiddenDim;
+    g->context.adjacency = g->data.adjacency;
+    g->context.seed = kInitSeed;
+    Rng rng(kInputSeed);
+    g->input = Tensor::Rand({1, g->context.input_length,
+                             g->context.num_nodes, g->context.in_features},
+                            &rng, -1.0, 1.0);
+    return g;
+  }();
+  return *golden;
+}
+
+std::vector<std::string> GoldenModelNames() {
+  std::vector<std::string> names = models::AllBaselineNames();
+  names.push_back(kDerivedName);
+  return names;
+}
+
+models::ForecastingModelPtr BuildModel(const std::string& name) {
+  const GoldenContext& golden = Context();
+  if (name == kDerivedName) {
+    return std::make_unique<core::DerivedModel>(
+        fixtures::MakeCandidateGenotype(1), golden.context);
+  }
+  return models::CreateBaseline(name, golden.context);
+}
+
+std::string ForecastHex(const Tensor& forecast) {
+  std::string line;
+  for (int64_t i = 0; i < forecast.size(); ++i) {
+    if (!line.empty()) line.push_back(' ');
+    line += FormatExactDouble(forecast.data()[i]);
+  }
+  return line;
+}
+
+std::string EncodeFixture(const std::string& name, const std::string& state,
+                          const std::string& forecast_hex) {
+  TextWriter writer;
+  writer.Add("format", kFormatName);
+  writer.AddInt("version", kFormatVersion);
+  writer.Add("model", name);
+  std::istringstream stream(state);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  writer.AddInt("state_lines", static_cast<int64_t>(lines.size()));
+  for (const std::string& l : lines) writer.Add("state", l);
+  writer.Add("forecast", forecast_hex);
+  std::string payload = writer.ToString();
+  char trailer[24];
+  std::snprintf(trailer, sizeof(trailer), "%s%08x\n", kCrcKey,
+                Crc32(payload));
+  return payload + trailer;
+}
+
+struct Fixture {
+  std::string state;
+  std::string forecast_hex;
+};
+
+StatusOr<Fixture> DecodeFixture(const std::string& text,
+                                const std::string& name) {
+  const size_t trailer = text.rfind(kCrcKey);
+  if (trailer == std::string::npos) {
+    return Status::InvalidArgument("missing crc32 trailer");
+  }
+  const std::string payload = text.substr(0, trailer);
+  StatusOr<TextReader> crc_reader = TextReader::Parse(text.substr(trailer));
+  if (!crc_reader.ok()) return crc_reader.status();
+  StatusOr<std::string> crc_text = crc_reader.value().Get("crc32");
+  if (!crc_text.ok()) return crc_text.status();
+  char expected[16];
+  std::snprintf(expected, sizeof(expected), "%08x", Crc32(payload));
+  if (crc_text.value() != expected) {
+    return Status::InvalidArgument("crc mismatch: fixture corrupted");
+  }
+  StatusOr<TextReader> reader = TextReader::Parse(payload);
+  if (!reader.ok()) return reader.status();
+  StatusOr<std::string> format = reader.value().Get("format");
+  if (!format.ok() || format.value() != kFormatName) {
+    return Status::InvalidArgument("not a forecast golden file");
+  }
+  StatusOr<int64_t> version = reader.value().GetInt("version");
+  if (!version.ok() || version.value() != kFormatVersion) {
+    return Status::InvalidArgument("unsupported golden version");
+  }
+  StatusOr<std::string> model = reader.value().Get("model");
+  if (!model.ok() || model.value() != name) {
+    return Status::InvalidArgument("fixture names a different model");
+  }
+  StatusOr<int64_t> state_lines = reader.value().GetInt("state_lines");
+  if (!state_lines.ok()) return state_lines.status();
+  const std::vector<std::string> lines = reader.value().GetAll("state");
+  if (static_cast<int64_t>(lines.size()) != state_lines.value()) {
+    return Status::InvalidArgument("state line count mismatch");
+  }
+  Fixture fixture;
+  for (const std::string& line : lines) {
+    fixture.state += line;
+    fixture.state.push_back('\n');
+  }
+  StatusOr<std::string> forecast = reader.value().Get("forecast");
+  if (!forecast.ok()) return forecast.status();
+  fixture.forecast_hex = std::move(forecast).value();
+  return fixture;
+}
+
+// Trains the tiny model and writes its fixture. Only runs under
+// AUTOCTS_REGEN_GOLDENS=1 (tools/regen_goldens.sh).
+void RegenerateFixture(const std::string& name) {
+  const GoldenContext& golden = Context();
+  models::ForecastingModelPtr model = BuildModel(name);
+  models::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 8;
+  config.max_batches_per_epoch = 2;
+  config.seed = kTrainSeed;
+  models::TrainAndEvaluate(model.get(), golden.data, config);
+  model->SetTraining(false);
+  const Tensor forecast =
+      model->Forward(Variable(golden.input, false)).value();
+  const std::string text = EncodeFixture(name, nn::SaveStateDict(*model),
+                                         ForecastHex(forecast));
+  const Status written = AtomicWriteFile(FixturePath(name), text, false);
+  ASSERT_TRUE(written.ok()) << written.ToString();
+}
+
+class ForecastGoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ForecastGoldenTest, ForwardMatchesGoldenByteForByte) {
+  const std::string name = GetParam();
+  if (RegenRequested()) RegenerateFixture(name);
+
+  StatusOr<std::string> text = ReadFileToString(FixturePath(name));
+  ASSERT_TRUE(text.ok()) << "missing golden fixture " << FixturePath(name)
+                         << " — run tools/regen_goldens.sh";
+  StatusOr<Fixture> fixture = DecodeFixture(text.value(), name);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+  models::ForecastingModelPtr model = BuildModel(name);
+  const Status loaded = nn::LoadStateDict(model.get(), fixture.value().state);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  model->SetTraining(false);
+  const Tensor forecast =
+      model->Forward(Variable(Context().input, false)).value();
+  EXPECT_EQ(ForecastHex(forecast), fixture.value().forecast_hex)
+      << name
+      << ": forward drifted from the golden fixture. If the numeric change "
+         "is intentional, regenerate with tools/regen_goldens.sh and review "
+         "the fixture diff.";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ForecastGoldenTest,
+                         ::testing::ValuesIn(GoldenModelNames()),
+                         [](const auto& info) { return Slug(info.param); });
+
+}  // namespace
+}  // namespace autocts

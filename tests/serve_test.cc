@@ -1,0 +1,571 @@
+// Suite for the forecast-serving engine (src/serve/):
+//   * artifact codec round trips byte-for-byte and rejects corruption —
+//     every single-byte flip and every truncation of a full artifact must
+//     fail to decode, and a corrupt newest generation falls back to
+//     "<path>.prev";
+//   * the serving determinism contract — PredictBatch is bit-identical,
+//     row for row, to sequential Predicts, the ForecastServer reproduces
+//     the same bits at 1/2/4 workers under micro-batching, and repeated
+//     identical predicts return identical bits (no RNG in inference);
+//   * export -> load -> serve fidelity including BatchNorm running
+//     statistics (non-trainable buffers) restored from the state dict;
+//   * the streaming ring buffer matches the stateless path tick for tick;
+//   * queue back-pressure, deadline expiry, cancellation, and graceful
+//     shutdown semantics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/cancellation.h"
+#include "common/file_io.h"
+#include "common/metrics_registry.h"
+#include "core/evaluator.h"
+#include "data/synthetic/generators.h"
+#include "serve/forecast_server.h"
+#include "testing/fixtures.h"
+
+namespace autocts {
+namespace {
+
+using serve::ArtifactMeta;
+using serve::ForecastServer;
+using serve::InferenceSession;
+using serve::ModelArtifact;
+using serve::ServeOptions;
+
+constexpr int64_t kHiddenDim = 8;
+
+// One tiny trained model + its exported artifact, shared across the suite
+// (training dominates the runtime; every test below is read-only on it).
+// The genotype variant contains inf_s / inf_t edges on purpose: ProbSparse
+// attention selects an active-query set per sample, which is the hardest
+// op to keep batch-decoupled.
+struct ServeFixture {
+  models::PreparedData data;
+  std::unique_ptr<core::DerivedModel> model;
+  ModelArtifact artifact;
+};
+
+const ServeFixture& Fixture() {
+  static const ServeFixture* fixture = [] {
+    auto* f = new ServeFixture{fixtures::TinyPreparedData(53), nullptr, {}};
+    models::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 8;
+    config.max_batches_per_epoch = 2;
+    config.seed = 11;
+    StatusOr<core::TrainedGenotype> trained = core::TrainGenotypeWithStatus(
+        fixtures::MakeCandidateGenotype(2), f->data, kHiddenDim, config);
+    AUTOCTS_CHECK(trained.ok()) << trained.status().ToString();
+    f->model = std::move(trained.value().model);
+    f->artifact =
+        serve::MakeModelArtifact(*f->model, f->data, kHiddenDim, config.seed);
+    return f;
+  }();
+  return *fixture;
+}
+
+// Distinct raw (denormalized) windows with the artifact's geometry, sliced
+// stride-1 from a fresh synthetic series.
+std::vector<Tensor> RawWindows(int64_t count, uint64_t seed = 99) {
+  const ArtifactMeta& meta = Fixture().artifact.meta;
+  data::TrafficSpeedConfig config;
+  config.num_nodes = meta.num_nodes;
+  config.num_steps = meta.input_length + count + 8;
+  config.seed = seed;
+  const data::CtsDataset dataset = data::GenerateTrafficSpeed(config);
+  AUTOCTS_CHECK_EQ(dataset.num_features(), meta.in_features);
+  std::vector<Tensor> windows;
+  windows.reserve(count);
+  for (int64_t w = 0; w < count; ++w) {
+    Tensor window({meta.input_length, meta.num_nodes, meta.in_features});
+    for (int64_t p = 0; p < meta.input_length; ++p) {
+      for (int64_t n = 0; n < meta.num_nodes; ++n) {
+        for (int64_t f = 0; f < meta.in_features; ++f) {
+          window.At({p, n, f}) = dataset.values.At({w + p, n, f});
+        }
+      }
+    }
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+std::unique_ptr<InferenceSession> MakeSession() {
+  StatusOr<std::unique_ptr<InferenceSession>> session =
+      InferenceSession::Create(Fixture().artifact);
+  AUTOCTS_CHECK(session.ok()) << session.status().ToString();
+  return std::move(session).value();
+}
+
+void ExpectBitsEqual(const Tensor& a, const Tensor& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.size()) * sizeof(double)),
+            0)
+      << label;
+}
+
+std::string TempPath(const std::string& name) {
+  return fixtures::TempPath("serve_test", name);
+}
+
+// ---------------------------------------------------------------------------
+// Artifact codec.
+// ---------------------------------------------------------------------------
+
+TEST(ModelArtifact, EncodeDecodeRoundTripIsByteExact) {
+  const ModelArtifact& artifact = Fixture().artifact;
+  const std::string text = serve::EncodeModelArtifact(artifact);
+  StatusOr<ModelArtifact> decoded = serve::DecodeModelArtifact(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(serve::EncodeModelArtifact(decoded.value()), text);
+  EXPECT_EQ(decoded.value().meta.num_nodes, artifact.meta.num_nodes);
+  EXPECT_EQ(decoded.value().meta.seed, artifact.meta.seed);
+  EXPECT_EQ(decoded.value().state_dict, artifact.state_dict);
+  EXPECT_EQ(decoded.value().genotype.ToText(), artifact.genotype.ToText());
+}
+
+TEST(ModelArtifact, StateDictCarriesBatchNormBuffers) {
+  // The derived model wraps ops in BatchNorm, so a faithful artifact must
+  // carry its running statistics as "buffer = " records.
+  const ModelArtifact& artifact = Fixture().artifact;
+  EXPECT_NE(artifact.state_dict.find("buffer = "), std::string::npos);
+  EXPECT_NE(artifact.state_dict.find("running_mean"), std::string::npos);
+  EXPECT_NE(artifact.state_dict.find("running_var"), std::string::npos);
+}
+
+TEST(ModelArtifact, RebuiltModelMatchesOriginalBitForBit) {
+  const ServeFixture& fixture = Fixture();
+  StatusOr<std::unique_ptr<core::DerivedModel>> rebuilt =
+      serve::BuildModelFromArtifact(fixture.artifact);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_FALSE(rebuilt.value()->training());
+
+  const auto original_params = fixture.model->NamedParameters();
+  const auto rebuilt_params = rebuilt.value()->NamedParameters();
+  ASSERT_EQ(original_params.size(), rebuilt_params.size());
+  for (size_t i = 0; i < original_params.size(); ++i) {
+    ASSERT_EQ(original_params[i].first, rebuilt_params[i].first);
+    ExpectBitsEqual(original_params[i].second.value(),
+                    rebuilt_params[i].second.value(),
+                    "param " + original_params[i].first);
+  }
+  const auto original_buffers = fixture.model->NamedBuffers();
+  const auto rebuilt_buffers = rebuilt.value()->NamedBuffers();
+  ASSERT_EQ(original_buffers.size(), rebuilt_buffers.size());
+  ASSERT_FALSE(original_buffers.empty());
+  for (size_t i = 0; i < original_buffers.size(); ++i) {
+    ASSERT_EQ(original_buffers[i].first, rebuilt_buffers[i].first);
+    ExpectBitsEqual(*original_buffers[i].second, *rebuilt_buffers[i].second,
+                    "buffer " + original_buffers[i].first);
+  }
+}
+
+// A compact but complete artifact — every record type present, small enough
+// that the exhaustive byte-level sweeps below stay fast. Decode validates
+// the document (CRC, format, field ranges), not state-dict consistency, so
+// the embedded state text can be short.
+ModelArtifact CompactArtifact() {
+  ModelArtifact artifact;
+  artifact.meta.num_nodes = 3;
+  artifact.meta.in_features = 2;
+  artifact.meta.input_length = 4;
+  artifact.meta.output_length = 2;
+  artifact.meta.horizon = 0;
+  artifact.meta.target_feature = 0;
+  artifact.meta.hidden_dim = 4;
+  artifact.meta.seed = 17;
+  artifact.meta.zero_is_missing = true;
+  artifact.genotype = fixtures::MakeCandidateGenotype(0);
+  artifact.scaler.mask_null = true;
+  artifact.scaler.null_value = 0.0;
+  artifact.scaler.means = {1.5, -2.25};
+  artifact.scaler.stddevs = {0.5, 3.0};
+  artifact.state_dict = "format = fake\nparam = tiny\n";
+  artifact.adjacency = Tensor::Ones({3, 3});
+  return artifact;
+}
+
+TEST(ModelArtifact, EverySingleByteFlipIsRejected) {
+  const std::string text = serve::EncodeModelArtifact(CompactArtifact());
+  ASSERT_TRUE(serve::DecodeModelArtifact(text).ok());
+  int64_t rejected = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    std::string corrupt = text;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    if (!serve::DecodeModelArtifact(corrupt).ok()) ++rejected;
+  }
+  EXPECT_EQ(rejected, static_cast<int64_t>(text.size()));
+}
+
+TEST(ModelArtifact, EveryTruncationIsRejected) {
+  const std::string text = serve::EncodeModelArtifact(CompactArtifact());
+  for (size_t len = 0; len < text.size(); ++len) {
+    EXPECT_FALSE(serve::DecodeModelArtifact(text.substr(0, len)).ok())
+        << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(ModelArtifact, TrainedArtifactRejectsSpotCorruptions) {
+  // The exhaustive sweep runs on the compact artifact; the full trained
+  // artifact gets targeted damage at both ends and in the dense payload.
+  const std::string text = serve::EncodeModelArtifact(Fixture().artifact);
+  ASSERT_TRUE(serve::DecodeModelArtifact(text).ok());
+  for (size_t i : {size_t{0}, text.size() / 3, text.size() / 2,
+                   2 * text.size() / 3, text.size() - 2}) {
+    std::string corrupt = text;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    EXPECT_FALSE(serve::DecodeModelArtifact(corrupt).ok())
+        << "flip at " << i << " decoded";
+  }
+  EXPECT_FALSE(
+      serve::DecodeModelArtifact(text.substr(0, text.size() / 2)).ok());
+}
+
+TEST(ModelArtifact, LoadFallsBackToPreviousGeneration) {
+  const std::string path = TempPath("fallback.artifact");
+  fixtures::RemoveGenerations(path);
+
+  ModelArtifact first = CompactArtifact();
+  ModelArtifact second = CompactArtifact();
+  second.meta.seed = 18;
+  ASSERT_TRUE(serve::SaveModelArtifact(first, path).ok());
+  ASSERT_TRUE(serve::SaveModelArtifact(second, path).ok());
+
+  // Intact newest generation wins.
+  bool used_prev = true;
+  StatusOr<ModelArtifact> loaded =
+      serve::LoadModelArtifactOrPrev(path, &used_prev);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(used_prev);
+  EXPECT_EQ(loaded.value().meta.seed, 18u);
+
+  // Corrupt newest -> previous generation honored.
+  StatusOr<std::string> on_disk = ReadFileToString(path);
+  ASSERT_TRUE(on_disk.ok());
+  std::string corrupt = on_disk.value();
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  ASSERT_TRUE(AtomicWriteFile(path, corrupt, false).ok());
+  loaded = serve::LoadModelArtifactOrPrev(path, &used_prev);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(used_prev);
+  EXPECT_EQ(loaded.value().meta.seed, 17u);
+
+  // Both generations corrupt -> load fails.
+  ASSERT_TRUE(AtomicWriteFile(path + ".prev", corrupt, false).ok());
+  EXPECT_FALSE(serve::LoadModelArtifactOrPrev(path, &used_prev).ok());
+  fixtures::RemoveGenerations(path);
+}
+
+// ---------------------------------------------------------------------------
+// Inference determinism.
+// ---------------------------------------------------------------------------
+
+TEST(InferenceSession, ModelStaysInEvalMode) {
+  std::unique_ptr<InferenceSession> session = MakeSession();
+  EXPECT_FALSE(session->model().training());
+}
+
+TEST(InferenceSession, RepeatedPredictIsBitIdentical) {
+  // No RNG in inference: two identical predicts must return identical bits
+  // (eval-mode Dropout is the identity; BatchNorm uses running stats).
+  std::unique_ptr<InferenceSession> session = MakeSession();
+  const std::vector<Tensor> windows = RawWindows(1);
+  StatusOr<Tensor> first = session->Predict(windows[0]);
+  StatusOr<Tensor> second = session->Predict(windows[0]);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ExpectBitsEqual(first.value(), second.value(), "repeated predict");
+}
+
+TEST(InferenceSession, BatchedForwardMatchesSequentialBitForBit) {
+  std::unique_ptr<InferenceSession> session = MakeSession();
+  const ArtifactMeta& meta = Fixture().artifact.meta;
+  const int64_t k = 8;
+  const std::vector<Tensor> windows = RawWindows(k);
+  const int64_t window_size =
+      meta.input_length * meta.num_nodes * meta.in_features;
+  Tensor stacked(
+      {k, meta.input_length, meta.num_nodes, meta.in_features});
+  for (int64_t i = 0; i < k; ++i) {
+    std::memcpy(stacked.data() + i * window_size, windows[i].data(),
+                static_cast<size_t>(window_size) * sizeof(double));
+  }
+  StatusOr<Tensor> batched = session->PredictBatch(stacked);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  const int64_t forecast_size = meta.output_length * meta.num_nodes;
+  for (int64_t i = 0; i < k; ++i) {
+    StatusOr<Tensor> single = session->Predict(windows[i]);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    ASSERT_EQ(single.value().size(), forecast_size);
+    EXPECT_EQ(std::memcmp(batched.value().data() + i * forecast_size,
+                          single.value().data(),
+                          static_cast<size_t>(forecast_size) *
+                              sizeof(double)),
+              0)
+        << "batched row " << i << " differs from the sequential forward";
+  }
+}
+
+TEST(InferenceSession, RejectsWrongWindowShape) {
+  std::unique_ptr<InferenceSession> session = MakeSession();
+  const ArtifactMeta& meta = Fixture().artifact.meta;
+  Tensor wrong({meta.input_length + 1, meta.num_nodes, meta.in_features});
+  EXPECT_FALSE(session->Predict(wrong).ok());
+  Tensor wrong_batch(
+      {2, meta.input_length, meta.num_nodes + 1, meta.in_features});
+  EXPECT_FALSE(session->PredictBatch(wrong_batch).ok());
+}
+
+TEST(InferenceSession, RingBufferMatchesStatelessPredict) {
+  std::unique_ptr<InferenceSession> session = MakeSession();
+  const ArtifactMeta& meta = Fixture().artifact.meta;
+  const int64_t extra = 3;
+  const std::vector<Tensor> windows = RawWindows(extra + 1);
+  // windows[0..extra] are stride-1 slices of one series: tick t of the
+  // stream is row (meta.input_length - 1) of window t shifted — rebuild the
+  // underlying series from the first window plus each later window's
+  // newest row.
+  std::vector<Tensor> ticks;
+  for (int64_t p = 0; p < meta.input_length; ++p) {
+    Tensor tick({meta.num_nodes, meta.in_features});
+    std::memcpy(tick.data(),
+                windows[0].data() + p * meta.num_nodes * meta.in_features,
+                static_cast<size_t>(meta.num_nodes * meta.in_features) *
+                    sizeof(double));
+    ticks.push_back(std::move(tick));
+  }
+  for (int64_t w = 1; w <= extra; ++w) {
+    Tensor tick({meta.num_nodes, meta.in_features});
+    std::memcpy(tick.data(),
+                windows[w].data() + (meta.input_length - 1) *
+                                        meta.num_nodes * meta.in_features,
+                static_cast<size_t>(meta.num_nodes * meta.in_features) *
+                    sizeof(double));
+    ticks.push_back(std::move(tick));
+  }
+
+  int64_t fed = 0;
+  for (; fed < meta.input_length - 1; ++fed) {
+    session->Observe(ticks[fed]);
+    EXPECT_FALSE(session->Ready());
+    EXPECT_FALSE(session->PredictNext().ok());
+  }
+  for (int64_t w = 0; w <= extra; ++w) {
+    session->Observe(ticks[fed++]);
+    ASSERT_TRUE(session->Ready());
+    ExpectBitsEqual(session->CurrentWindow(), windows[w],
+                    "window after tick " + std::to_string(fed));
+    StatusOr<Tensor> streamed = session->PredictNext();
+    StatusOr<Tensor> stateless = session->Predict(windows[w]);
+    ASSERT_TRUE(streamed.ok() && stateless.ok());
+    ExpectBitsEqual(streamed.value(), stateless.value(),
+                    "streamed forecast " + std::to_string(w));
+  }
+  EXPECT_EQ(session->ticks_observed(), fed);
+  session->ResetWindow();
+  EXPECT_FALSE(session->Ready());
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+TEST(ForecastServer, WorkerSweepIsBitIdenticalToSequential) {
+  const int64_t k = 12;
+  const std::vector<Tensor> windows = RawWindows(k);
+
+  // Reference: sequential single-window forwards on one session.
+  std::unique_ptr<InferenceSession> session = MakeSession();
+  std::vector<Tensor> reference;
+  for (const Tensor& window : windows) {
+    StatusOr<Tensor> forecast = session->Predict(window);
+    ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+    reference.push_back(std::move(forecast).value());
+  }
+
+  for (int64_t workers : {1, 2, 4}) {
+    ServeOptions options;
+    options.workers = workers;
+    options.max_batch = 8;
+    ForecastServer server(Fixture().artifact, options);
+    ASSERT_TRUE(server.Start().ok());
+    std::vector<std::future<StatusOr<Tensor>>> futures;
+    for (const Tensor& window : windows) {
+      futures.push_back(server.Submit(window.Clone()));
+    }
+    for (int64_t i = 0; i < k; ++i) {
+      StatusOr<Tensor> result = futures[i].get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectBitsEqual(result.value(), reference[i],
+                      "workers=" + std::to_string(workers) + " request " +
+                          std::to_string(i));
+    }
+    server.Stop();
+    const ForecastServer::Stats stats = server.stats();
+    EXPECT_EQ(stats.requests_served, k) << "workers=" << workers;
+    EXPECT_GE(stats.batches, 1) << "workers=" << workers;
+    EXPECT_LE(stats.max_batch_observed, options.max_batch);
+  }
+}
+
+TEST(ForecastServer, StopIsGracefulAndRejectsLateSubmissions) {
+  ServeOptions options;
+  options.workers = 2;
+  ForecastServer server(Fixture().artifact, options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::vector<Tensor> windows = RawWindows(4);
+  std::vector<std::future<StatusOr<Tensor>>> futures;
+  for (const Tensor& window : windows) {
+    futures.push_back(server.Submit(window.Clone()));
+  }
+  server.Stop();
+  // Every accepted request was served before the workers exited.
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  StatusOr<Tensor> late = server.Predict(windows[0]);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(server.stats().rejected, 1);
+}
+
+TEST(ForecastServer, ExpiredDeadlinesFailWithoutForwarding) {
+  ServeOptions options;
+  options.workers = 1;
+  ForecastServer server(Fixture().artifact, options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::vector<Tensor> windows = RawWindows(3);
+  std::vector<std::future<StatusOr<Tensor>>> futures;
+  for (const Tensor& window : windows) {
+    futures.push_back(server.Submit(window.Clone(), Deadline::After(-1.0)));
+  }
+  for (auto& future : futures) {
+    StatusOr<Tensor> result = future.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  server.Stop();
+  EXPECT_EQ(server.stats().expired, 3);
+  EXPECT_EQ(server.stats().requests_served, 0);
+}
+
+TEST(ForecastServer, CancelledTokenFailsNewSubmissions) {
+  CancellationToken token;
+  ServeOptions options;
+  options.workers = 1;
+  options.cancel = &token;
+  ForecastServer server(Fixture().artifact, options);
+  ASSERT_TRUE(server.Start().ok());
+  token.Cancel();
+  const std::vector<Tensor> windows = RawWindows(1);
+  StatusOr<Tensor> result = server.Predict(windows[0]);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  server.Stop();
+  EXPECT_GE(server.stats().cancelled, 1);
+}
+
+TEST(ForecastServer, BurstConservesEveryRequest) {
+  // Back-pressure integration: with a tiny queue, a burst larger than
+  // capacity sees some immediate Unavailable rejections; every accepted
+  // request must still resolve OK and the books must balance exactly.
+  ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 4;
+  options.queue_capacity = 2;
+  ForecastServer server(Fixture().artifact, options);
+  ASSERT_TRUE(server.Start().ok());
+  const int64_t total = 32;
+  const std::vector<Tensor> windows = RawWindows(4);
+  std::vector<std::future<StatusOr<Tensor>>> futures;
+  for (int64_t i = 0; i < total; ++i) {
+    futures.push_back(server.Submit(windows[i % windows.size()].Clone()));
+  }
+  int64_t ok_count = 0;
+  int64_t rejected_count = 0;
+  for (auto& future : futures) {
+    StatusOr<Tensor> result = future.get();
+    if (result.ok()) {
+      ++ok_count;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kUnavailable);
+      ++rejected_count;
+    }
+  }
+  server.Stop();
+  EXPECT_EQ(ok_count + rejected_count, total);
+  EXPECT_EQ(server.stats().requests_served, ok_count);
+  EXPECT_EQ(server.stats().rejected, rejected_count);
+}
+
+TEST(ForecastServer, MetricsFlushOnStop) {
+  obs::MetricsRegistry registry;
+  ServeOptions options;
+  options.workers = 2;
+  options.metrics = &registry;
+  ForecastServer server(Fixture().artifact, options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::vector<Tensor> windows = RawWindows(6);
+  std::vector<std::future<StatusOr<Tensor>>> futures;
+  for (const Tensor& window : windows) {
+    futures.push_back(server.Submit(window.Clone()));
+  }
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+  server.Stop();
+  EXPECT_EQ(registry.GetCounter(serve::kMetricRequestsServed)->value(), 6);
+  EXPECT_GE(registry.GetCounter(serve::kMetricBatches)->value(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded queue unit coverage (the deterministic back-pressure seam).
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueue, TryPushFailsExactlyWhenFull) {
+  BoundedQueue<int> queue(2);
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  EXPECT_TRUE(queue.TryPush(a));
+  EXPECT_TRUE(queue.TryPush(b));
+  EXPECT_FALSE(queue.TryPush(c));
+  EXPECT_EQ(queue.size(), 2u);
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(8, &batch), 2u);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 1);
+  EXPECT_EQ(batch[1], 2);
+  EXPECT_TRUE(queue.TryPush(c));
+}
+
+TEST(BoundedQueue, PopBatchRespectsMaxItems) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ASSERT_TRUE(queue.TryPush(v));
+  }
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(3, &batch), 3u);
+  EXPECT_EQ(queue.PopBatch(3, &batch), 2u);
+  EXPECT_EQ(batch.size(), 5u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
+  BoundedQueue<int> queue(4);
+  int v = 7;
+  ASSERT_TRUE(queue.TryPush(v));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(v));
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(4, &batch), 1u);  // drains queued work first
+  EXPECT_EQ(queue.PopBatch(4, &batch), 0u);  // then reports closed
+}
+
+}  // namespace
+}  // namespace autocts

@@ -1,0 +1,61 @@
+#include "testing/fixtures.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic/generators.h"
+
+namespace autocts::fixtures {
+
+models::PreparedData TinyPreparedData(uint64_t seed) {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = 4;
+  config.num_steps = 300;
+  config.seed = seed;
+  data::WindowSpec window;
+  window.input_length = 6;
+  window.output_length = 3;
+  return models::PrepareData(data::GenerateTrafficSpeed(config), window, 0.7,
+                             0.1);
+}
+
+core::Genotype MakeCandidateGenotype(int64_t variant) {
+  const std::vector<std::string> ops = {"identity", "gdcc", "inf_s", "dgcn",
+                                        "inf_t"};
+  const auto op = [&](int64_t i) {
+    return ops[(variant + i) % static_cast<int64_t>(ops.size())];
+  };
+  core::Genotype genotype;
+  genotype.nodes_per_block = 3;
+  for (int64_t b = 0; b < 2; ++b) {
+    core::BlockGenotype block;
+    block.edges.push_back({0, 1, op(b)});
+    block.edges.push_back({1, 2, op(b + 1)});
+    block.edges.push_back({0, 2, op(b + 2)});
+    genotype.blocks.push_back(block);
+  }
+  genotype.block_inputs = {0, 1};
+  AUTOCTS_CHECK(genotype.Validate().ok());
+  return genotype;
+}
+
+std::vector<core::Genotype> MakeCandidateGenotypes(int64_t count) {
+  std::vector<core::Genotype> candidates;
+  for (int64_t i = 0; i < count; ++i) {
+    candidates.push_back(MakeCandidateGenotype(i));
+  }
+  return candidates;
+}
+
+std::string TempPath(const std::string& prefix, const std::string& name) {
+  return ::testing::TempDir() + prefix + "_" + name;
+}
+
+void RemoveGenerations(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace autocts::fixtures

@@ -1,0 +1,41 @@
+// Shared builders for the crash-safety / scheduler / e2e / serving suites:
+// one tiny-but-real synthetic dataset, hand-built candidate genotypes in
+// the exact shape Derive() emits, and temp-file helpers that clean up every
+// generation an atomic writer may leave behind (<path>, <path>.prev,
+// <path>.tmp).
+//
+// Dataset seeds stay explicit at every call site on purpose: the suites
+// were written against different datasets (checkpoint_test uses 31,
+// eval_scheduler_test 47) and their bit-exactness baselines depend on it.
+#ifndef AUTOCTS_TESTS_TESTING_FIXTURES_H_
+#define AUTOCTS_TESTS_TESTING_FIXTURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/genotype.h"
+#include "models/trainer.h"
+
+namespace autocts::fixtures {
+
+// 4-node / 300-step synthetic traffic-speed dataset windowed to P=6, Q=3
+// with a 70/10/20 split — small enough for sub-second training runs while
+// still exercising normalization and the multi-step head.
+models::PreparedData TinyPreparedData(uint64_t seed);
+
+// A hand-built candidate in the exact shape Derive() emits for
+// micro_nodes = 3 / edges_per_node = 2, with operator choices varied per
+// variant so every candidate trains to a different result.
+core::Genotype MakeCandidateGenotype(int64_t variant);
+std::vector<core::Genotype> MakeCandidateGenotypes(int64_t count);
+
+// "<gtest temp dir><prefix>_<name>".
+std::string TempPath(const std::string& prefix, const std::string& name);
+
+// Removes every generation an atomic writer may have left at `path`.
+void RemoveGenerations(const std::string& path);
+
+}  // namespace autocts::fixtures
+
+#endif  // AUTOCTS_TESTS_TESTING_FIXTURES_H_

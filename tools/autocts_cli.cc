@@ -7,6 +7,14 @@
 //   evaluate [options]           retrain a saved genotype and report metrics
 //   evaluate-topk [options]      train/evaluate a ranked candidate set on a
 //                                bounded worker pool (core/eval_scheduler.h)
+//   export-artifact [options]    train a saved genotype and bundle the
+//                                trained weights + scaler + window geometry
+//                                into a serving artifact (serve/)
+//   predict  [options]           one-shot forecast from an artifact; prints
+//                                exact hex-float values for bit-comparison
+//   serve-bench [options]        closed-loop load driver against the
+//                                batched ForecastServer; prints p50/p99
+//                                latency and QPS, batched vs unbatched
 //
 // Common options:
 //   --kind K        traffic-speed | traffic-flow | solar | electricity
@@ -54,6 +62,21 @@
 //                   re-evaluating only the unfinished candidates
 //   --train-seed S  base training seed; candidate i trains under a private
 //                   RNG stream split deterministically from (S, i)
+//
+// Serving options (src/serve/):
+//   --artifact F    artifact file (export-artifact output; predict and
+//                   serve-bench input). Loads fall back to F.prev when F is
+//                   corrupt, mirroring checkpoint loads.
+//   --at T          predict: forecast from the window ending at timestamp T
+//                   (exclusive; default = the end of the series). The last
+//                   `input` ticks are streamed through the session's
+//                   sliding-window ring buffer.
+//   --serve-workers N      serve-bench: server worker threads (default 2);
+//                   any value returns bit-identical forecasts
+//   --max-batch K   serve-bench: micro-batch coalescing limit (default 8)
+//   --clients C     serve-bench: concurrent closed-loop clients (default 8)
+//   --requests N    serve-bench: total requests per pass (default 256)
+//   --queue-cap N   serve-bench: bounded queue capacity (default 256)
 //
 // Resilience options (common/fault.h, common/cancellation.h):
 //   --faults SPEC   install a deterministic fault-injection plan, e.g.
@@ -104,6 +127,14 @@
 //       --epochs 2 --out genotype.txt
 //   autocts_cli evaluate --kind traffic-flow --nodes 10 --steps 1200 \
 //       --genotype genotype.txt --epochs 4
+//   autocts_cli export-artifact --kind traffic-flow --nodes 10 --steps 1200 \
+//       --genotype genotype.txt --epochs 4 --out model.artifact
+//   autocts_cli predict --kind traffic-flow --nodes 10 --steps 1200 \
+//       --artifact model.artifact
+//   autocts_cli serve-bench --kind traffic-flow --nodes 10 --steps 1200 \
+//       --artifact model.artifact --serve-workers 4 --max-batch 8
+#include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -111,6 +142,8 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/cancellation.h"
 #include "common/fault.h"
@@ -122,8 +155,10 @@
 #include "core/searcher.h"
 #include "data/csv.h"
 #include "data/synthetic/generators.h"
+#include "common/stopwatch.h"
 #include "models/trainer.h"
 #include "ops/op_registry.h"
+#include "serve/forecast_server.h"
 #include "tensor/tensor_ops.h"
 
 namespace {
@@ -153,7 +188,8 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: autocts_cli "
-               "<list-ops|generate|search|evaluate|evaluate-topk> "
+               "<list-ops|generate|search|evaluate|evaluate-topk|"
+               "export-artifact|predict|serve-bench> "
                "[--key value ...]\n(see the header of tools/autocts_cli.cc "
                "for the full option list)\n");
   return 2;
@@ -500,6 +536,315 @@ int EvaluateTopK(const Args& args) {
   return 0;
 }
 
+// Loads a genotype text file (shared by evaluate and export-artifact).
+StatusOr<core::Genotype> LoadGenotypeFile(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) return Status::NotFound("cannot open " + path);
+  const std::string text{std::istreambuf_iterator<char>(stream),
+                         std::istreambuf_iterator<char>()};
+  return core::Genotype::FromText(text);
+}
+
+int ExportArtifact(const Args& args) {
+  const std::string path = args.Get("genotype", "genotype.txt");
+  const StatusOr<core::Genotype> genotype = LoadGenotypeFile(path);
+  if (!genotype.ok()) {
+    std::fprintf(stderr, "bad genotype %s: %s\n", path.c_str(),
+                 genotype.status().ToString().c_str());
+    return 1;
+  }
+  const data::CtsDataset dataset = MakeDataset(args);
+  const models::PreparedData prepared = PrepareFromArgs(args, dataset);
+  models::TrainConfig config;
+  config.epochs = args.GetInt("epochs", 4);
+  config.batch_size = args.GetInt("batch", 32);
+  config.max_batches_per_epoch = args.GetInt("max-batches", 10);
+  config.early_stop_patience = args.GetInt("patience", 0);
+  config.seed = static_cast<uint64_t>(args.GetInt("train-seed", 7));
+  config.recovery.enabled = args.GetInt("recover", 0) != 0;
+  config.recovery.max_recoveries = args.GetInt("max-recoveries", 3);
+  config.recovery.lr_backoff = args.GetDouble("lr-backoff", 0.5);
+  config.verbose = true;
+  config.cancel = &ShutdownToken();
+  config.deadline = Deadline::AfterBudget(args.GetDouble("deadline", 0.0));
+  config.step_budget = args.GetInt("step-budget", 0);
+  const int64_t hidden = args.GetInt("hidden", 16);
+  StatusOr<core::TrainedGenotype> trained =
+      core::TrainGenotypeWithStatus(genotype.value(), prepared, hidden,
+                                    config);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "export-artifact training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return FailureExitCode(trained.status());
+  }
+  const serve::ModelArtifact artifact = serve::MakeModelArtifact(
+      *trained.value().model, prepared, hidden, config.seed);
+  const std::string out = args.Get("out", "model.artifact");
+  const fault::RetryPolicy retry = RetryPolicyFromArgs(args);
+  const Status saved =
+      fault::RetryCall(retry, "artifact write",
+                       [&] { return serve::SaveModelArtifact(artifact, out); })
+          .status;
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                 saved.ToString().c_str());
+    return 1;
+  }
+  const models::EvalResult& result = trained.value().eval;
+  std::printf(
+      "test: MAE %.4f  RMSE %.4f  MAPE %.2f%%  RRSE %.4f  CORR %.4f\n",
+      result.average.mae, result.average.rmse, result.average.mape * 100.0,
+      result.rrse, result.corr);
+  std::printf("artifact written to %s (%lld bytes, %lld params)\n",
+              out.c_str(),
+              static_cast<long long>(
+                  serve::EncodeModelArtifact(artifact).size()),
+              static_cast<long long>(result.parameter_count));
+  return 0;
+}
+
+int PredictOnce(const Args& args) {
+  const std::string path = args.Get("artifact", "model.artifact");
+  bool used_prev = false;
+  const StatusOr<serve::ModelArtifact> artifact =
+      serve::LoadModelArtifactOrPrev(path, &used_prev);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "cannot load artifact %s: %s\n", path.c_str(),
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+  if (used_prev) {
+    std::printf("loaded previous generation %s.prev\n", path.c_str());
+  }
+  StatusOr<std::unique_ptr<serve::InferenceSession>> session =
+      serve::InferenceSession::Create(artifact.value());
+  if (!session.ok()) {
+    std::fprintf(stderr, "cannot build session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  const serve::ArtifactMeta& meta = artifact.value().meta;
+  const data::CtsDataset dataset = MakeDataset(args);
+  if (dataset.num_nodes() != meta.num_nodes ||
+      dataset.num_features() != meta.in_features) {
+    std::fprintf(stderr,
+                 "dataset geometry (%lld nodes, %lld features) does not "
+                 "match the artifact (%lld, %lld)\n",
+                 static_cast<long long>(dataset.num_nodes()),
+                 static_cast<long long>(dataset.num_features()),
+                 static_cast<long long>(meta.num_nodes),
+                 static_cast<long long>(meta.in_features));
+    return 1;
+  }
+  const int64_t at = args.GetInt("at", dataset.num_steps());
+  if (at < meta.input_length || at > dataset.num_steps()) {
+    std::fprintf(stderr, "--at %lld out of range [%lld, %lld]\n",
+                 static_cast<long long>(at),
+                 static_cast<long long>(meta.input_length),
+                 static_cast<long long>(dataset.num_steps()));
+    return 1;
+  }
+  // Stream the window's ticks through the session ring buffer — the same
+  // path a live feed uses (and what keeps steady-state requests small).
+  Tensor tick({meta.num_nodes, meta.in_features});
+  for (int64_t t = at - meta.input_length; t < at; ++t) {
+    for (int64_t n = 0; n < meta.num_nodes; ++n) {
+      for (int64_t f = 0; f < meta.in_features; ++f) {
+        tick.At({n, f}) = dataset.values.At({t, n, f});
+      }
+    }
+    session.value()->Observe(tick);
+  }
+  const StatusOr<Tensor> forecast = session.value()->PredictNext();
+  if (!forecast.ok()) {
+    std::fprintf(stderr, "predict failed: %s\n",
+                 forecast.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("forecast from t=%lld (%lld steps, %lld nodes)\n",
+              static_cast<long long>(at),
+              static_cast<long long>(meta.output_length),
+              static_cast<long long>(meta.num_nodes));
+  for (int64_t q = 0; q < meta.output_length; ++q) {
+    std::printf("step %lld:", static_cast<long long>(q + 1));
+    for (int64_t n = 0; n < meta.num_nodes; ++n) {
+      std::printf(" %.4f", forecast.value().At({q, n}));
+    }
+    std::printf("\n");
+    // Exact hex-float images: tests and operators compare these tokens
+    // bit-for-bit across machines, batch sizes, and worker counts.
+    std::printf("exact q%lld =", static_cast<long long>(q + 1));
+    for (int64_t n = 0; n < meta.num_nodes; ++n) {
+      std::printf(" %s",
+                  FormatExactDouble(forecast.value().At({q, n})).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// One closed-loop serve-bench pass: `clients` threads submit `requests`
+// windows round-robin and wait for each response before sending the next.
+// Returns false on any failed request; forecasts land in (*outputs)[i] for
+// request i (deterministic: request i always carries window i % windows).
+struct ServePassResult {
+  double wall_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  serve::ForecastServer::Stats stats;
+};
+
+bool RunServePass(const serve::ModelArtifact& artifact,
+                  const std::vector<Tensor>& windows, int64_t workers,
+                  int64_t max_batch, int64_t queue_capacity,
+                  int64_t requests, int64_t clients,
+                  std::vector<Tensor>* outputs, ServePassResult* result) {
+  serve::ServeOptions options;
+  options.workers = workers;
+  options.max_batch = max_batch;
+  options.queue_capacity = queue_capacity;
+  options.cancel = &ShutdownToken();
+  serve::ForecastServer server(artifact, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return false;
+  }
+  outputs->assign(requests, Tensor());
+  std::vector<double> latencies(requests, 0.0);
+  std::atomic<int64_t> next{0};
+  std::atomic<bool> failed{false};
+  const int64_t start_nanos = SteadyNowNanos();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (int64_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      while (true) {
+        const int64_t i = next.fetch_add(1);
+        if (i >= requests) return;
+        const int64_t t0 = SteadyNowNanos();
+        const Tensor& window = windows[i % windows.size()];
+        // Queue-full rejections are back-pressure, not errors: yield and
+        // retry (bounded; with one outstanding request per client the
+        // queue cannot stay full).
+        StatusOr<Tensor> forecast = server.Submit(window.Clone()).get();
+        for (int attempt = 0;
+             !forecast.ok() &&
+             forecast.status().code() == StatusCode::kUnavailable &&
+             attempt < 1000;
+             ++attempt) {
+          std::this_thread::yield();
+          forecast = server.Submit(window.Clone()).get();
+        }
+        if (!forecast.ok()) {
+          failed.store(true);
+          return;
+        }
+        latencies[i] = static_cast<double>(SteadyNowNanos() - t0) * 1e-6;
+        (*outputs)[i] = std::move(forecast).value();
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  result->wall_seconds =
+      static_cast<double>(SteadyNowNanos() - start_nanos) * 1e-9;
+  server.Stop();
+  result->stats = server.stats();
+  if (failed.load()) return false;
+  std::sort(latencies.begin(), latencies.end());
+  result->p50_ms = latencies[static_cast<size_t>(requests / 2)];
+  result->p99_ms = latencies[std::min<size_t>(
+      latencies.size() - 1, static_cast<size_t>(requests * 99 / 100))];
+  return true;
+}
+
+int ServeBench(const Args& args) {
+  const std::string path = args.Get("artifact", "model.artifact");
+  const StatusOr<serve::ModelArtifact> artifact =
+      serve::LoadModelArtifactOrPrev(path);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "cannot load artifact %s: %s\n", path.c_str(),
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+  const serve::ArtifactMeta& meta = artifact.value().meta;
+  const data::CtsDataset dataset = MakeDataset(args);
+  if (dataset.num_nodes() != meta.num_nodes ||
+      dataset.num_features() != meta.in_features ||
+      dataset.num_steps() <= meta.input_length) {
+    std::fprintf(stderr, "dataset does not match the artifact geometry\n");
+    return 1;
+  }
+  // Distinct raw windows, stride 1, capped at 64 — the workload cycles
+  // through them so consecutive requests are not identical.
+  const int64_t available = dataset.num_steps() - meta.input_length + 1;
+  const int64_t num_windows = std::min<int64_t>(64, available);
+  std::vector<Tensor> windows;
+  windows.reserve(num_windows);
+  for (int64_t w = 0; w < num_windows; ++w) {
+    Tensor window({meta.input_length, meta.num_nodes, meta.in_features});
+    for (int64_t p = 0; p < meta.input_length; ++p) {
+      for (int64_t n = 0; n < meta.num_nodes; ++n) {
+        for (int64_t f = 0; f < meta.in_features; ++f) {
+          window.At({p, n, f}) = dataset.values.At({w + p, n, f});
+        }
+      }
+    }
+    windows.push_back(std::move(window));
+  }
+  const int64_t workers = args.GetInt("serve-workers", 2);
+  const int64_t max_batch = args.GetInt("max-batch", 8);
+  const int64_t clients = args.GetInt("clients", 8);
+  const int64_t requests = args.GetInt("requests", 256);
+  const int64_t queue_capacity = args.GetInt("queue-cap", 256);
+
+  std::printf("serve-bench: workers=%lld clients=%lld requests=%lld\n",
+              static_cast<long long>(workers),
+              static_cast<long long>(clients),
+              static_cast<long long>(requests));
+  std::vector<Tensor> unbatched, batched;
+  ServePassResult base, coalesced;
+  if (!RunServePass(artifact.value(), windows, workers, /*max_batch=*/1,
+                    queue_capacity, requests, clients, &unbatched, &base) ||
+      !RunServePass(artifact.value(), windows, workers, max_batch,
+                    queue_capacity, requests, clients, &batched,
+                    &coalesced)) {
+    return 1;
+  }
+  const double base_qps = static_cast<double>(requests) / base.wall_seconds;
+  const double coalesced_qps =
+      static_cast<double>(requests) / coalesced.wall_seconds;
+  std::printf(
+      "  unbatched (max-batch 1):    %8.1f QPS  p50 %7.2f ms  p99 %7.2f ms\n",
+      base_qps, base.p50_ms, base.p99_ms);
+  std::printf(
+      "  batched   (max-batch %lld): %8.1f QPS  p50 %7.2f ms  p99 %7.2f ms  "
+      "(max fill %lld, %.2fx QPS)\n",
+      static_cast<long long>(max_batch), coalesced_qps, coalesced.p50_ms,
+      coalesced.p99_ms,
+      static_cast<long long>(coalesced.stats.max_batch_observed),
+      coalesced_qps / base_qps);
+
+  // The determinism contract: batching must not change any forecast bit.
+  for (int64_t i = 0; i < requests; ++i) {
+    const Tensor& a = unbatched[i];
+    const Tensor& b = batched[i];
+    if (a.size() != b.size() ||
+        std::memcmp(a.data(), b.data(),
+                    static_cast<size_t>(a.size()) * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "BIT-IDENTITY VIOLATION: request %lld differs between "
+                   "batched and unbatched passes\n",
+                   static_cast<long long>(i));
+      return 1;
+    }
+  }
+  std::printf("bit-identity: OK (%lld forecasts identical across passes)\n",
+              static_cast<long long>(requests));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -532,7 +877,8 @@ int main(int argc, char** argv) {
 
   // Long-running commands get graceful SIGINT/SIGTERM shutdown.
   if (args.command == "search" || args.command == "evaluate" ||
-      args.command == "evaluate-topk") {
+      args.command == "evaluate-topk" || args.command == "export-artifact" ||
+      args.command == "serve-bench") {
     InstallShutdownHandlers(&ShutdownToken());
   }
 
@@ -541,5 +887,8 @@ int main(int argc, char** argv) {
   if (args.command == "search") return Search(args);
   if (args.command == "evaluate") return Evaluate(args);
   if (args.command == "evaluate-topk") return EvaluateTopK(args);
+  if (args.command == "export-artifact") return ExportArtifact(args);
+  if (args.command == "predict") return PredictOnce(args);
+  if (args.command == "serve-bench") return ServeBench(args);
   return Usage();
 }

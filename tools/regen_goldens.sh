@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the golden forecast fixtures in tests/testdata/forecast_golden_v1/.
+#
+# Run this after an INTENTIONAL numeric change (kernel rewrite, op semantics,
+# init defaults), then review the fixture diff alongside the code change —
+# an unexpected fixture diff means the change moved numerics it should not
+# have. The regeneration retrains each tiny model (a few seconds total) and
+# re-verifies the freshly written fixtures in the same run.
+#
+# Usage: tools/regen_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake --build "$BUILD_DIR" --target serve_golden_test
+AUTOCTS_REGEN_GOLDENS=1 "$BUILD_DIR/tests/serve_golden_test"
+
+echo "regenerated fixtures:"
+git status --short tests/testdata/forecast_golden_v1/ || true

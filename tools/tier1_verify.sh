@@ -12,14 +12,16 @@
 # The crash/corruption suites (checkpoint_test, numerics_test, and
 # eval_scheduler_test, ctest label "faultinject"), the injected-I/O-failure
 # and cancellation suites (fault_io_test and cancellation_test, label
-# "faultio"), the buffer-pool suite (label "pool"), and the end-to-end
+# "faultio"), the buffer-pool suite (label "pool"), the end-to-end
 # pipeline suite (label "e2e", which drives the real CLI binary through
-# kill/resume and signal/resume cycles) are additionally run under
-# AddressSanitizer in a separate build directory: their kill/resume,
-# fault-injection, retry/rollback, watchdog-cancellation, and
-# storage-recycling paths are exactly where lifetime bugs would hide. Set
-# AUTOCTS_SKIP_ASAN=1 to skip that pass (e.g. on machines without ASan
-# runtimes).
+# kill/resume and signal/resume cycles), and the forecast-serving suites
+# (serve_test and serve_golden_test, label "serve", whose server threads,
+# promise/future handoffs, and artifact corruption sweeps are lifetime-bug
+# habitat) are additionally run under AddressSanitizer in a separate build
+# directory: their kill/resume, fault-injection, retry/rollback,
+# watchdog-cancellation, and storage-recycling paths are exactly where
+# lifetime bugs would hide. Set AUTOCTS_SKIP_ASAN=1 to skip that pass
+# (e.g. on machines without ASan runtimes).
 #
 # The observability suites (observability_test and determinism_test, ctest
 # label "observability") plus parallel_test, buffer_pool_test, and
@@ -61,8 +63,9 @@ if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
   cmake --build build-address -j --target checkpoint_test \
       --target numerics_test --target buffer_pool_test \
       --target eval_scheduler_test --target pipeline_e2e_test \
-      --target fault_io_test --target cancellation_test
-  ctest --test-dir build-address -L 'faultinject|faultio|pool|e2e' \
+      --target fault_io_test --target cancellation_test \
+      --target serve_test --target serve_golden_test
+  ctest --test-dir build-address -L 'faultinject|faultio|pool|e2e|serve' \
       --output-on-failure
   # With the pool disabled every release is a real free, restoring ASan's
   # use-after-free precision on tensor storage.
