@@ -1,0 +1,226 @@
+// Network front-end: loopback load generator for the TCP serving path.
+//
+// Starts a TcpForecastServer on an ephemeral loopback port and drives it
+// closed-loop with `clients` ForecastClient connections: each client sends
+// its next request as soon as the previous response lands. Reports QPS and
+// p50/p99 round-trip latency (wire + queue + forward), and always enforces
+// the byte-identity gate from DESIGN.md ("Networking"): every forecast that
+// crossed the wire must be bit-identical to the same window served by an
+// in-process InferenceSession — framing, the u64 double images, and the
+// server's batching must never change a single response bit.
+//
+// There is no speedup gate here (bench_serve owns the batching-vs-unbatched
+// claim); this bench measures what the network front-end adds on top and
+// proves it adds zero error.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "serve/inference_session.h"
+
+namespace autocts {
+namespace {
+
+serve::ModelArtifact MakeArtifact(const models::PreparedData& prepared) {
+  core::Genotype genotype;
+  genotype.nodes_per_block = 3;
+  const std::vector<std::string> ops = {"inf_s", "dgcn", "inf_t"};
+  for (int64_t b = 0; b < 2; ++b) {
+    core::BlockGenotype block;
+    block.edges.push_back({0, 1, ops[b % ops.size()]});
+    block.edges.push_back({1, 2, ops[(b + 1) % ops.size()]});
+    block.edges.push_back({0, 2, ops[(b + 2) % ops.size()]});
+    genotype.blocks.push_back(block);
+    genotype.block_inputs.push_back(b == 0 ? 0 : 1);
+  }
+  models::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 8;
+  config.max_batches_per_epoch = bench::Quick() ? 2 : 4;
+  config.seed = 11;
+  config.verbose = false;
+  StatusOr<core::TrainedGenotype> trained =
+      core::TrainGenotypeWithStatus(genotype, prepared, /*hidden_dim=*/8,
+                                    config);
+  if (!trained.ok()) {
+    std::printf("FAIL: training the serving model: %s\n",
+                trained.status().ToString().c_str());
+    std::exit(1);
+  }
+  return serve::MakeModelArtifact(*trained.value().model, prepared, 8,
+                                  config.seed);
+}
+
+std::vector<Tensor> MakeWindows(const serve::ArtifactMeta& meta,
+                                int64_t count) {
+  data::TrafficSpeedConfig config;
+  config.num_nodes = meta.num_nodes;
+  config.num_steps = meta.input_length + count + 8;
+  config.seed = 23;
+  const data::CtsDataset dataset = data::GenerateTrafficSpeed(config);
+  std::vector<Tensor> windows;
+  for (int64_t w = 0; w < count; ++w) {
+    Tensor window({meta.input_length, meta.num_nodes, meta.in_features});
+    for (int64_t p = 0; p < meta.input_length; ++p) {
+      for (int64_t n = 0; n < meta.num_nodes; ++n) {
+        for (int64_t f = 0; f < meta.in_features; ++f) {
+          window.At({p, n, f}) = dataset.values.At({w + p, n, f});
+        }
+      }
+    }
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+}  // namespace
+}  // namespace autocts
+
+int main() {
+  using namespace autocts;
+  const bool quick = bench::Quick();
+  const int64_t requests = quick ? 48 : 512;
+  const int64_t clients = quick ? 4 : 8;
+  const int64_t workers = 2;
+  const int64_t max_batch = 8;
+
+  data::TrafficSpeedConfig data_config;
+  data_config.num_nodes = 4;
+  data_config.num_steps = 300;
+  data_config.seed = 53;
+  data::WindowSpec window;
+  window.input_length = 6;
+  window.output_length = 3;
+  const models::PreparedData prepared = models::PrepareData(
+      data::GenerateTrafficSpeed(data_config), window, 0.7, 0.1);
+
+  const serve::ModelArtifact artifact = MakeArtifact(prepared);
+  const std::vector<Tensor> windows =
+      MakeWindows(artifact.meta, quick ? 16 : 48);
+
+  // In-process references, one per distinct window, computed before the
+  // server starts so the gate compares against an independent code path.
+  StatusOr<std::unique_ptr<serve::InferenceSession>> session =
+      serve::InferenceSession::Create(artifact);
+  if (!session.ok()) {
+    std::printf("FAIL: reference session: %s\n",
+                session.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Tensor> references;
+  for (const Tensor& w : windows) {
+    StatusOr<Tensor> forecast = session.value()->Predict(w);
+    if (!forecast.ok()) {
+      std::printf("FAIL: reference forecast: %s\n",
+                  forecast.status().ToString().c_str());
+      return 1;
+    }
+    references.push_back(std::move(forecast).value());
+  }
+
+  net::TcpServeOptions options;
+  options.serve.workers = workers;
+  options.serve.max_batch = max_batch;
+  options.port = 0;  // ephemeral
+  net::TcpForecastServer server(artifact, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("FAIL: server start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "bench_net: workers=%lld max_batch=%lld clients=%lld requests=%lld "
+      "port=%d\n",
+      static_cast<long long>(workers), static_cast<long long>(max_batch),
+      static_cast<long long>(clients), static_cast<long long>(requests),
+      server.port());
+
+  std::vector<Tensor> forecasts(requests);
+  std::vector<double> latencies(requests, 0.0);
+  std::atomic<int64_t> next{0};
+  std::atomic<bool> failed{false};
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      net::ForecastClientOptions client_options;
+      client_options.port = server.port();
+      client_options.retry.max_attempts = 4;
+      net::ForecastClient client(client_options);
+      const Status connected = client.Connect();
+      if (!connected.ok()) {
+        std::printf("FAIL: connect: %s\n", connected.ToString().c_str());
+        failed.store(true);
+        return;
+      }
+      while (!failed.load()) {
+        const int64_t i = next.fetch_add(1);
+        if (i >= requests) return;
+        const Tensor& w = windows[i % windows.size()];
+        Stopwatch request_timer;
+        StatusOr<Tensor> forecast = client.Predict(w);
+        // Back-pressure: a full queue sheds with Unavailable; resend.
+        int64_t attempts = 0;
+        while (!forecast.ok() &&
+               forecast.status().code() == StatusCode::kUnavailable &&
+               ++attempts < 10000) {
+          std::this_thread::yield();
+          forecast = client.Predict(w);
+        }
+        if (!forecast.ok()) {
+          std::printf("FAIL: request %lld: %s\n", static_cast<long long>(i),
+                      forecast.status().ToString().c_str());
+          failed.store(true);
+          return;
+        }
+        latencies[i] = request_timer.Seconds() * 1e3;
+        forecasts[i] = std::move(forecast).value();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = timer.Seconds();
+  server.Stop();
+  if (failed.load()) return 1;
+
+  std::sort(latencies.begin(), latencies.end());
+  std::printf("  loopback:  %8.1f QPS  p50 %7.2f ms  p99 %7.2f ms\n",
+              static_cast<double>(requests) / seconds,
+              latencies[requests / 2], latencies[(requests * 99) / 100]);
+
+  // Byte-identity gate (always armed): wire == in-process, bit for bit.
+  for (int64_t i = 0; i < requests; ++i) {
+    const Tensor& remote = forecasts[i];
+    const Tensor& reference = references[i % references.size()];
+    if (remote.shape() != reference.shape() ||
+        std::memcmp(remote.data(), reference.data(),
+                    static_cast<size_t>(remote.size()) * sizeof(double)) !=
+            0) {
+      std::printf("FAIL: request %lld differs between the wire and the "
+                  "in-process session — the byte-identity contract is "
+                  "broken\n",
+                  static_cast<long long>(i));
+      return 1;
+    }
+  }
+  std::printf("  byte-identity: OK (%lld remote forecasts identical to "
+              "in-process)\n",
+              static_cast<long long>(requests));
+
+  const net::TcpForecastServer::Stats stats = server.stats();
+  std::printf("  server: %lld connections, %lld requests decoded, "
+              "%lld responses\n",
+              static_cast<long long>(stats.connections_accepted),
+              static_cast<long long>(stats.requests_decoded),
+              static_cast<long long>(stats.responses_sent));
+  return 0;
+}

@@ -1,0 +1,287 @@
+#include "net/wire_codec.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/file_io.h"
+#include "common/macros.h"
+
+namespace autocts::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives. Encoding goes through explicit byte shifts (not
+// memcpy of host integers) so the wire format — and the checked-in golden
+// frames — are identical on every host.
+// ---------------------------------------------------------------------------
+
+void PutU16(std::string* out, uint16_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutDouble(std::string* out, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(out, bits);
+}
+
+uint16_t GetU16(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  return static_cast<uint16_t>(bytes[0]) |
+         static_cast<uint16_t>(bytes[1]) << 8;
+}
+
+uint32_t GetU32(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t GetU64(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+double GetDouble(const char* data) {
+  const uint64_t bits = GetU64(data);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// Wraps a finished payload in the header + CRC trailer.
+std::string SealFrame(FrameType type, const std::string& payload) {
+  AUTOCTS_CHECK_LE(payload.size(), kMaxPayloadBytes);
+  std::string frame;
+  frame.reserve(kFrameOverheadBytes + payload.size());
+  frame.append(kFrameMagic, sizeof(kFrameMagic));
+  frame.push_back(static_cast<char>(kWireVersion));
+  frame.push_back(static_cast<char>(type));
+  PutU16(&frame, 0);  // reserved
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  PutU32(&frame, Crc32(frame.data(), frame.size()));
+  return frame;
+}
+
+// Per-node dimension bound: a corrupt dimension field must not drive a
+// giant allocation even when the element count happens to match the
+// payload length arithmetic.
+constexpr uint32_t kMaxDim = 1u << 24;
+
+Status CheckDim(uint32_t value, const char* name) {
+  if (value == 0 || value > kMaxDim) {
+    return Status::InvalidArgument(
+        std::string("wire frame: dimension ") + name + " = " +
+        std::to_string(value) + " out of range [1, " +
+        std::to_string(kMaxDim) + "]");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Frame> DecodePredictRequestPayload(const char* payload, size_t size) {
+  constexpr size_t kFixed = 4 + 4 + 4 + 8;  // P, N, F, deadline budget
+  if (size < kFixed) {
+    return Status::InvalidArgument("predict request payload too short");
+  }
+  const uint32_t p = GetU32(payload);
+  const uint32_t n = GetU32(payload + 4);
+  const uint32_t f = GetU32(payload + 8);
+  const std::pair<uint32_t, const char*> dims[] = {{p, "P"}, {n, "N"},
+                                                   {f, "F"}};
+  for (const auto& [value, name] : dims) {
+    const Status status = CheckDim(value, name);
+    if (!status.ok()) return status;
+  }
+  const uint64_t elements =
+      uint64_t{p} * uint64_t{n} * uint64_t{f};
+  if (size != kFixed + elements * sizeof(double)) {
+    return Status::InvalidArgument(
+        "predict request payload length does not match [P, N, F]");
+  }
+  Frame frame;
+  frame.type = FrameType::kPredictRequest;
+  frame.deadline_budget_nanos = static_cast<int64_t>(GetU64(payload + 12));
+  frame.window = Tensor::Uninitialized({static_cast<int64_t>(p),
+                                        static_cast<int64_t>(n),
+                                        static_cast<int64_t>(f)});
+  const char* cursor = payload + kFixed;
+  for (uint64_t i = 0; i < elements; ++i, cursor += sizeof(double)) {
+    frame.window.data()[i] = GetDouble(cursor);
+  }
+  return frame;
+}
+
+StatusOr<Frame> DecodePredictResponsePayload(const char* payload,
+                                             size_t size) {
+  constexpr size_t kFixed = 4 + 4;  // Q, N
+  if (size < kFixed) {
+    return Status::InvalidArgument("predict response payload too short");
+  }
+  const uint32_t q = GetU32(payload);
+  const uint32_t n = GetU32(payload + 4);
+  const std::pair<uint32_t, const char*> dims[] = {{q, "Q"}, {n, "N"}};
+  for (const auto& [value, name] : dims) {
+    const Status status = CheckDim(value, name);
+    if (!status.ok()) return status;
+  }
+  const uint64_t elements = uint64_t{q} * uint64_t{n};
+  if (size != kFixed + elements * sizeof(double)) {
+    return Status::InvalidArgument(
+        "predict response payload length does not match [Q, N]");
+  }
+  Frame frame;
+  frame.type = FrameType::kPredictResponse;
+  frame.forecast = Tensor::Uninitialized(
+      {static_cast<int64_t>(q), static_cast<int64_t>(n)});
+  const char* cursor = payload + kFixed;
+  for (uint64_t i = 0; i < elements; ++i, cursor += sizeof(double)) {
+    frame.forecast.data()[i] = GetDouble(cursor);
+  }
+  return frame;
+}
+
+StatusOr<Frame> DecodeStatusPayload(const char* payload, size_t size) {
+  constexpr size_t kFixed = 4 + 4;  // code, message length
+  if (size < kFixed) {
+    return Status::InvalidArgument("status payload too short");
+  }
+  const uint32_t code = GetU32(payload);
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument("status frame carries unknown code " +
+                                   std::to_string(code));
+  }
+  const uint32_t message_length = GetU32(payload + 4);
+  if (size != kFixed + message_length) {
+    return Status::InvalidArgument(
+        "status payload length does not match the message length field");
+  }
+  Frame frame;
+  frame.type = FrameType::kStatus;
+  frame.status = Status(static_cast<StatusCode>(code),
+                        std::string(payload + kFixed, message_length));
+  return frame;
+}
+
+}  // namespace
+
+std::string EncodePredictRequest(const Tensor& window,
+                                 int64_t deadline_budget_nanos) {
+  AUTOCTS_CHECK_EQ(window.ndim(), 3)
+      << "predict request window must be [P, N, F]";
+  std::string payload;
+  payload.reserve(20 + static_cast<size_t>(window.size()) * sizeof(double));
+  PutU32(&payload, static_cast<uint32_t>(window.dim(0)));
+  PutU32(&payload, static_cast<uint32_t>(window.dim(1)));
+  PutU32(&payload, static_cast<uint32_t>(window.dim(2)));
+  PutU64(&payload, static_cast<uint64_t>(deadline_budget_nanos));
+  for (int64_t i = 0; i < window.size(); ++i) {
+    PutDouble(&payload, window.data()[i]);
+  }
+  return SealFrame(FrameType::kPredictRequest, payload);
+}
+
+std::string EncodePredictResponse(const Tensor& forecast) {
+  AUTOCTS_CHECK_EQ(forecast.ndim(), 2)
+      << "predict response forecast must be [Q, N]";
+  std::string payload;
+  payload.reserve(8 + static_cast<size_t>(forecast.size()) * sizeof(double));
+  PutU32(&payload, static_cast<uint32_t>(forecast.dim(0)));
+  PutU32(&payload, static_cast<uint32_t>(forecast.dim(1)));
+  for (int64_t i = 0; i < forecast.size(); ++i) {
+    PutDouble(&payload, forecast.data()[i]);
+  }
+  return SealFrame(FrameType::kPredictResponse, payload);
+}
+
+std::string EncodeStatusFrame(const Status& status) {
+  AUTOCTS_CHECK(!status.ok()) << "an OK status is never a frame";
+  std::string payload;
+  payload.reserve(8 + status.message().size());
+  PutU32(&payload, static_cast<uint32_t>(status.code()));
+  PutU32(&payload, static_cast<uint32_t>(status.message().size()));
+  payload.append(status.message());
+  return SealFrame(FrameType::kStatus, payload);
+}
+
+StatusOr<size_t> PeekFrameSize(const char* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame header needs " +
+                                   std::to_string(kFrameHeaderBytes) +
+                                   " bytes, have " + std::to_string(size));
+  }
+  if (std::memcmp(data, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const auto version = static_cast<uint8_t>(data[4]);
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+  const auto type = static_cast<uint8_t>(data[5]);
+  if (type < static_cast<uint8_t>(FrameType::kPredictRequest) ||
+      type > static_cast<uint8_t>(FrameType::kStatus)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (GetU16(data + 6) != 0) {
+    return Status::InvalidArgument("reserved header bytes must be zero");
+  }
+  const uint32_t payload_length = GetU32(data + 8);
+  if (payload_length > kMaxPayloadBytes) {
+    return Status::InvalidArgument("payload length " +
+                                   std::to_string(payload_length) +
+                                   " exceeds the frame size limit");
+  }
+  return kFrameOverheadBytes + static_cast<size_t>(payload_length);
+}
+
+StatusOr<Frame> DecodeFrame(const std::string& bytes) {
+  StatusOr<size_t> frame_size = PeekFrameSize(bytes.data(), bytes.size());
+  if (!frame_size.ok()) return frame_size.status();
+  if (bytes.size() != frame_size.value()) {
+    return Status::InvalidArgument(
+        "frame is " + std::to_string(bytes.size()) + " bytes, header says " +
+        std::to_string(frame_size.value()));
+  }
+  const size_t crc_offset = bytes.size() - 4;
+  const uint32_t stored_crc = GetU32(bytes.data() + crc_offset);
+  const uint32_t actual_crc = Crc32(bytes.data(), crc_offset);
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+  const char* payload = bytes.data() + kFrameHeaderBytes;
+  const size_t payload_size = crc_offset - kFrameHeaderBytes;
+  switch (static_cast<FrameType>(static_cast<uint8_t>(bytes[5]))) {
+    case FrameType::kPredictRequest:
+      return DecodePredictRequestPayload(payload, payload_size);
+    case FrameType::kPredictResponse:
+      return DecodePredictResponsePayload(payload, payload_size);
+    case FrameType::kStatus:
+      return DecodeStatusPayload(payload, payload_size);
+  }
+  return Status::InvalidArgument("unknown frame type");  // unreachable
+}
+
+}  // namespace autocts::net

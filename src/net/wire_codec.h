@@ -1,0 +1,105 @@
+// Binary wire protocol for the forecast service: length-prefixed,
+// CRC32-guarded, versioned frames carrying forecast requests, responses,
+// and typed errors between a ForecastClient and a TcpForecastServer.
+//
+// Frame layout (all multi-byte fields little-endian on the wire,
+// independent of host endianness):
+//
+//   offset  size  field
+//   0       4     magic "ACTS"
+//   4       1     protocol version (kWireVersion)
+//   5       1     frame type (FrameType)
+//   6       2     reserved, must be zero
+//   8       4     payload length L (u32, <= kMaxPayloadBytes)
+//   12      L     payload (per-type encoding below)
+//   12+L    4     CRC32 (common/file_io.h, IEEE) over bytes [0, 12+L)
+//
+// Payload encodings:
+//   kPredictRequest   u32 P, u32 N, u32 F, i64 deadline_budget_nanos,
+//                     then P*N*F doubles. A zero budget means no deadline;
+//                     otherwise the server arms Deadline::After(budget) the
+//                     moment it decodes the frame, so a wire deadline
+//                     behaves exactly like an in-process one (a
+//                     non-positive budget is already expired on arrival).
+//   kPredictResponse  u32 Q, u32 N, then Q*N doubles.
+//   kStatus           i32 status code (common/status.h StatusCode), u32
+//                     message length, message bytes. Carries every non-OK
+//                     outcome — load shed (kUnavailable), expired deadline
+//                     (kDeadlineExceeded), cancellation (kCancelled),
+//                     malformed request (kInvalidArgument) — so the client
+//                     rebuilds the exact Status the server produced.
+//
+// Doubles travel as their IEEE-754 bit images (u64, little-endian): the
+// wire is exact, and a forecast fetched remotely is byte-identical to the
+// in-process PredictBatch result — the contract tests/net_test.cc enforces.
+//
+// Corruption rejection: DecodeFrame consumes a complete frame and rejects
+// ANY corruption — a flipped bit anywhere fails the CRC trailer (or the
+// magic/version/length validation before it), any truncation fails the
+// length check, and trailing garbage fails the exact-size check. The codec
+// never crashes on hostile bytes; it returns a non-OK Status
+// (tests/wire_codec_test.cc sweeps every single-byte flip, every
+// truncation, and a seeded random-bytes fuzz loop).
+#ifndef AUTOCTS_NET_WIRE_CODEC_H_
+#define AUTOCTS_NET_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace autocts::net {
+
+inline constexpr char kFrameMagic[4] = {'A', 'C', 'T', 'S'};
+inline constexpr uint8_t kWireVersion = 1;
+
+// Bytes before the payload (magic + version + type + reserved + length).
+inline constexpr size_t kFrameHeaderBytes = 12;
+// Header + CRC trailer: a frame with payload length L is
+// kFrameOverheadBytes + L bytes long.
+inline constexpr size_t kFrameOverheadBytes = 16;
+// Upper bound on the payload length field: rejects absurd length prefixes
+// (a corrupt or hostile header) before any allocation happens.
+inline constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 28;  // 256 MiB
+
+enum class FrameType : uint8_t {
+  kPredictRequest = 1,
+  kPredictResponse = 2,
+  kStatus = 3,
+};
+
+// A decoded frame: `type` selects which member is meaningful.
+struct Frame {
+  FrameType type = FrameType::kStatus;
+  // kPredictRequest:
+  Tensor window;                      // [P, N, F]
+  int64_t deadline_budget_nanos = 0;  // 0 = no deadline
+  // kPredictResponse:
+  Tensor forecast;  // [Q, N]
+  // kStatus: the transported (non-OK) status.
+  Status status = Status::Ok();
+};
+
+// Encoders. EncodePredictRequest CHECKs window.ndim() == 3;
+// EncodePredictResponse CHECKs forecast.ndim() == 2; EncodeStatusFrame
+// CHECKs !status.ok() (an OK status is never a frame).
+std::string EncodePredictRequest(const Tensor& window,
+                                 int64_t deadline_budget_nanos = 0);
+std::string EncodePredictResponse(const Tensor& forecast);
+std::string EncodeStatusFrame(const Status& status);
+
+// Validates the fixed header (magic, version, type, reserved, length
+// bound) and returns the total frame size in bytes — what an incremental
+// reader must accumulate before calling DecodeFrame. Requires
+// size >= kFrameHeaderBytes (InvalidArgument otherwise).
+StatusOr<size_t> PeekFrameSize(const char* data, size_t size);
+
+// Decodes exactly one complete frame: `bytes` must be the frame and
+// nothing else. Rejects any corruption, truncation, or trailing garbage
+// with a non-OK status; never crashes on arbitrary input.
+StatusOr<Frame> DecodeFrame(const std::string& bytes);
+
+}  // namespace autocts::net
+
+#endif  // AUTOCTS_NET_WIRE_CODEC_H_

@@ -10,17 +10,38 @@ namespace autocts::serve {
 
 ForecastServer::ForecastServer(const ModelArtifact& artifact,
                                const ServeOptions& options)
-    : meta_(artifact.meta), artifact_(artifact), options_(options) {
-  AUTOCTS_CHECK_GE(options_.workers, 1);
-  AUTOCTS_CHECK_GE(options_.max_batch, 1);
-  AUTOCTS_CHECK_GE(options_.queue_capacity, 1);
-}
+    : meta_(artifact.meta), artifact_(artifact), options_(options) {}
 
 ForecastServer::~ForecastServer() { Stop(); }
+
+namespace {
+
+// ServeOptions come straight from CLI flags and remote configs, so a bad
+// knob is a recoverable input error (typed Status at Start), not a
+// programming error (CHECK).
+Status ValidateServeOptions(const ServeOptions& options) {
+  const std::pair<int64_t, const char*> knobs[] = {
+      {options.workers, "workers"},
+      {options.max_batch, "max_batch"},
+      {options.queue_capacity, "queue_capacity"},
+  };
+  for (const auto& [value, name] : knobs) {
+    if (value < 1) {
+      return Status::InvalidArgument(
+          std::string("ServeOptions.") + name + " must be >= 1, got " +
+          std::to_string(value));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Status ForecastServer::Start() {
   AUTOCTS_CHECK(!running_.load() && !stopped_.load())
       << "Start() must be called exactly once";
+  const Status options_ok = ValidateServeOptions(options_);
+  if (!options_ok.ok()) return options_ok;
   sessions_.reserve(options_.workers);
   for (int64_t i = 0; i < options_.workers; ++i) {
     StatusOr<std::unique_ptr<InferenceSession>> session =

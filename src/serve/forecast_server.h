@@ -47,6 +47,9 @@ inline constexpr char kMetricCancelled[] = "serve/cancelled";
 inline constexpr char kMetricBatchFill[] = "serve/batch_fill";
 inline constexpr char kMetricLatencyMs[] = "wall/serve/latency_ms";
 
+// All three integer knobs must be >= 1; Start() validates them and
+// returns InvalidArgument instead of accepting a zero/negative
+// configuration (these arrive straight from CLI flags).
 struct ServeOptions {
   int64_t workers = 1;
   // Max requests coalesced into one batched forward (>= 1).
@@ -69,7 +72,8 @@ class ForecastServer {
   ForecastServer(const ForecastServer&) = delete;
   ForecastServer& operator=(const ForecastServer&) = delete;
 
-  // Validates the artifact (session construction) and launches the worker
+  // Validates the options (InvalidArgument on a non-positive knob) and
+  // the artifact (session construction), then launches the worker
   // threads. Must be called exactly once before Submit.
   Status Start();
 

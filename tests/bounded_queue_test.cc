@@ -1,0 +1,171 @@
+// Direct unit coverage for common/bounded_queue.h — the micro-batching
+// coalescer under the forecast server. The serve/net suites exercise it
+// end-to-end; this one pins the queue's own contract so a regression fails
+// here with a one-line repro instead of as a flaky serving test:
+//   - TryPush back-pressure at capacity (and the untouched-on-failure rule)
+//   - PopBatch partial drains: up to max_items in one wakeup, never more
+//   - Close() semantics: wakes blocked consumers, rejects new pushes,
+//     drains what was accepted, returns 0 only when closed AND empty
+//   - concurrent producers/consumers conserve items (run under TSan in
+//     tools/tier1_verify.sh)
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace autocts {
+namespace {
+
+TEST(BoundedQueueTest, TryPushFailsAtCapacityAndLeavesItemUntouched) {
+  BoundedQueue<int> queue(/*capacity=*/2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(queue.TryPush(a));
+  EXPECT_TRUE(queue.TryPush(b));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_FALSE(queue.TryPush(c));
+  EXPECT_EQ(c, 3);  // rejected item must be untouched
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Draining one slot re-admits exactly one push.
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(1, &out), 1u);
+  EXPECT_TRUE(queue.TryPush(c));
+  EXPECT_FALSE(queue.TryPush(a));
+}
+
+// Move-only items prove the untouched-on-failure rule matters: a rejected
+// unique_ptr must still own its payload.
+TEST(BoundedQueueTest, RejectedMoveOnlyItemRetainsOwnership) {
+  BoundedQueue<std::unique_ptr<int>> queue(/*capacity=*/1);
+  std::unique_ptr<int> first = std::make_unique<int>(7);
+  std::unique_ptr<int> second = std::make_unique<int>(9);
+  EXPECT_TRUE(queue.TryPush(first));
+  EXPECT_EQ(first, nullptr);  // accepted: moved from
+  EXPECT_FALSE(queue.TryPush(second));
+  ASSERT_NE(second, nullptr);  // rejected: still ours
+  EXPECT_EQ(*second, 9);
+}
+
+TEST(BoundedQueueTest, PopBatchDrainsUpToMaxItemsPerWakeup) {
+  BoundedQueue<int> queue(/*capacity=*/8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.TryPush(i));
+  }
+  std::vector<int> out;
+  // One wakeup takes min(max_items, queued), appending to *out.
+  EXPECT_EQ(queue.PopBatch(3, &out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.PopBatch(3, &out), 2u);  // partial drain: only 2 left
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PopBatchBlocksUntilAProducerArrives) {
+  BoundedQueue<int> queue(/*capacity=*/4);
+  std::vector<int> out;
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(queue.PopBatch(4, &out), 1u);
+    popped.store(true);
+  });
+  // The consumer must be parked, not spinning on an empty pop.
+  EXPECT_FALSE(popped.load());
+  int item = 42;
+  EXPECT_TRUE(queue.TryPush(item));
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+  EXPECT_EQ(out, (std::vector<int>{42}));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumersWithZero) {
+  BoundedQueue<int> queue(/*capacity=*/4);
+  constexpr int kConsumers = 3;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> out;
+      EXPECT_EQ(queue.PopBatch(4, &out), 0u);
+      woke.fetch_add(1);
+    });
+  }
+  queue.Close();
+  for (std::thread& thread : consumers) thread.join();
+  EXPECT_EQ(woke.load(), kConsumers);
+}
+
+TEST(BoundedQueueTest, CloseRejectsPushesButDrainsAcceptedItems) {
+  BoundedQueue<int> queue(/*capacity=*/4);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(queue.TryPush(a));
+  EXPECT_TRUE(queue.TryPush(b));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(c));  // closed: no new work
+  // Graceful shutdown: accepted items still drain...
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(8, &out), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  // ...and only then does PopBatch report closed-and-empty.
+  EXPECT_EQ(queue.PopBatch(8, &out), 0u);
+  queue.Close();  // idempotent
+  EXPECT_TRUE(queue.closed());
+}
+
+// Multi-producer/multi-consumer conservation: every pushed item is popped
+// exactly once, across blocking wakeups and back-pressure retries. TSan
+// (tier1_verify.sh) checks the same run for data races.
+TEST(BoundedQueueTest, ConcurrentProducersAndConsumersConserveItems) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  constexpr int kTotal = kProducers * kPerProducer;
+  BoundedQueue<int> queue(/*capacity=*/8);  // small: forces back-pressure
+
+  std::vector<std::vector<int>> popped(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::vector<int> batch;
+      while (true) {
+        batch.clear();
+        const size_t got = queue.PopBatch(5, &batch);
+        if (got == 0) return;  // closed and drained
+        popped[c].insert(popped[c].end(), batch.begin(), batch.end());
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        while (!queue.TryPush(item)) {
+          std::this_thread::yield();  // back-pressure: retry until accepted
+        }
+      }
+    });
+  }
+  for (std::thread& thread : producers) thread.join();
+  queue.Close();
+  for (std::thread& thread : consumers) thread.join();
+
+  std::vector<int> all;
+  for (const std::vector<int>& part : popped) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(all.size(), static_cast<size_t>(kTotal));
+  std::sort(all.begin(), all.end());
+  std::vector<int> expected(kTotal);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);  // each item exactly once — no loss, no dup
+}
+
+}  // namespace
+}  // namespace autocts

@@ -415,6 +415,51 @@ TEST(ForecastServer, WorkerSweepIsBitIdenticalToSequential) {
   }
 }
 
+// Regression: a zero/negative knob (these arrive straight from CLI flags)
+// must be a typed InvalidArgument naming the knob at Start() — it used to
+// be a process-aborting CHECK in the constructor.
+TEST(ForecastServer, StartRejectsNonPositiveOptionsWithInvalidArgument) {
+  const struct {
+    int64_t workers, max_batch, queue_capacity;
+    const char* knob;
+  } cases[] = {
+      {0, 8, 256, "workers"},
+      {-2, 8, 256, "workers"},
+      {1, 0, 256, "max_batch"},
+      {1, -1, 256, "max_batch"},
+      {1, 8, 0, "queue_capacity"},
+      {1, 8, -64, "queue_capacity"},
+  };
+  for (const auto& bad : cases) {
+    ServeOptions options;
+    options.workers = bad.workers;
+    options.max_batch = bad.max_batch;
+    options.queue_capacity = bad.queue_capacity;
+    ForecastServer server(Fixture().artifact, options);
+    const Status started = server.Start();
+    ASSERT_FALSE(started.ok()) << bad.knob;
+    EXPECT_EQ(started.code(), StatusCode::kInvalidArgument) << bad.knob;
+    EXPECT_NE(started.message().find(bad.knob), std::string::npos)
+        << "message \"" << started.message()
+        << "\" does not name the offending knob";
+    // A server whose Start() was rejected behaves like one never started:
+    // submissions fail typed, Stop() is a safe no-op.
+    StatusOr<Tensor> result = server.Predict(RawWindows(1)[0]);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+    server.Stop();
+  }
+  // The boundary value 1/1/1 is valid and serves.
+  ServeOptions minimal;
+  minimal.workers = 1;
+  minimal.max_batch = 1;
+  minimal.queue_capacity = 1;
+  ForecastServer server(Fixture().artifact, minimal);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.Predict(RawWindows(1)[0]).ok());
+  server.Stop();
+}
+
 TEST(ForecastServer, StopIsGracefulAndRejectsLateSubmissions) {
   ServeOptions options;
   options.workers = 2;

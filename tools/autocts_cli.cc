@@ -15,6 +15,13 @@
 //   serve-bench [options]        closed-loop load driver against the
 //                                batched ForecastServer; prints p50/p99
 //                                latency and QPS, batched vs unbatched
+//   serve-tcp [options]          serve an artifact over the TCP wire
+//                                protocol (src/net/); runs until
+//                                SIGINT/SIGTERM, then drains and exits
+//   predict-remote [options]     one-shot forecast through a running
+//                                serve-tcp server; prints the same exact
+//                                hex-float output as `predict`, so the two
+//                                are byte-comparable
 //
 // Common options:
 //   --kind K        traffic-speed | traffic-flow | solar | electricity
@@ -76,7 +83,24 @@
 //   --max-batch K   serve-bench: micro-batch coalescing limit (default 8)
 //   --clients C     serve-bench: concurrent closed-loop clients (default 8)
 //   --requests N    serve-bench: total requests per pass (default 256)
-//   --queue-cap N   serve-bench: bounded queue capacity (default 256)
+//   --queue-cap N   serve-bench/serve-tcp: bounded queue capacity
+//                   (default 256)
+//
+// Network serving options (src/net/):
+//   --port P        serve-tcp: TCP port to listen on (default 7077;
+//                   0 picks an ephemeral port, printed on stdout).
+//                   predict-remote: the server's port
+//   --bind A        serve-tcp: IPv4 bind address (default 127.0.0.1;
+//                   use 0.0.0.0 to serve a network)
+//   --host A        predict-remote: server IPv4 address (default
+//                   127.0.0.1)
+//   --timeout S     predict-remote: per-request wall timeout in seconds
+//                   (default 30; 0 waits forever)
+//   --deadline S    predict-remote: server-side deadline budget carried on
+//                   the wire (default 0 = none); an expired budget comes
+//                   back as a DeadlineExceeded status frame
+//   serve-tcp reuses --serve-workers / --max-batch / --queue-cap, and
+//   predict-remote reuses --io-retries for connect/transport retries.
 //
 // Resilience options (common/fault.h, common/cancellation.h):
 //   --faults SPEC   install a deterministic fault-injection plan, e.g.
@@ -135,6 +159,7 @@
 //       --artifact model.artifact --serve-workers 4 --max-batch 8
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -157,6 +182,8 @@
 #include "data/synthetic/generators.h"
 #include "common/stopwatch.h"
 #include "models/trainer.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
 #include "ops/op_registry.h"
 #include "serve/forecast_server.h"
 #include "tensor/tensor_ops.h"
@@ -189,7 +216,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: autocts_cli "
                "<list-ops|generate|search|evaluate|evaluate-topk|"
-               "export-artifact|predict|serve-bench> "
+               "export-artifact|predict|serve-bench|serve-tcp|"
+               "predict-remote> "
                "[--key value ...]\n(see the header of tools/autocts_cli.cc "
                "for the full option list)\n");
   return 2;
@@ -845,6 +873,125 @@ int ServeBench(const Args& args) {
   return 0;
 }
 
+int ServeTcp(const Args& args) {
+  const std::string path = args.Get("artifact", "model.artifact");
+  const StatusOr<serve::ModelArtifact> artifact =
+      serve::LoadModelArtifactOrPrev(path);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "cannot load artifact %s: %s\n", path.c_str(),
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+  net::TcpServeOptions options;
+  options.serve.workers = args.GetInt("serve-workers", 2);
+  options.serve.max_batch = args.GetInt("max-batch", 8);
+  options.serve.queue_capacity = args.GetInt("queue-cap", 256);
+  options.serve.cancel = &ShutdownToken();
+  options.port = static_cast<int>(args.GetInt("port", 7077));
+  options.bind_address = args.Get("bind", "127.0.0.1");
+  net::TcpForecastServer server(artifact.value(), options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve-tcp start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  // Machine-readable: tests and scripts parse this line for the (possibly
+  // ephemeral) port before connecting.
+  std::printf("listening on %s:%d\n", options.bind_address.c_str(),
+              server.port());
+  std::printf("serving %lld workers, max batch %lld; stop with SIGINT or "
+              "SIGTERM\n",
+              static_cast<long long>(options.serve.workers),
+              static_cast<long long>(options.serve.max_batch));
+  std::fflush(stdout);
+  while (!ShutdownToken().cancelled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Graceful drain: in-flight requests get their responses before the
+  // sockets and workers wind down.
+  server.Stop();
+  const net::TcpForecastServer::Stats stats = server.stats();
+  std::printf("serve-tcp drained: %lld connections, %lld requests, "
+              "%lld responses, %lld error frames, %lld protocol errors\n",
+              static_cast<long long>(stats.connections_accepted),
+              static_cast<long long>(stats.requests_decoded),
+              static_cast<long long>(stats.responses_sent),
+              static_cast<long long>(stats.error_frames_sent),
+              static_cast<long long>(stats.protocol_errors));
+  return ShutdownExitCode();
+}
+
+int PredictRemote(const Args& args) {
+  net::ForecastClientOptions options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<int>(args.GetInt("port", 7077));
+  options.retry = RetryPolicyFromArgs(args);
+  options.request_timeout_seconds = args.GetDouble("timeout", 30.0);
+
+  // The window is built exactly like `predict` builds it, so the local and
+  // remote outputs are byte-comparable: the last --input ticks ending at
+  // --at (exclusive; default = the end of the series).
+  const data::CtsDataset dataset = MakeDataset(args);
+  const int64_t input_length = args.GetInt("input", 12);
+  const int64_t at = args.GetInt("at", dataset.num_steps());
+  if (input_length < 1 || at < input_length || at > dataset.num_steps()) {
+    std::fprintf(stderr, "--at %lld out of range [%lld, %lld]\n",
+                 static_cast<long long>(at),
+                 static_cast<long long>(input_length),
+                 static_cast<long long>(dataset.num_steps()));
+    return 1;
+  }
+  Tensor window(
+      {input_length, dataset.num_nodes(), dataset.num_features()});
+  for (int64_t p = 0; p < input_length; ++p) {
+    for (int64_t n = 0; n < dataset.num_nodes(); ++n) {
+      for (int64_t f = 0; f < dataset.num_features(); ++f) {
+        window.At({p, n, f}) =
+            dataset.values.At({at - input_length + p, n, f});
+      }
+    }
+  }
+
+  net::ForecastClient client(options);
+  const Status connected = client.Connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "cannot connect to %s:%d: %s\n",
+                 options.host.c_str(), options.port,
+                 connected.ToString().c_str());
+    return 1;
+  }
+  const StatusOr<Tensor> forecast =
+      client.Predict(window, args.GetDouble("deadline", 0.0));
+  if (!forecast.ok()) {
+    std::fprintf(stderr, "predict-remote failed: %s\n",
+                 forecast.status().ToString().c_str());
+    return FailureExitCode(forecast.status());
+  }
+  const int64_t output_length = forecast.value().dim(0);
+  const int64_t num_nodes = forecast.value().dim(1);
+  std::printf("forecast from t=%lld (%lld steps, %lld nodes)\n",
+              static_cast<long long>(at),
+              static_cast<long long>(output_length),
+              static_cast<long long>(num_nodes));
+  for (int64_t q = 0; q < output_length; ++q) {
+    std::printf("step %lld:", static_cast<long long>(q + 1));
+    for (int64_t n = 0; n < num_nodes; ++n) {
+      std::printf(" %.4f", forecast.value().At({q, n}));
+    }
+    std::printf("\n");
+    // Same exact hex-float images as `predict`: the wire carries IEEE-754
+    // bit patterns, so these tokens match the local output bit for bit.
+    std::printf("exact q%lld =", static_cast<long long>(q + 1));
+    for (int64_t n = 0; n < num_nodes; ++n) {
+      std::printf(" %s",
+                  FormatExactDouble(forecast.value().At({q, n})).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -878,7 +1025,7 @@ int main(int argc, char** argv) {
   // Long-running commands get graceful SIGINT/SIGTERM shutdown.
   if (args.command == "search" || args.command == "evaluate" ||
       args.command == "evaluate-topk" || args.command == "export-artifact" ||
-      args.command == "serve-bench") {
+      args.command == "serve-bench" || args.command == "serve-tcp") {
     InstallShutdownHandlers(&ShutdownToken());
   }
 
@@ -890,5 +1037,7 @@ int main(int argc, char** argv) {
   if (args.command == "export-artifact") return ExportArtifact(args);
   if (args.command == "predict") return PredictOnce(args);
   if (args.command == "serve-bench") return ServeBench(args);
+  if (args.command == "serve-tcp") return ServeTcp(args);
+  if (args.command == "predict-remote") return PredictRemote(args);
   return Usage();
 }

@@ -14,18 +14,22 @@
 # and cancellation suites (fault_io_test and cancellation_test, label
 # "faultio"), the buffer-pool suite (label "pool"), the end-to-end
 # pipeline suite (label "e2e", which drives the real CLI binary through
-# kill/resume and signal/resume cycles), and the forecast-serving suites
-# (serve_test and serve_golden_test, label "serve", whose server threads,
-# promise/future handoffs, and artifact corruption sweeps are lifetime-bug
-# habitat) are additionally run under AddressSanitizer in a separate build
-# directory: their kill/resume, fault-injection, retry/rollback,
+# kill/resume and signal/resume cycles), the forecast-serving suites
+# (serve_test, serve_golden_test, and bounded_queue_test, label "serve",
+# whose server threads, promise/future handoffs, and artifact corruption
+# sweeps are lifetime-bug habitat), and the network suites
+# (wire_codec_test and net_test, label "net", whose hostile-bytes fuzz
+# loops, raw-socket disconnect cases, and connection-handler threads are
+# exactly what ASan is for) are additionally run under AddressSanitizer
+# in a separate build directory: their kill/resume, fault-injection, retry/rollback,
 # watchdog-cancellation, and storage-recycling paths are exactly where
 # lifetime bugs would hide. Set AUTOCTS_SKIP_ASAN=1 to skip that pass
 # (e.g. on machines without ASan runtimes).
 #
 # The observability suites (observability_test and determinism_test, ctest
-# label "observability") plus parallel_test, buffer_pool_test, and
-# eval_scheduler_test are likewise run under ThreadSanitizer: the tracer's
+# label "observability") plus parallel_test, buffer_pool_test,
+# bounded_queue_test, and eval_scheduler_test are likewise run under
+# ThreadSanitizer: the tracer's
 # thread-local ring buffers, the metrics registry, the pool's per-bucket
 # free lists, and the eval scheduler's worker threads + completion inbox
 # are exercised concurrently, and TSan is the tool that proves those
@@ -64,8 +68,10 @@ if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
       --target numerics_test --target buffer_pool_test \
       --target eval_scheduler_test --target pipeline_e2e_test \
       --target fault_io_test --target cancellation_test \
-      --target serve_test --target serve_golden_test
-  ctest --test-dir build-address -L 'faultinject|faultio|pool|e2e|serve' \
+      --target serve_test --target serve_golden_test \
+      --target bounded_queue_test --target wire_codec_test \
+      --target net_test
+  ctest --test-dir build-address -L 'faultinject|faultio|pool|e2e|serve|net' \
       --output-on-failure
   # With the pool disabled every release is a real free, restoring ASan's
   # use-after-free precision on tensor storage.
@@ -74,14 +80,16 @@ if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_ASAN:-}" ]]; then
 fi
 
 # TSan pass over the observability suite (+ parallel_test, which drives
-# the same thread pool the tracer instruments, and buffer_pool_test for
-# the pool's cross-thread acquire/release paths).
+# the same thread pool the tracer instruments, buffer_pool_test for the
+# pool's cross-thread acquire/release paths, and bounded_queue_test for
+# the MPMC queue under the forecast server).
 if [[ -z "${AUTOCTS_SANITIZE:-}" && -z "${AUTOCTS_SKIP_TSAN:-}" ]]; then
   cmake -B build-thread -S . -DAUTOCTS_SANITIZE=thread
   cmake --build build-thread -j --target observability_test \
       --target determinism_test --target parallel_test \
-      --target buffer_pool_test --target eval_scheduler_test
+      --target buffer_pool_test --target eval_scheduler_test \
+      --target bounded_queue_test
   AUTOCTS_NUM_THREADS=4 ctest --test-dir build-thread \
-      -R 'observability_test|determinism_test|parallel_test|buffer_pool_test|eval_scheduler_test' \
+      -R 'observability_test|determinism_test|parallel_test|buffer_pool_test|eval_scheduler_test|bounded_queue_test' \
       --output-on-failure
 fi
